@@ -1,0 +1,51 @@
+//! Ablation (Section V-A): measured page I/O of the materialized vs streaming
+//! strategies around the analytic BlockSize crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_core::{Algorithm, GmmTrainer};
+use fml_data::SyntheticConfig;
+use fml_gmm::GmmConfig;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_io_crossover");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let w = SyntheticConfig {
+        n_s: 20_000,
+        n_r: 500,
+        d_s: 5,
+        d_r: 15,
+        k: 3,
+        noise_std: 1.0,
+        with_target: false,
+        seed: 5,
+    }
+    .generate()
+    .unwrap();
+    for block_pages in [1usize, 8, 64] {
+        for alg in [Algorithm::Materialized, Algorithm::Streaming] {
+            let config = GmmConfig {
+                k: 3,
+                max_iters: 2,
+                block_pages,
+                ..GmmConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("block{}_{}", block_pages, alg.label()), block_pages),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        GmmTrainer::new(alg, config.clone())
+                            .fit(&w.db, &w.spec)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation (Section VI-A2): direct evaluation of a second-layer unit versus the
+//! "reused" evaluation, showing that reuse beyond the first layer does not pay off
+//! even for additive activations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_nn::activation::Activation;
+use fml_nn::layer_reuse::{second_layer_direct, second_layer_reused, second_layer_t3};
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_second_layer");
+    for n_h in [50usize, 200, 800] {
+        let w2: Vec<f64> = (0..n_h).map(|i| (i as f64 % 7.0) - 3.0).collect();
+        let t1: Vec<f64> = (0..n_h).map(|i| (i as f64 % 5.0) / 5.0).collect();
+        let t2: Vec<f64> = (0..n_h).map(|i| (i as f64 % 3.0) / 3.0).collect();
+        let f = Activation::Identity;
+        group.bench_with_input(BenchmarkId::new("direct", n_h), &n_h, |b, _| {
+            b.iter(|| second_layer_direct(f, &w2, &t1, &t2, 0.1))
+        });
+        group.bench_with_input(BenchmarkId::new("reused_including_t3", n_h), &n_h, |b, _| {
+            b.iter(|| {
+                let t3 = second_layer_t3(f, &w2, &t2, 0.1);
+                second_layer_reused(f, &w2, &t1, t3)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reused_amortized_t3", n_h), &n_h, |b, _| {
+            let t3 = second_layer_t3(f, &w2, &t2, 0.1);
+            b.iter(|| second_layer_reused(f, &w2, &t1, t3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

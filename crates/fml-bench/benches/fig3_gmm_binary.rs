@@ -1,0 +1,72 @@
+//! Figure 3: GMM over a synthetic binary join — wall-clock time of M-GMM, S-GMM
+//! and F-GMM while varying (a) the tuple ratio `rr`, (b) the dimension-table
+//! width `d_R`, and (c) the number of components `K`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_bench::{bench_gmm_config, binary_vary_dr, binary_vary_k, binary_vary_rr};
+use fml_core::{Algorithm, GmmTrainer};
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_gmm_binary");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // (a) vary rr at d_R = 15
+    for rr in [20u64, 100] {
+        let w = binary_vary_rr(rr, 15, false);
+        for alg in Algorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("a_rr{}_{}", rr, alg.label()), rr),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        GmmTrainer::new(alg, bench_gmm_config(5))
+                            .fit(&w.db, &w.spec)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+
+    // (b) vary d_R
+    for d_r in [5usize, 30] {
+        let w = binary_vary_dr(d_r, 1_000_000, false);
+        for alg in Algorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("b_dR{}_{}", d_r, alg.label()), d_r),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        GmmTrainer::new(alg, bench_gmm_config(5))
+                            .fit(&w.db, &w.spec)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+
+    // (c) vary K
+    let w = binary_vary_k(false, 42);
+    for k in [2usize, 8] {
+        for alg in Algorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("c_K{}_{}", k, alg.label()), k),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        GmmTrainer::new(alg, bench_gmm_config(k))
+                            .fit(&w.db, &w.spec)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

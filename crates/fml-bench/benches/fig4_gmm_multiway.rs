@@ -1,0 +1,38 @@
+//! Figure 4: GMM over a multi-way (Movies-3way-like) join — M/S/F-GMM while
+//! varying the tuple ratio, the first dimension table's width `d_R1`, and `K`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_bench::{bench_gmm_config, multiway_movies_like};
+use fml_core::{Algorithm, GmmTrainer};
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_gmm_multiway");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, rr, d_r1, k) in [
+        ("a_rr20", 20u64, 4usize, 5usize),
+        ("b_dR1_16", 20, 16, 5),
+        ("c_K8", 20, 4, 8),
+    ] {
+        let w = multiway_movies_like(rr, d_r1, false);
+        for alg in Algorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{}", label, alg.label()), rr),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        GmmTrainer::new(alg, bench_gmm_config(k))
+                            .fit(&w.db, &w.spec)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6: NN over a multi-way (Movies-3way-like) join — M/S/F-NN while varying
+//! the tuple ratio, `d_R1`, and the hidden width `n_h`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_bench::{bench_nn_config, multiway_movies_like};
+use fml_core::{Algorithm, NnTrainer};
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_nn_multiway");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for (label, rr, d_r1, n_h) in [
+        ("a_rr20", 20u64, 4usize, 50usize),
+        ("b_dR1_16", 20, 16, 50),
+        ("c_nh100", 20, 4, 100),
+    ] {
+        let w = multiway_movies_like(rr, d_r1, true);
+        for alg in Algorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{}", label, alg.label()), rr),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        NnTrainer::new(alg, bench_nn_config(n_h))
+                            .fit(&w.db, &w.spec)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

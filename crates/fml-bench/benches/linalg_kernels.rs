@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the linear-algebra kernels that dominate training time:
+//! dense quadratic forms vs blocked quadratic forms with a cached dimension part.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_linalg::block::{BlockPartition, BlockQuadraticForm};
+use fml_linalg::{gemm, Matrix};
+
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_kernels");
+    let d_s = 5usize;
+    for d_r in [5usize, 15, 50, 100] {
+        let d = d_s + d_r;
+        let m = Matrix::from_vec(d, d, (0..d * d).map(|i| (i % 17) as f64 / 17.0).collect());
+        let x: Vec<f64> = (0..d).map(|i| (i % 11) as f64 / 11.0).collect();
+        let partition = BlockPartition::binary(d_s, d_r);
+        let form = BlockQuadraticForm::new(partition.clone(), &m);
+        let pd_s = &x[..d_s];
+        let pd_r = &x[d_s..];
+        // the per-dimension-tuple cache: LR term and cross vector
+        let lr = form.term(1, 1, pd_r, pd_r);
+        let mut w = form.block_times(0, 1, pd_r);
+        let w2 = gemm::matvec_transposed(form.block(1, 0), pd_r);
+        for (a, b) in w.iter_mut().zip(w2.iter()) {
+            *a += b;
+        }
+
+        group.bench_with_input(BenchmarkId::new("dense_quadratic_form", d_r), &d_r, |b, _| {
+            b.iter(|| gemm::quadratic_form_sym(&x, &m))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("factorized_per_tuple_part", d_r),
+            &d_r,
+            |b, _| {
+                b.iter(|| {
+                    form.term(0, 0, pd_s, pd_s)
+                        + pd_s.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>()
+                        + lr
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

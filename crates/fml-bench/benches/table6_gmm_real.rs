@@ -1,0 +1,38 @@
+//! Table VI: GMM training time on the (emulated) real datasets, M/S/F-GMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_bench::{bench_gmm_config, emulated};
+use fml_core::{Algorithm, GmmTrainer};
+use fml_data::EmulatedDataset;
+
+fn table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_gmm_real");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // A representative subset; the `reproduce` binary covers every row.
+    for dataset in [
+        EmulatedDataset::Walmart,
+        EmulatedDataset::Expedia3,
+        EmulatedDataset::Movies3Way,
+    ] {
+        let w = emulated(dataset);
+        for alg in Algorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{}", dataset.name(), alg.label()), 0),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        GmmTrainer::new(alg, bench_gmm_config(5))
+                            .fit(&w.db, &w.spec)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table6);
+criterion_main!(benches);

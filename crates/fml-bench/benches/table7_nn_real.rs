@@ -1,0 +1,33 @@
+//! Table VII: NN training time on the (emulated) sparse real datasets, M/S/F-NN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_bench::{bench_nn_config, emulated};
+use fml_core::{Algorithm, NnTrainer};
+use fml_data::EmulatedDataset;
+
+fn table7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_nn_real");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dataset in EmulatedDataset::nn_table() {
+        let w = emulated(dataset);
+        for alg in Algorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{}", dataset.name(), alg.label()), 0),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        NnTrainer::new(alg, bench_nn_config(50))
+                            .fit(&w.db, &w.spec)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table7);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! High-level trainers parameterized by the algorithm strategy.
+
+use fml_gmm::{FactorizedGmm, GmmConfig, GmmFit, MaterializedGmm, StreamingGmm};
+use fml_nn::{FactorizedNn, MaterializedNn, NnConfig, NnFit, StreamingNn};
+use fml_store::{Database, IoSnapshot, JoinSpec, StoreResult};
+use serde::{Deserialize, Serialize};
+
+/// The three training strategies compared throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Materialize the join result, then train over it (`M-GMM` / `M-NN`).
+    Materialized,
+    /// Join on the fly each pass and train over the denormalized stream
+    /// (`S-GMM` / `S-NN`).
+    Streaming,
+    /// Push the training computation through the join, reusing dimension-side
+    /// work (`F-GMM` / `F-NN`) — the paper's proposal.
+    Factorized,
+}
+
+impl Algorithm {
+    /// All strategies, in the order the paper's plots list them.
+    pub fn all() -> [Algorithm; 3] {
+        [
+            Algorithm::Materialized,
+            Algorithm::Streaming,
+            Algorithm::Factorized,
+        ]
+    }
+
+    /// Short label used in reports (`M`, `S`, `F`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Materialized => "M",
+            Algorithm::Streaming => "S",
+            Algorithm::Factorized => "F",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Algorithm::Materialized => "materialized",
+            Algorithm::Streaming => "streaming",
+            Algorithm::Factorized => "factorized",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Result of a high-level GMM training call: the fit plus the I/O the strategy
+/// incurred.
+#[derive(Debug, Clone)]
+pub struct TrainedGmm {
+    /// The underlying fit (model, log-likelihood trace, timing).
+    pub fit: GmmFit,
+    /// Storage I/O performed during training.
+    pub io: IoSnapshot,
+    /// The strategy that produced it.
+    pub algorithm: Algorithm,
+}
+
+impl TrainedGmm {
+    /// Convenience accessor for the final log-likelihood.
+    pub fn final_log_likelihood(&self) -> f64 {
+        self.fit.final_log_likelihood()
+    }
+}
+
+/// Result of a high-level NN training call.
+#[derive(Debug, Clone)]
+pub struct TrainedNn {
+    /// The underlying fit (network, loss trace, timing).
+    pub fit: NnFit,
+    /// Storage I/O performed during training.
+    pub io: IoSnapshot,
+    /// The strategy that produced it.
+    pub algorithm: Algorithm,
+}
+
+impl TrainedNn {
+    /// Convenience accessor for the final training loss.
+    pub fn final_loss(&self) -> f64 {
+        self.fit.final_loss()
+    }
+}
+
+/// Trains Gaussian Mixture Models over normalized relations.
+#[derive(Debug, Clone)]
+pub struct GmmTrainer {
+    algorithm: Algorithm,
+    config: GmmConfig,
+}
+
+impl GmmTrainer {
+    /// Creates a trainer for the given strategy and configuration.
+    pub fn new(algorithm: Algorithm, config: GmmConfig) -> Self {
+        Self { algorithm, config }
+    }
+
+    /// The configured strategy.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &GmmConfig {
+        &self.config
+    }
+
+    /// Fits a GMM over the join described by `spec`, measuring the I/O delta the
+    /// chosen strategy incurs.
+    pub fn fit(&self, db: &Database, spec: &JoinSpec) -> StoreResult<TrainedGmm> {
+        let before = db.stats().snapshot();
+        let fit = match self.algorithm {
+            Algorithm::Materialized => MaterializedGmm::train(db, spec, &self.config)?,
+            Algorithm::Streaming => StreamingGmm::train(db, spec, &self.config)?,
+            Algorithm::Factorized => FactorizedGmm::train(db, spec, &self.config)?,
+        };
+        let io = db.stats().snapshot().delta_since(&before);
+        Ok(TrainedGmm {
+            fit,
+            io,
+            algorithm: self.algorithm,
+        })
+    }
+}
+
+/// Trains feed-forward neural networks over normalized relations.
+#[derive(Debug, Clone)]
+pub struct NnTrainer {
+    algorithm: Algorithm,
+    config: NnConfig,
+}
+
+impl NnTrainer {
+    /// Creates a trainer for the given strategy and configuration.
+    pub fn new(algorithm: Algorithm, config: NnConfig) -> Self {
+        Self { algorithm, config }
+    }
+
+    /// The configured strategy.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &NnConfig {
+        &self.config
+    }
+
+    /// Fits a network over the join described by `spec`, measuring the I/O delta
+    /// the chosen strategy incurs.
+    pub fn fit(&self, db: &Database, spec: &JoinSpec) -> StoreResult<TrainedNn> {
+        let before = db.stats().snapshot();
+        let fit = match self.algorithm {
+            Algorithm::Materialized => MaterializedNn::train(db, spec, &self.config)?,
+            Algorithm::Streaming => StreamingNn::train(db, spec, &self.config)?,
+            Algorithm::Factorized => FactorizedNn::train(db, spec, &self.config)?,
+        };
+        let io = db.stats().snapshot().delta_since(&before);
+        Ok(TrainedNn {
+            fit,
+            io,
+            algorithm: self.algorithm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_data::SyntheticConfig;
+
+    fn workload(with_target: bool) -> fml_data::Workload {
+        SyntheticConfig {
+            n_s: 300,
+            n_r: 12,
+            d_s: 2,
+            d_r: 4,
+            k: 2,
+            noise_std: 0.6,
+            with_target,
+            seed: 5,
+        }
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn algorithm_labels_and_display() {
+        assert_eq!(Algorithm::all().len(), 3);
+        assert_eq!(Algorithm::Factorized.label(), "F");
+        assert_eq!(Algorithm::Materialized.to_string(), "materialized");
+    }
+
+    #[test]
+    fn gmm_trainer_runs_all_strategies_and_agrees() {
+        let w = workload(false);
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 3,
+            ..GmmConfig::default()
+        };
+        let results: Vec<TrainedGmm> = Algorithm::all()
+            .into_iter()
+            .map(|a| GmmTrainer::new(a, config.clone()).fit(&w.db, &w.spec).unwrap())
+            .collect();
+        for r in &results[1..] {
+            assert!(results[0].fit.model.max_param_diff(&r.fit.model) < 1e-6);
+        }
+        // materialized writes pages; the others do not
+        assert!(results[0].io.pages_written > 0);
+        assert_eq!(results[1].io.pages_written, 0);
+        assert_eq!(results[2].io.pages_written, 0);
+    }
+
+    #[test]
+    fn nn_trainer_runs_all_strategies_and_agrees() {
+        let w = workload(true);
+        let config = NnConfig {
+            hidden: vec![5],
+            epochs: 3,
+            ..NnConfig::default()
+        };
+        let results: Vec<TrainedNn> = Algorithm::all()
+            .into_iter()
+            .map(|a| NnTrainer::new(a, config.clone()).fit(&w.db, &w.spec).unwrap())
+            .collect();
+        for r in &results[1..] {
+            assert!(results[0].fit.model.max_param_diff(&r.fit.model) < 1e-9);
+        }
+        assert!(results[0].final_loss().is_finite());
+    }
+
+    #[test]
+    fn trainer_accessors() {
+        let t = GmmTrainer::new(Algorithm::Streaming, GmmConfig::with_k(4));
+        assert_eq!(t.algorithm(), Algorithm::Streaming);
+        assert_eq!(t.config().k, 4);
+        let t = NnTrainer::new(Algorithm::Factorized, NnConfig::with_hidden(32));
+        assert_eq!(t.algorithm(), Algorithm::Factorized);
+        assert_eq!(t.config().hidden, vec![32]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # fml-core
+//!
+//! The public façade of the `fml` workspace: train nonlinear models (Gaussian
+//! Mixture Models and feed-forward Neural Networks) **directly over normalized
+//! relational data**, choosing between the three algorithm strategies studied in
+//! the paper — materialize, stream, or factorize — with one enum.
+//!
+//! ```no_run
+//! use fml_core::{Algorithm, GmmTrainer};
+//! use fml_data::SyntheticConfig;
+//! use fml_gmm::GmmConfig;
+//!
+//! let workload = SyntheticConfig::gmm_default().generate().unwrap();
+//! let fit = GmmTrainer::new(Algorithm::Factorized, GmmConfig::with_k(5))
+//!     .fit(&workload.db, &workload.spec)
+//!     .unwrap();
+//! println!("log-likelihood: {}", fit.final_log_likelihood());
+//! ```
+//!
+//! Besides the trainers, the crate exposes the paper's analytic cost models
+//! ([`cost`]) and small reporting helpers ([`report`]) used by the benchmark
+//! harness that regenerates the paper's tables and figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cost;
+pub mod report;
+
+pub use api::{Algorithm, GmmTrainer, NnTrainer, TrainedGmm, TrainedNn};
+pub use cost::{GmmIoCostModel, SavingRateModel};
+
+// Re-export the building blocks so downstream users need a single dependency.
+pub use fml_data;
+pub use fml_gmm;
+pub use fml_linalg;
+pub use fml_nn;
+pub use fml_store;

@@ -1,0 +1,184 @@
+//! End-to-end integration tests across the whole workspace: data generation →
+//! storage → join → training with all three strategies → model agreement and I/O
+//! accounting, for both model families and both join shapes.
+
+use fml_core::{Algorithm, GmmIoCostModel, GmmTrainer, NnTrainer, SavingRateModel};
+use fml_data::multiway::{DimSpec, MultiwayConfig};
+use fml_data::{EmulatedDataset, SyntheticConfig};
+use fml_gmm::GmmConfig;
+use fml_nn::NnConfig;
+
+#[test]
+fn gmm_binary_end_to_end_all_strategies_agree() {
+    let w = SyntheticConfig {
+        n_s: 600,
+        n_r: 20,
+        d_s: 3,
+        d_r: 6,
+        k: 3,
+        noise_std: 0.8,
+        with_target: false,
+        seed: 71,
+    }
+    .generate()
+    .unwrap();
+    let config = GmmConfig { k: 3, max_iters: 4, ..GmmConfig::default() };
+    let mut fits = Vec::new();
+    for alg in Algorithm::all() {
+        fits.push(GmmTrainer::new(alg, config.clone()).fit(&w.db, &w.spec).unwrap());
+    }
+    for f in &fits[1..] {
+        assert!(fits[0].fit.model.max_param_diff(&f.fit.model) < 1e-6);
+    }
+    // weights form a probability distribution
+    let sum: f64 = fits[2].fit.model.weights.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn nn_multiway_end_to_end_all_strategies_agree() {
+    let w = MultiwayConfig {
+        n_s: 400,
+        d_s: 2,
+        dims: vec![DimSpec::new(16, 3), DimSpec::new(8, 5)],
+        k: 2,
+        noise_std: 0.6,
+        with_target: true,
+        seed: 72,
+    }
+    .generate()
+    .unwrap();
+    let config = NnConfig { hidden: vec![8], epochs: 4, ..NnConfig::default() };
+    let mut fits = Vec::new();
+    for alg in Algorithm::all() {
+        fits.push(NnTrainer::new(alg, config.clone()).fit(&w.db, &w.spec).unwrap());
+    }
+    for f in &fits[1..] {
+        assert!(fits[0].fit.model.max_param_diff(&f.fit.model) < 1e-9);
+    }
+}
+
+#[test]
+fn emulated_dataset_trains_with_factorized_gmm() {
+    let w = EmulatedDataset::Walmart.generate(0.003, 9).unwrap();
+    let config = GmmConfig { k: 3, max_iters: 2, ..GmmConfig::default() };
+    let fit = GmmTrainer::new(Algorithm::Factorized, config)
+        .fit(&w.db, &w.spec)
+        .unwrap();
+    assert_eq!(fit.fit.model.dim(), 12); // 3 + 9 features
+    assert!(fit.final_log_likelihood().is_finite());
+}
+
+#[test]
+fn emulated_sparse_dataset_trains_with_factorized_nn() {
+    let w = EmulatedDataset::MoviesSparse.generate(0.0008, 10).unwrap();
+    let config = NnConfig { hidden: vec![10], epochs: 2, ..NnConfig::default() };
+    let fit = NnTrainer::new(Algorithm::Factorized, config)
+        .fit(&w.db, &w.spec)
+        .unwrap();
+    assert_eq!(fit.fit.model.input_dim(), 22); // 1 + 21
+    assert!(fit.final_loss().is_finite());
+}
+
+#[test]
+fn measured_io_is_bracketed_by_the_cost_model() {
+    // The analytic model of Section V-A should match the measured page reads of
+    // the streaming strategy exactly (same block-nested-loop plan), and predict
+    // that materialization does more total I/O for a reasonable block size.
+    let w = SyntheticConfig {
+        n_s: 4000,
+        n_r: 40,
+        d_s: 3,
+        d_r: 10,
+        k: 2,
+        noise_std: 0.8,
+        with_target: false,
+        seed: 73,
+    }
+    .generate()
+    .unwrap();
+    let iters = 2usize;
+    let config = GmmConfig { k: 2, max_iters: iters, tol: 0.0, ..GmmConfig::default() };
+
+    let s_pages = w.spec.fact_relation(&w.db).unwrap().lock().num_pages() as u64;
+    let r_pages = w.spec.dimension_relations(&w.db).unwrap()[0].lock().num_pages() as u64;
+
+    w.db.stats().reset();
+    let streaming = GmmTrainer::new(Algorithm::Streaming, config.clone())
+        .fit(&w.db, &w.spec)
+        .unwrap();
+
+    w.db.stats().reset();
+    let materialized = GmmTrainer::new(Algorithm::Materialized, config.clone())
+        .fit(&w.db, &w.spec)
+        .unwrap();
+    let t_pages = w
+        .db
+        .relation(&fml_gmm::MaterializedGmm::temp_table_name(&w.spec))
+        .unwrap()
+        .lock()
+        .num_pages() as u64;
+
+    let model = GmmIoCostModel {
+        s_pages,
+        r_pages,
+        t_pages,
+        block_pages: config.block_pages as u64,
+        iterations: iters as u64,
+    };
+    // The init pass reads R and S once more than the model's 3·iter passes.
+    let init_reads = s_pages + r_pages;
+    assert_eq!(
+        streaming.io.pages_read,
+        model.streaming_io() + init_reads,
+        "streaming I/O does not match the analytic model"
+    );
+    assert_eq!(
+        materialized.io.total_page_io(),
+        model.materialized_io() + init_reads,
+        "materialized I/O does not match the analytic model (reads + writes)"
+    );
+    assert!(t_pages > 0);
+    assert_eq!(model.streaming_wins(), streaming.io.total_page_io() < materialized.io.total_page_io());
+}
+
+#[test]
+fn saving_rate_model_predicts_factorized_advantage_direction() {
+    // Wider dimension tables and higher tuple ratios must increase the predicted
+    // saving — the trend the runtime experiments (Figures 3 and 5) display.
+    let narrow = SavingRateModel::unit_costs(100_000, 1_000, 5, 5);
+    let wide = SavingRateModel::unit_costs(100_000, 1_000, 5, 15);
+    let wider = SavingRateModel::unit_costs(100_000, 1_000, 5, 40);
+    assert!(narrow.saving_rate() < wide.saving_rate());
+    assert!(wide.saving_rate() < wider.saving_rate());
+    let low_rr = SavingRateModel::unit_costs(10_000, 1_000, 5, 15);
+    assert!(low_rr.saving_rate() < wide.saving_rate());
+}
+
+#[test]
+fn factorized_gmm_clusters_match_generating_structure() {
+    // Quality check: with well separated generating clusters, the factorized GMM
+    // recovers cluster structure (most tuples assigned to a dominant component
+    // per generating cluster).
+    let w = SyntheticConfig {
+        n_s: 900,
+        n_r: 30,
+        d_s: 2,
+        d_r: 3,
+        k: 3,
+        noise_std: 0.5,
+        with_target: false,
+        seed: 74,
+    }
+    .generate()
+    .unwrap();
+    let config = GmmConfig { k: 3, max_iters: 12, ..GmmConfig::default() };
+    let trained = GmmTrainer::new(Algorithm::Factorized, config)
+        .fit(&w.db, &w.spec)
+        .unwrap();
+    // all three components should carry non-trivial weight
+    assert!(trained.fit.model.weights.iter().all(|&p| p > 0.05), "weights {:?}", trained.fit.model.weights);
+    // log-likelihood improved over training
+    let ll = &trained.fit.log_likelihood;
+    assert!(ll.last().unwrap() > ll.first().unwrap());
+}

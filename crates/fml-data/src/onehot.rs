@@ -1,0 +1,159 @@
+//! One-hot encoding utilities.
+//!
+//! The paper's NN experiments use "Sparse" variants of the real datasets in which
+//! categorical attributes are one-hot encoded, inflating `d_S` and `d_R` (e.g.
+//! Walmart goes from 3/9 dense features to 126/175 sparse ones) and thereby the
+//! redundancy that the factorized algorithms exploit.  [`OneHotSpec`] describes a
+//! set of categorical columns and expands category indices into 0/1 feature blocks.
+
+/// One-hot encodes a single categorical value into a block of `cardinality`
+/// indicator features.
+///
+/// # Panics
+/// Panics when `index >= cardinality`.
+pub fn one_hot(index: usize, cardinality: usize) -> Vec<f64> {
+    assert!(
+        index < cardinality,
+        "one_hot: index {index} out of range for cardinality {cardinality}"
+    );
+    let mut v = vec![0.0; cardinality];
+    v[index] = 1.0;
+    v
+}
+
+/// Describes a tuple of categorical columns and their cardinalities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneHotSpec {
+    cardinalities: Vec<usize>,
+}
+
+impl OneHotSpec {
+    /// Creates a spec from per-column cardinalities.
+    ///
+    /// # Panics
+    /// Panics when any cardinality is zero.
+    pub fn new(cardinalities: Vec<usize>) -> Self {
+        assert!(
+            cardinalities.iter().all(|&c| c > 0),
+            "OneHotSpec: cardinalities must be positive"
+        );
+        Self { cardinalities }
+    }
+
+    /// Builds a spec whose encoded width is exactly `width`, spreading categories
+    /// as evenly as possible over `columns` categorical columns.  Used by the
+    /// emulated sparse datasets, whose published dimensionalities are totals.
+    pub fn with_total_width(width: usize, columns: usize) -> Self {
+        assert!(columns > 0 && width >= columns, "width must be >= columns >= 1");
+        let base = width / columns;
+        let extra = width % columns;
+        let cardinalities = (0..columns)
+            .map(|i| base + usize::from(i < extra))
+            .collect();
+        Self::new(cardinalities)
+    }
+
+    /// Number of categorical columns.
+    pub fn num_columns(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Cardinality of column `i`.
+    pub fn cardinality(&self, i: usize) -> usize {
+        self.cardinalities[i]
+    }
+
+    /// Total width of the encoded feature vector.
+    pub fn encoded_width(&self) -> usize {
+        self.cardinalities.iter().sum()
+    }
+
+    /// Encodes one tuple of category indices into a dense 0/1 vector.
+    ///
+    /// # Panics
+    /// Panics when the number of values differs from the number of columns or any
+    /// index is out of range.
+    pub fn encode(&self, values: &[usize]) -> Vec<f64> {
+        assert_eq!(
+            values.len(),
+            self.cardinalities.len(),
+            "encode: expected {} categorical values, got {}",
+            self.cardinalities.len(),
+            values.len()
+        );
+        let mut out = Vec::with_capacity(self.encoded_width());
+        for (v, c) in values.iter().zip(self.cardinalities.iter()) {
+            out.extend(one_hot(*v, *c));
+        }
+        out
+    }
+
+    /// Decodes an encoded vector back into category indices (inverse of
+    /// [`encode`](Self::encode); used in tests).
+    pub fn decode(&self, encoded: &[f64]) -> Vec<usize> {
+        assert_eq!(encoded.len(), self.encoded_width(), "decode: wrong width");
+        let mut out = Vec::with_capacity(self.num_columns());
+        let mut offset = 0;
+        for &c in &self.cardinalities {
+            let block = &encoded[offset..offset + c];
+            let idx = block
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            out.push(idx);
+            offset += c;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_basic() {
+        assert_eq!(one_hot(2, 4), vec![0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(one_hot(0, 1), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_out_of_range() {
+        one_hot(3, 3);
+    }
+
+    #[test]
+    fn spec_encode_decode_roundtrip() {
+        let spec = OneHotSpec::new(vec![3, 2, 4]);
+        assert_eq!(spec.encoded_width(), 9);
+        assert_eq!(spec.num_columns(), 3);
+        assert_eq!(spec.cardinality(2), 4);
+        let encoded = spec.encode(&[1, 0, 3]);
+        assert_eq!(encoded.len(), 9);
+        assert_eq!(encoded.iter().sum::<f64>(), 3.0);
+        assert_eq!(spec.decode(&encoded), vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn with_total_width_splits_evenly() {
+        let spec = OneHotSpec::with_total_width(10, 3);
+        assert_eq!(spec.encoded_width(), 10);
+        assert_eq!(spec.num_columns(), 3);
+        // 4 + 3 + 3
+        assert_eq!(spec.cardinality(0), 4);
+        assert_eq!(spec.cardinality(1), 3);
+        assert_eq!(spec.cardinality(2), 3);
+
+        let exact = OneHotSpec::with_total_width(126, 3);
+        assert_eq!(exact.encoded_width(), 126);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 categorical values")]
+    fn encode_wrong_arity_panics() {
+        OneHotSpec::new(vec![2, 2]).encode(&[0]);
+    }
+}

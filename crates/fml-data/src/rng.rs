@@ -1,0 +1,166 @@
+//! Deterministic random sampling helpers.
+//!
+//! Everything in this crate draws from a seeded [`rand::rngs::StdRng`] so that a
+//! dataset is fully determined by its configuration (including the seed), which in
+//! turn makes the "all three algorithm variants learn the same model" integration
+//! tests meaningful.
+//!
+//! Normal variates are produced with the Box–Muller transform rather than pulling
+//! an extra distribution crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a seeded RNG.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A normal draw with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Fills a vector with independent normal draws centered on `means` with common
+/// standard deviation `std_dev`.
+pub fn normal_vector<R: Rng + ?Sized>(rng: &mut R, means: &[f64], std_dev: f64) -> Vec<f64> {
+    means.iter().map(|&m| normal(rng, m, std_dev)).collect()
+}
+
+/// Samples an index according to (unnormalized, non-negative) weights.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "sample_weighted: empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "sample_weighted: weights must sum to a positive value");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Generates `k` well separated cluster centers of dimension `d`.
+///
+/// Centers are placed on a jittered grid with spacing `separation`, which keeps
+/// synthetic GMM workloads well-posed for any `k` and `d`.
+pub fn cluster_centers<R: Rng + ?Sized>(
+    rng: &mut R,
+    k: usize,
+    d: usize,
+    separation: f64,
+) -> Vec<Vec<f64>> {
+    (0..k)
+        .map(|c| {
+            (0..d)
+                .map(|j| {
+                    let base = separation * ((c + 1) as f64) * if j % 2 == 0 { 1.0 } else { -1.0 };
+                    base + normal(rng, 0.0, separation * 0.05)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Fisher–Yates shuffle of a slice of keys (used to permute `R` keys between SGD
+/// epochs, as Section VI prescribes).
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = seeded(1);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        let v = normal_vector(&mut rng, &[1.0, 2.0, 3.0], 0.0);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = seeded(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_weighted(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_sampling_rejects_zero_weights() {
+        sample_weighted(&mut seeded(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cluster_centers_are_separated() {
+        let mut rng = seeded(9);
+        let centers = cluster_centers(&mut rng, 4, 6, 10.0);
+        assert_eq!(centers.len(), 4);
+        assert!(centers.iter().all(|c| c.len() == 6));
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let dist: f64 = centers[i]
+                    .iter()
+                    .zip(&centers[j])
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(dist > 1.0, "centers {i} and {j} too close: {dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded(11);
+        let mut items: Vec<u64> = (0..100).collect();
+        shuffle(&mut rng, &mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u64>>());
+        assert_ne!(items, (0..100).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,392 @@
+//! The shared EM driver for "dense" tuple sources (Algorithm 1 of the paper).
+//!
+//! `M-GMM` and `S-GMM` differ only in *where* the denormalized feature vectors come
+//! from (a materialized table vs an on-the-fly join); the EM computation itself is
+//! identical.  [`train_dense`] implements that computation once, against the
+//! [`DensePassSource`] abstraction: a data source that can replay the same sequence
+//! of joined feature vectors once per pass.
+//!
+//! Following Algorithm 1, every EM iteration makes **three passes** over the data:
+//!
+//! 1. **E-step** — compute and store the responsibilities `γ_k^{(n)}` (and the
+//!    iteration's log-likelihood);
+//! 2. **M-step (means)** — accumulate `Σ_n γ_k^{(n)} x^{(n)}` and update `µ_k`;
+//! 3. **M-step (covariances)** — accumulate
+//!    `Σ_n γ_k^{(n)} (x^{(n)}−µ_k)(x^{(n)}−µ_k)ᵀ` around the *new* means and
+//!    update `Σ_k`, then update `π_k = N_k / N`.
+
+use crate::init::GmmInit;
+use crate::model::{GmmModel, Precomputed};
+use crate::GmmConfig;
+use fml_linalg::{vector, Matrix, Vector};
+use fml_store::StoreResult;
+use std::time::{Duration, Instant};
+
+/// A source of denormalized (joined) feature vectors that can be scanned once per
+/// EM pass.  Implementations: the materialized table `T` (`M-GMM`) and the
+/// on-the-fly join (`S-GMM`).
+pub trait DensePassSource {
+    /// Invokes `f` once per joined feature vector, in a deterministic order.
+    fn for_each(&mut self, f: &mut dyn FnMut(&[f64])) -> StoreResult<()>;
+    /// Number of tuples produced per pass (`N`).
+    fn num_tuples(&self) -> u64;
+    /// Dimensionality `d` of the joined feature vectors.
+    fn dim(&self) -> usize;
+}
+
+/// Options controlling the EM loop (a view over [`GmmConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmOptions {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Early-stopping tolerance on the log-likelihood change (0 = disabled).
+    pub tol: f64,
+    /// Covariance regularization ridge.
+    pub ridge: f64,
+}
+
+impl From<&GmmConfig> for EmOptions {
+    fn from(c: &GmmConfig) -> Self {
+        Self {
+            max_iters: c.max_iters,
+            tol: c.tol,
+            ridge: c.ridge,
+        }
+    }
+}
+
+/// The result of fitting a GMM.
+#[derive(Debug, Clone)]
+pub struct GmmFit {
+    /// The trained model.
+    pub model: GmmModel,
+    /// Number of EM iterations actually performed.
+    pub iterations: usize,
+    /// Total data log-likelihood after each iteration.
+    pub log_likelihood: Vec<f64>,
+    /// Number of training tuples `N`.
+    pub n_tuples: u64,
+    /// Wall-clock training time (excludes data generation, includes any join or
+    /// materialization work the algorithm variant performs).
+    pub elapsed: Duration,
+}
+
+impl GmmFit {
+    /// Final log-likelihood (NaN if no iterations ran).
+    pub fn final_log_likelihood(&self) -> f64 {
+        self.log_likelihood.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// Checks the early-stopping criterion used by every variant.
+pub fn converged(prev_ll: Option<f64>, ll: f64, tol: f64) -> bool {
+    match (prev_ll, tol) {
+        (_, t) if t <= 0.0 => false,
+        (None, _) => false,
+        (Some(prev), t) => (ll - prev).abs() < t,
+    }
+}
+
+/// Responsibility mass below which a component is considered "empty"; its
+/// covariance is reset to the identity so every variant treats the degenerate
+/// case identically instead of dividing near-zero scatter by near-zero mass.
+pub const EMPTY_COMPONENT_MASS: f64 = 1e-6;
+
+/// Finalizes the M-step: turns accumulated sufficient statistics into model
+/// parameters.  Shared by the dense and factorized paths so the final arithmetic
+/// (division order, symmetrization) is literally the same code.
+pub fn finalize_m_step(
+    nk: &[f64],
+    mean_sums: Vec<Vector>,
+    mut scatter: Vec<Matrix>,
+    n_total: u64,
+    ridge: f64,
+) -> GmmModel {
+    let k = nk.len();
+    let d = mean_sums[0].len();
+    let mut weights = Vec::with_capacity(k);
+    let mut means = Vec::with_capacity(k);
+    for c in 0..k {
+        if nk[c] < EMPTY_COMPONENT_MASS {
+            // Empty component: deterministic reset (mean from whatever tiny mass
+            // it has, identity covariance, ~zero weight).
+            let mut m = mean_sums[c].clone();
+            m.scale(1.0 / nk[c].max(EMPTY_COMPONENT_MASS));
+            means.push(m);
+            scatter[c] = Matrix::identity(d);
+            weights.push(nk[c] / n_total as f64);
+            continue;
+        }
+        let mut m = mean_sums[c].clone();
+        m.scale(1.0 / nk[c]);
+        means.push(m);
+        scatter[c].scale(1.0 / nk[c]);
+        scatter[c].symmetrize();
+        // Deterministic regularization applied by every variant: keeps the
+        // covariance comfortably SPD so the next E-step never needs the
+        // escalating (and rounding-sensitive) repair path.
+        scatter[c].add_diag(ridge);
+        weights.push(nk[c] / n_total as f64);
+    }
+    GmmModel::new(weights, means, scatter)
+}
+
+/// Computes the new means from the mean sums (needed before the covariance pass).
+pub fn means_from_sums(nk: &[f64], mean_sums: &[Vector]) -> Vec<Vector> {
+    nk.iter()
+        .zip(mean_sums.iter())
+        .map(|(n, s)| {
+            let mut m = s.clone();
+            m.scale(1.0 / if *n > 0.0 { *n } else { 1.0 });
+            m
+        })
+        .collect()
+}
+
+/// Trains a GMM with the three-pass EM of Algorithm 1 over a dense tuple source,
+/// initializing with the data-independent [`GmmInit::initial_model`].
+pub fn train_dense(
+    source: &mut dyn DensePassSource,
+    config: &GmmConfig,
+) -> StoreResult<GmmFit> {
+    let initial =
+        GmmInit::new(config.seed, config.init_spread).initial_model(config.k, source.dim());
+    train_dense_from(source, config, initial)
+}
+
+/// Trains a GMM with the three-pass EM of Algorithm 1 over a dense tuple source,
+/// starting from an explicit initial model (shared by every variant so the
+/// model-equivalence guarantee holds).
+pub fn train_dense_from(
+    source: &mut dyn DensePassSource,
+    config: &GmmConfig,
+    initial: GmmModel,
+) -> StoreResult<GmmFit> {
+    let start = Instant::now();
+    let opts = EmOptions::from(config);
+    let d = source.dim();
+    let n = source.num_tuples();
+    let k = config.k;
+    assert_eq!(initial.dim(), d, "initial model dimension mismatch");
+    assert_eq!(initial.k(), k, "initial model component count mismatch");
+    let mut model = initial;
+
+    let mut log_likelihood = Vec::with_capacity(opts.max_iters);
+    let mut iterations = 0;
+    let mut gammas: Vec<f64> = Vec::with_capacity((n as usize) * k);
+
+    for _iter in 0..opts.max_iters {
+        let pre = Precomputed::from_model(&model, opts.ridge);
+
+        // ---- Pass 1: E-step — responsibilities + log-likelihood ----
+        gammas.clear();
+        let mut nk = vec![0.0; k];
+        let mut ll = 0.0;
+        let mut log_dens = vec![0.0; k];
+        let mut centered = vec![0.0; d];
+        source.for_each(&mut |x: &[f64]| {
+            for c in 0..k {
+                vector::sub_into(x, pre.means[c].as_slice(), &mut centered);
+                let quad = fml_linalg::gemm::quadratic_form_sym(&centered, &pre.inverses[c]);
+                log_dens[c] = pre.log_norm[c] - 0.5 * quad;
+            }
+            let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
+            for c in 0..k {
+                nk[c] += resp[c];
+            }
+            ll += tuple_ll;
+            gammas.extend_from_slice(&resp);
+        })?;
+
+        // ---- Pass 2: M-step — means ----
+        let mut mean_sums = vec![Vector::zeros(d); k];
+        let mut cursor = 0usize;
+        source.for_each(&mut |x: &[f64]| {
+            let g = &gammas[cursor..cursor + k];
+            for c in 0..k {
+                vector::axpy(g[c], x, mean_sums[c].as_mut_slice());
+            }
+            cursor += k;
+        })?;
+        let new_means = means_from_sums(&nk, &mean_sums);
+
+        // ---- Pass 3: M-step — covariances around the new means ----
+        let mut scatter = vec![Matrix::zeros(d, d); k];
+        let mut cursor = 0usize;
+        source.for_each(&mut |x: &[f64]| {
+            let g = &gammas[cursor..cursor + k];
+            for c in 0..k {
+                vector::sub_into(x, new_means[c].as_slice(), &mut centered);
+                fml_linalg::gemm::ger(g[c], &centered, &centered, &mut scatter[c]);
+            }
+            cursor += k;
+        })?;
+
+        model = finalize_m_step(&nk, mean_sums, scatter, n, opts.ridge);
+        iterations += 1;
+
+        let prev = log_likelihood.last().copied();
+        log_likelihood.push(ll);
+        if converged(prev, ll, opts.tol) {
+            break;
+        }
+    }
+
+    Ok(GmmFit {
+        model,
+        iterations,
+        log_likelihood,
+        n_tuples: n,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// An in-memory dense source, useful for tests and for training over data that is
+/// already denormalized outside the storage engine.
+pub struct VecSource {
+    rows: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl VecSource {
+    /// Creates a source over in-memory rows.
+    pub fn new(rows: Vec<Vec<f64>>) -> Self {
+        let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "VecSource: ragged rows"
+        );
+        Self { rows, dim }
+    }
+}
+
+impl DensePassSource for VecSource {
+    fn for_each(&mut self, f: &mut dyn FnMut(&[f64])) -> StoreResult<()> {
+        for r in &self.rows {
+            f(r);
+        }
+        Ok(())
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_rows(n_per: usize) -> Vec<Vec<f64>> {
+        // Deterministic, well separated pseudo-clusters around (0,0) and (10,10),
+        // with a cheap hash-based jitter so the within-cluster covariance has
+        // full rank.
+        let jitter = |i: usize, salt: u64| {
+            let h = (i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 1000;
+            (h as f64) / 1000.0 - 0.5
+        };
+        let mut rows = Vec::new();
+        for i in 0..n_per {
+            let t = (i as f64) / (n_per as f64);
+            rows.push(vec![0.3 * (t - 0.5) + jitter(i, 1), 0.2 * (0.5 - t) + jitter(i, 7)]);
+            rows.push(vec![
+                10.0 + 0.3 * (t - 0.5) + jitter(i, 13),
+                10.0 + 0.2 * (t - 0.5) + jitter(i, 29),
+            ]);
+        }
+        rows
+    }
+
+    #[test]
+    fn em_separates_two_blobs() {
+        let rows = two_blob_rows(200);
+        let mut source = VecSource::new(rows);
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 15,
+            ..GmmConfig::default()
+        };
+        let fit = train_dense(&mut source, &config).unwrap();
+        assert_eq!(fit.iterations, 15);
+        assert_eq!(fit.n_tuples, 400);
+        // one mean near (0,0), one near (10,10)
+        let mut m: Vec<f64> = fit.model.means.iter().map(|m| m[0] + m[1]).collect();
+        m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(m[0].abs() < 1.0, "low mean {:?}", fit.model.means);
+        assert!((m[1] - 20.0).abs() < 1.0, "high mean {:?}", fit.model.means);
+        // weights roughly 0.5 / 0.5
+        assert!((fit.model.weights[0] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_nondecreasing() {
+        let rows = two_blob_rows(100);
+        let mut source = VecSource::new(rows);
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 12,
+            ..GmmConfig::default()
+        };
+        let fit = train_dense(&mut source, &config).unwrap();
+        for w in fit.log_likelihood.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "log-likelihood decreased: {:?}",
+                fit.log_likelihood
+            );
+        }
+        assert!(fit.final_log_likelihood().is_finite());
+    }
+
+    #[test]
+    fn early_stopping_respects_tolerance() {
+        let rows = two_blob_rows(100);
+        let mut source = VecSource::new(rows);
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 50,
+            tol: 1e-3,
+            ..GmmConfig::default()
+        };
+        let fit = train_dense(&mut source, &config).unwrap();
+        assert!(fit.iterations < 50, "should converge early, ran {}", fit.iterations);
+    }
+
+    #[test]
+    fn converged_helper() {
+        assert!(!converged(None, 1.0, 1e-3));
+        assert!(!converged(Some(0.0), 1.0, 0.0));
+        assert!(converged(Some(1.0), 1.0000001, 1e-3));
+        assert!(!converged(Some(0.0), 1.0, 1e-3));
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_covariances_are_spd() {
+        let rows = two_blob_rows(150);
+        let mut source = VecSource::new(rows);
+        let config = GmmConfig {
+            k: 3,
+            max_iters: 8,
+            ..GmmConfig::default()
+        };
+        let fit = train_dense(&mut source, &config).unwrap();
+        let sum: f64 = fit.model.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for cov in &fit.model.covariances {
+            // after the ridge-protected precompute the covariances may need
+            // regularization, but they must at least be symmetric and finite
+            assert!(fml_linalg::sym::is_symmetric(cov, 1e-9));
+            assert!(cov.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn vec_source_rejects_ragged_rows() {
+        VecSource::new(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}

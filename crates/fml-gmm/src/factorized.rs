@@ -1,0 +1,331 @@
+//! `F-GMM` for binary joins: EM pushed through the join (Section V-B).
+//!
+//! The computation of every EM quantity is decomposed along the relation boundary
+//! `[d_S | d_R]` so that the parts depending only on the dimension tuple `x_R` are
+//! computed **once per dimension tuple** and reused for all `n_S/n_R` matching fact
+//! tuples:
+//!
+//! * **E-step** (Equations 7–12): the Mahalanobis form splits into
+//!   `UL + UR + LL + LR`.  Per dimension tuple we compute the centered vector
+//!   `PD_R`, the scalar `LR = PD_Rᵀ I_RR PD_R` and the cross-term vector
+//!   `w = I_SR·PD_R + I_RSᵀ·PD_R`; each matching fact tuple then only needs the
+//!   `d_S×d_S` form `UL` plus a `d_S`-length dot product with `w`.
+//! * **M-step means** (Equation 13): `Σ γ x` splits into a fact part (accumulated
+//!   per tuple) and a dimension part (`(Σ_group γ)·x_R`, one AXPY per group).
+//! * **M-step covariances** (Equations 14–18): the scatter splits into the four
+//!   blocks `UL / UR / LL / LR`; the `R`-only block is added once per group with
+//!   the group's responsibility mass, and the cross blocks use the group-level
+//!   weighted sum of `PD_S`.
+//!
+//! The decomposition is exact — no approximation — so the resulting model matches
+//! `M-GMM` / `S-GMM` up to floating-point rounding.
+
+use crate::em::{converged, finalize_m_step, means_from_sums, GmmFit};
+use crate::init::GmmInit;
+use crate::model::Precomputed;
+use crate::multiway::FactorizedMultiwayGmm;
+use crate::GmmConfig;
+use fml_linalg::block::{BlockPartition, BlockScatter};
+use fml_linalg::{gemm, vector, Matrix, Vector};
+use fml_store::factorized_scan::GroupScan;
+use fml_store::{Database, JoinSpec, StoreResult};
+use std::time::Instant;
+
+/// The factorized training strategy (the paper's proposal).
+pub struct FactorizedGmm;
+
+impl FactorizedGmm {
+    /// Trains a GMM over the normalized relations without materializing the join
+    /// and without repeating dimension-side computation.
+    ///
+    /// Multi-way joins are dispatched to [`FactorizedMultiwayGmm`].
+    pub fn train(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+        spec.validate(db)?;
+        if spec.num_dimensions() > 1 {
+            return FactorizedMultiwayGmm::train(db, spec, config);
+        }
+        Self::train_binary(db, spec, config)
+    }
+
+    fn train_binary(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+        let start = Instant::now();
+        let sizes = spec.feature_partition(db)?;
+        let partition = BlockPartition::new(&sizes);
+        let d = partition.total_dim();
+        let d_s = sizes[0];
+        let n = spec.fact_relation(db)?.lock().num_tuples();
+        let k = config.k;
+
+        let mut model =
+            GmmInit::new(config.seed, config.init_spread).from_relations(db, spec, k)?;
+        assert_eq!(model.dim(), d, "initial model dimension mismatch");
+        let mut log_likelihood = Vec::with_capacity(config.max_iters);
+        let mut iterations = 0;
+        let mut gammas: Vec<f64> = Vec::with_capacity(n as usize * k);
+
+        for _iter in 0..config.max_iters {
+            let pre = Precomputed::from_model(&model, config.ridge);
+            let forms = pre.block_forms(&partition);
+            let means_split = pre.split_means(&partition);
+
+            // ---- Pass 1: E-step ----
+            gammas.clear();
+            let mut nk = vec![0.0; k];
+            let mut ll = 0.0;
+            let mut log_dens = vec![0.0; k];
+            let mut pd_s = vec![0.0; d_s];
+            let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
+            for block in scan {
+                for group in block? {
+                    // Reused per dimension tuple: LR term and the combined
+                    // cross-term vector w = I_SR·PD_R + I_RSᵀ·PD_R.
+                    let mut lr_terms = vec![0.0; k];
+                    let mut cross_w: Vec<Vec<f64>> = Vec::with_capacity(k);
+                    for c in 0..k {
+                        let pd_r: Vec<f64> = group
+                            .r_tuple
+                            .features
+                            .iter()
+                            .zip(means_split[c][1].iter())
+                            .map(|(x, m)| x - m)
+                            .collect();
+                        lr_terms[c] = forms[c].term(1, 1, &pd_r, &pd_r);
+                        let mut w = forms[c].block_times(0, 1, &pd_r);
+                        let w2 = gemm::matvec_transposed(forms[c].block(1, 0), &pd_r);
+                        vector::axpy(1.0, &w2, &mut w);
+                        cross_w.push(w);
+                    }
+                    for s_tuple in &group.s_tuples {
+                        for c in 0..k {
+                            vector::sub_into(&s_tuple.features, &means_split[c][0], &mut pd_s);
+                            let quad = forms[c].term(0, 0, &pd_s, &pd_s)
+                                + vector::dot(&pd_s, &cross_w[c])
+                                + lr_terms[c];
+                            log_dens[c] = pre.log_norm[c] - 0.5 * quad;
+                        }
+                        let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
+                        for c in 0..k {
+                            nk[c] += resp[c];
+                        }
+                        ll += tuple_ll;
+                        gammas.extend_from_slice(&resp);
+                    }
+                }
+            }
+
+            // ---- Pass 2: M-step, means (Equation 13) ----
+            let mut mean_sums = vec![Vector::zeros(d); k];
+            let mut cursor = 0usize;
+            let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
+            for block in scan {
+                for group in block? {
+                    let mut group_gamma = vec![0.0; k];
+                    for s_tuple in &group.s_tuples {
+                        let g = &gammas[cursor..cursor + k];
+                        for c in 0..k {
+                            vector::axpy(
+                                g[c],
+                                &s_tuple.features,
+                                &mut mean_sums[c].as_mut_slice()[..d_s],
+                            );
+                            group_gamma[c] += g[c];
+                        }
+                        cursor += k;
+                    }
+                    for c in 0..k {
+                        vector::axpy(
+                            group_gamma[c],
+                            &group.r_tuple.features,
+                            &mut mean_sums[c].as_mut_slice()[d_s..],
+                        );
+                    }
+                }
+            }
+            let new_means = means_from_sums(&nk, &mean_sums);
+            let new_means_split: Vec<Vec<Vec<f64>>> = new_means
+                .iter()
+                .map(|m| {
+                    partition
+                        .split(m.as_slice())
+                        .into_iter()
+                        .map(|s| s.to_vec())
+                        .collect()
+                })
+                .collect();
+
+            // ---- Pass 3: M-step, covariances (Equations 14–18) ----
+            let mut scatter: Vec<BlockScatter> =
+                (0..k).map(|_| BlockScatter::new(partition.clone())).collect();
+            let mut cursor = 0usize;
+            let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
+            for block in scan {
+                for group in block? {
+                    let mut group_gamma = vec![0.0; k];
+                    let mut weighted_pd_s = vec![vec![0.0; d_s]; k];
+                    for s_tuple in &group.s_tuples {
+                        let g = &gammas[cursor..cursor + k];
+                        for c in 0..k {
+                            vector::sub_into(
+                                &s_tuple.features,
+                                &new_means_split[c][0],
+                                &mut pd_s,
+                            );
+                            // UL block: must be accumulated per fact tuple.
+                            scatter[c].add_outer(0, 0, g[c], &pd_s, &pd_s);
+                            vector::axpy(g[c], &pd_s, &mut weighted_pd_s[c]);
+                            group_gamma[c] += g[c];
+                        }
+                        cursor += k;
+                    }
+                    for c in 0..k {
+                        let pd_r: Vec<f64> = group
+                            .r_tuple
+                            .features
+                            .iter()
+                            .zip(new_means_split[c][1].iter())
+                            .map(|(x, m)| x - m)
+                            .collect();
+                        // UR / LL blocks from the group-level weighted PD_S sum.
+                        scatter[c].add_outer(0, 1, 1.0, &weighted_pd_s[c], &pd_r);
+                        scatter[c].add_outer(1, 0, 1.0, &pd_r, &weighted_pd_s[c]);
+                        // LR block: one outer product per group, reused for the
+                        // whole responsibility mass of the group.
+                        scatter[c].add_outer(1, 1, group_gamma[c], &pd_r, &pd_r);
+                    }
+                }
+            }
+            let scatter_mats: Vec<Matrix> =
+                scatter.into_iter().map(BlockScatter::into_matrix).collect();
+            model = finalize_m_step(&nk, mean_sums, scatter_mats, n, config.ridge);
+            iterations += 1;
+
+            let prev = log_likelihood.last().copied();
+            log_likelihood.push(ll);
+            if converged(prev, ll, config.tol) {
+                break;
+            }
+        }
+
+        Ok(GmmFit {
+            model,
+            iterations,
+            log_likelihood,
+            n_tuples: n,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialized::MaterializedGmm;
+    use crate::streaming::StreamingGmm;
+    use fml_data::SyntheticConfig;
+
+    fn workload(n_s: u64, n_r: u64, d_s: usize, d_r: usize, k: usize) -> fml_data::Workload {
+        SyntheticConfig {
+            n_s,
+            n_r,
+            d_s,
+            d_r,
+            k,
+            noise_std: 0.8,
+            with_target: false,
+            seed: 21,
+        }
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn factorized_matches_materialized_and_streaming() {
+        let w = workload(400, 16, 2, 4, 2);
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 5,
+            ..GmmConfig::default()
+        };
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert!(
+            m.model.max_param_diff(&f.model) < 1e-7,
+            "M vs F diff {}",
+            m.model.max_param_diff(&f.model)
+        );
+        assert!(s.model.max_param_diff(&f.model) < 1e-7);
+        assert_eq!(m.iterations, f.iterations);
+        // log-likelihood traces agree too
+        for (a, b) in m.log_likelihood.iter().zip(f.log_likelihood.iter()) {
+            assert!((a - b).abs() / a.abs().max(1.0) < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn factorized_matches_on_wider_dimension_tables() {
+        // Larger d_R relative to d_S is where the factorization matters most.
+        let w = workload(300, 10, 3, 12, 3);
+        let config = GmmConfig {
+            k: 3,
+            max_iters: 4,
+            ..GmmConfig::default()
+        };
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert!(m.model.max_param_diff(&f.model) < 1e-7);
+    }
+
+    #[test]
+    fn log_likelihood_monotone() {
+        let w = workload(300, 12, 2, 5, 2);
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 8,
+            ..GmmConfig::default()
+        };
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        for pair in f.log_likelihood.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-6, "{:?}", f.log_likelihood);
+        }
+    }
+
+    #[test]
+    fn early_stopping_applies() {
+        let w = workload(200, 10, 2, 3, 2);
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 60,
+            tol: 1e-3,
+            ..GmmConfig::default()
+        };
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert!(f.iterations < 60);
+        assert_eq!(f.iterations, f.log_likelihood.len());
+    }
+
+    #[test]
+    fn dispatches_multiway_specs() {
+        let w = fml_data::multiway::MultiwayConfig {
+            n_s: 200,
+            d_s: 2,
+            dims: vec![
+                fml_data::multiway::DimSpec::new(8, 2),
+                fml_data::multiway::DimSpec::new(4, 3),
+            ],
+            k: 2,
+            noise_std: 0.5,
+            with_target: false,
+            seed: 2,
+        }
+        .generate()
+        .unwrap();
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 2,
+            ..GmmConfig::default()
+        };
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert_eq!(f.model.dim(), 7);
+    }
+}

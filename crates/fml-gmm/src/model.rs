@@ -1,0 +1,313 @@
+//! The GMM model and the per-iteration precomputation shared by all variants.
+
+use fml_linalg::block::{BlockPartition, BlockQuadraticForm};
+use fml_linalg::cholesky::Cholesky;
+use fml_linalg::{gemm, sym, vector, Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+/// A Gaussian mixture model with full (non-diagonal) covariance matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GmmModel {
+    /// Mixing coefficients `π_k` (sum to 1).
+    pub weights: Vec<f64>,
+    /// Component means `µ_k`.
+    pub means: Vec<Vector>,
+    /// Component covariances `Σ_k`.
+    pub covariances: Vec<Matrix>,
+}
+
+impl GmmModel {
+    /// Creates a model, validating dimensional consistency.
+    pub fn new(weights: Vec<f64>, means: Vec<Vector>, covariances: Vec<Matrix>) -> Self {
+        assert_eq!(weights.len(), means.len(), "weights/means length mismatch");
+        assert_eq!(weights.len(), covariances.len(), "weights/covariances length mismatch");
+        assert!(!weights.is_empty(), "model must have at least one component");
+        let d = means[0].len();
+        assert!(
+            means.iter().all(|m| m.len() == d),
+            "all means must share one dimension"
+        );
+        assert!(
+            covariances.iter().all(|c| c.shape() == (d, d)),
+            "all covariances must be d×d"
+        );
+        Self {
+            weights,
+            means,
+            covariances,
+        }
+    }
+
+    /// Number of mixture components `K`.
+    pub fn k(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Feature dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.means[0].len()
+    }
+
+    /// Largest absolute difference between any parameter of two models — the
+    /// metric the equivalence tests use to show that `M-`, `S-` and `F-GMM` learn
+    /// the same model.
+    pub fn max_param_diff(&self, other: &GmmModel) -> f64 {
+        assert_eq!(self.k(), other.k(), "component count mismatch");
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        let mut diff = vector::max_abs_diff(&self.weights, &other.weights);
+        for (a, b) in self.means.iter().zip(other.means.iter()) {
+            diff = diff.max(vector::max_abs_diff(a.as_slice(), b.as_slice()));
+        }
+        for (a, b) in self.covariances.iter().zip(other.covariances.iter()) {
+            diff = diff.max(a.max_abs_diff(b));
+        }
+        diff
+    }
+
+    /// Posterior responsibilities `γ_k(x)` for a single (joined) feature vector.
+    pub fn responsibilities(&self, x: &[f64], pre: &Precomputed) -> Vec<f64> {
+        pre.responsibilities_dense(x).0
+    }
+
+    /// The most probable component for a feature vector (hard cluster assignment).
+    pub fn predict(&self, x: &[f64], pre: &Precomputed) -> usize {
+        let (resp, _) = pre.responsibilities_dense(x);
+        resp.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Log-likelihood of a set of (joined) feature vectors under the model.
+    pub fn log_likelihood<'a>(&self, data: impl IntoIterator<Item = &'a [f64]>) -> f64 {
+        let pre = Precomputed::from_model(self, 0.0);
+        data.into_iter()
+            .map(|x| pre.responsibilities_dense(x).1)
+            .sum()
+    }
+}
+
+/// Per-EM-iteration precomputation: covariance inverses, log-determinants and the
+/// constant part of each component's log-density.
+///
+/// The E-step of every variant evaluates
+/// `ln π_k − ½(d·ln 2π + ln|Σ_k|) − ½ (x−µ_k)ᵀ Σ_k⁻¹ (x−µ_k)`;
+/// everything except the quadratic form is independent of `x` and computed here
+/// once per iteration (this mirrors the paper's observation that
+/// `1/√((2π)^d |Σ_k|)` does not involve the feature vectors).
+#[derive(Debug, Clone)]
+pub struct Precomputed {
+    /// `Σ_k⁻¹` for every component.
+    pub inverses: Vec<Matrix>,
+    /// `ln π_k − ½(d ln 2π + ln|Σ_k|)` for every component.
+    pub log_norm: Vec<f64>,
+    /// Component means (cloned so the E-step needs no access to the model).
+    pub means: Vec<Vector>,
+}
+
+impl Precomputed {
+    /// Builds the precomputation from a model.  When a covariance is not positive
+    /// definite it is regularized with an escalating ridge starting at `ridge`
+    /// (`ridge = 0` disables repair and panics on a singular covariance).
+    pub fn from_model(model: &GmmModel, ridge: f64) -> Self {
+        let d = model.dim() as f64;
+        let mut inverses = Vec::with_capacity(model.k());
+        let mut log_norm = Vec::with_capacity(model.k());
+        for (k, cov) in model.covariances.iter().enumerate() {
+            let (inv, log_det) = match Cholesky::factor(cov) {
+                Ok(ch) => (ch.inverse(), ch.log_det()),
+                Err(_) if ridge > 0.0 => {
+                    let mut repaired = cov.clone();
+                    sym::ensure_spd(&mut repaired, ridge);
+                    let ch = Cholesky::factor(&repaired)
+                        .expect("regularized covariance must be SPD");
+                    (ch.inverse(), ch.log_det())
+                }
+                Err(e) => panic!("component {k}: covariance not SPD and ridge disabled: {e}"),
+            };
+            inverses.push(inv);
+            log_norm.push(
+                model.weights[k].max(f64::MIN_POSITIVE).ln()
+                    - 0.5 * (d * (2.0 * std::f64::consts::PI).ln() + log_det),
+            );
+        }
+        Self {
+            inverses,
+            log_norm,
+            means: model.means.clone(),
+        }
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.log_norm.len()
+    }
+
+    /// Splits each component's covariance inverse into relation-aligned blocks
+    /// (Equations 9–12 / 21) for the factorized E-step.
+    pub fn block_forms(&self, partition: &BlockPartition) -> Vec<BlockQuadraticForm> {
+        self.inverses
+            .iter()
+            .map(|inv| BlockQuadraticForm::new(partition.clone(), inv))
+            .collect()
+    }
+
+    /// Splits each component mean according to the partition; `result[k][b]` is
+    /// the mean slice of component `k` for relation block `b`.
+    pub fn split_means(&self, partition: &BlockPartition) -> Vec<Vec<Vec<f64>>> {
+        self.means
+            .iter()
+            .map(|m| {
+                partition
+                    .split(m.as_slice())
+                    .into_iter()
+                    .map(|s| s.to_vec())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Converts per-component log-densities into responsibilities and the tuple's
+    /// log-likelihood contribution, using a numerically stable log-sum-exp.
+    pub fn finish_responsibilities(&self, log_dens: &mut [f64]) -> (Vec<f64>, f64) {
+        let max = log_dens.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for ld in log_dens.iter_mut() {
+            *ld = (*ld - max).exp();
+            sum += *ld;
+        }
+        let ll = max + sum.ln();
+        let resp = log_dens.iter().map(|v| v / sum).collect();
+        (resp, ll)
+    }
+
+    /// Responsibilities and log-likelihood contribution of a dense (joined)
+    /// feature vector — the computation path used by `M-GMM` and `S-GMM`.
+    pub fn responsibilities_dense(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        let mut log_dens = vec![0.0; self.k()];
+        let mut centered = vec![0.0; x.len()];
+        for k in 0..self.k() {
+            vector::sub_into(x, self.means[k].as_slice(), &mut centered);
+            let quad = gemm::quadratic_form_sym(&centered, &self.inverses[k]);
+            log_dens[k] = self.log_norm[k] - 0.5 * quad;
+        }
+        self.finish_responsibilities(&mut log_dens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_linalg::approx_eq;
+
+    fn simple_model() -> GmmModel {
+        GmmModel::new(
+            vec![0.4, 0.6],
+            vec![
+                Vector::from_slice(&[0.0, 0.0]),
+                Vector::from_slice(&[5.0, 5.0]),
+            ],
+            vec![Matrix::identity(2), Matrix::from_diag(&[2.0, 0.5])],
+        )
+    }
+
+    #[test]
+    fn model_shape_accessors() {
+        let m = simple_model();
+        assert_eq!(m.k(), 2);
+        assert_eq!(m.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_components_rejected() {
+        GmmModel::new(
+            vec![1.0],
+            vec![Vector::zeros(2), Vector::zeros(2)],
+            vec![Matrix::identity(2), Matrix::identity(2)],
+        );
+    }
+
+    #[test]
+    fn responsibilities_prefer_nearest_component() {
+        let m = simple_model();
+        let pre = Precomputed::from_model(&m, 1e-6);
+        let r_near_0 = m.responsibilities(&[0.1, -0.1], &pre);
+        assert!(r_near_0[0] > 0.99);
+        let r_near_1 = m.responsibilities(&[5.0, 4.9], &pre);
+        assert!(r_near_1[1] > 0.99);
+        assert!(approx_eq(r_near_0.iter().sum::<f64>(), 1.0, 1e-12));
+        assert_eq!(m.predict(&[0.0, 0.0], &pre), 0);
+        assert_eq!(m.predict(&[5.0, 5.0], &pre), 1);
+    }
+
+    #[test]
+    fn density_matches_closed_form_single_gaussian() {
+        // Single standard normal component: log p(x) = -0.5*(d ln 2π + ||x||²)
+        let m = GmmModel::new(
+            vec![1.0],
+            vec![Vector::zeros(2)],
+            vec![Matrix::identity(2)],
+        );
+        let pre = Precomputed::from_model(&m, 0.0);
+        let (_, ll) = pre.responsibilities_dense(&[1.0, 2.0]);
+        let expected = -0.5 * (2.0 * (2.0 * std::f64::consts::PI).ln() + 5.0);
+        assert!(approx_eq(ll, expected, 1e-12), "{ll} vs {expected}");
+    }
+
+    #[test]
+    fn log_likelihood_sums_tuples() {
+        let m = simple_model();
+        let data = [vec![0.0, 0.0], vec![5.0, 5.0]];
+        let ll = m.log_likelihood(data.iter().map(|v| v.as_slice()));
+        let pre = Precomputed::from_model(&m, 0.0);
+        let expected: f64 = data
+            .iter()
+            .map(|v| pre.responsibilities_dense(v).1)
+            .sum();
+        assert!(approx_eq(ll, expected, 1e-12));
+    }
+
+    #[test]
+    fn precompute_repairs_singular_covariance() {
+        let m = GmmModel::new(
+            vec![1.0],
+            vec![Vector::zeros(2)],
+            vec![Matrix::zeros(2, 2)],
+        );
+        let pre = Precomputed::from_model(&m, 1e-6);
+        assert!(pre.log_norm[0].is_finite());
+    }
+
+    #[test]
+    fn max_param_diff_detects_changes() {
+        let a = simple_model();
+        let mut b = simple_model();
+        assert_eq!(a.max_param_diff(&b), 0.0);
+        b.means[1][0] += 0.25;
+        assert!(approx_eq(a.max_param_diff(&b), 0.25, 1e-12));
+    }
+
+    #[test]
+    fn block_forms_and_split_means_follow_partition() {
+        let m = simple_model();
+        let pre = Precomputed::from_model(&m, 0.0);
+        let p = BlockPartition::binary(1, 1);
+        let forms = pre.block_forms(&p);
+        assert_eq!(forms.len(), 2);
+        let means = pre.split_means(&p);
+        assert_eq!(means[1][0], vec![5.0]);
+        assert_eq!(means[1][1], vec![5.0]);
+        // blocked quadratic form equals dense quadratic form
+        let x = [1.0, -2.0];
+        let centered: Vec<f64> = x
+            .iter()
+            .zip(m.means[0].iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        let dense = gemm::quadratic_form_sym(&centered, &pre.inverses[0]);
+        let blocked = forms[0].eval_dense(&centered);
+        assert!(approx_eq(dense, blocked, 1e-12));
+    }
+}

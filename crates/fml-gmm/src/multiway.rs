@@ -1,0 +1,414 @@
+//! `F-GMM` for multi-way joins (Section V-C).
+//!
+//! With `q` dimension tables the feature space is partitioned into `q + 1` blocks
+//! `[d_S | d_{R_1} | … | d_{R_q}]` and the EM quantities decompose into a
+//! `(q+1)×(q+1)` grid (Equations 19–24).  Reuse happens per *dimension tuple*:
+//! for every distinct `R_i` tuple we cache, per mixture component,
+//!
+//! * the centered vector `PD_{R_i}`,
+//! * the diagonal quadratic term `PD_{R_i}ᵀ I_{ii} PD_{R_i}`,
+//! * the fact-side cross vector `I_{0i}·PD_{R_i} + I_{i0}ᵀ·PD_{R_i}`,
+//!
+//! so each fact tuple only evaluates the small `d_S×d_S` form, `q` dot products of
+//! length `d_S`, and the (cheap) cross terms between distinct dimension blocks.
+//! The M-step accumulates the dimension-only mean and scatter contributions per
+//! dimension tuple with the group's total responsibility mass, never per fact
+//! tuple.
+
+use crate::em::{converged, finalize_m_step, means_from_sums, GmmFit};
+use crate::init::GmmInit;
+use crate::model::Precomputed;
+use crate::GmmConfig;
+use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
+use fml_linalg::{gemm, vector, Matrix, Vector};
+use fml_store::factorized_scan::StarScan;
+use fml_store::{Database, JoinSpec, StoreResult};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The factorized training strategy for star (multi-way) joins.
+pub struct FactorizedMultiwayGmm;
+
+/// Per-dimension-tuple cache used by the factorized E-step.
+struct EStepEntry {
+    /// Centered vectors `PD_{R_i}`, one per component.
+    pd: Vec<Vec<f64>>,
+    /// Diagonal quadratic terms `PD_{R_i}ᵀ I_{ii} PD_{R_i}`, one per component.
+    diag: Vec<f64>,
+    /// Fact-side cross vectors `I_{0i}·PD + I_{i0}ᵀ·PD`, one per component.
+    cross_s: Vec<Vec<f64>>,
+}
+
+impl EStepEntry {
+    fn build(
+        features: &[f64],
+        block: usize,
+        forms: &[BlockQuadraticForm],
+        means_split: &[Vec<Vec<f64>>],
+        k: usize,
+    ) -> Self {
+        let mut pd = Vec::with_capacity(k);
+        let mut diag = Vec::with_capacity(k);
+        let mut cross_s = Vec::with_capacity(k);
+        for c in 0..k {
+            let centered: Vec<f64> = features
+                .iter()
+                .zip(means_split[c][block].iter())
+                .map(|(x, m)| x - m)
+                .collect();
+            diag.push(forms[c].term(block, block, &centered, &centered));
+            let mut w = forms[c].block_times(0, block, &centered);
+            let w2 = gemm::matvec_transposed(forms[c].block(block, 0), &centered);
+            vector::axpy(1.0, &w2, &mut w);
+            cross_s.push(w);
+            pd.push(centered);
+        }
+        Self { pd, diag, cross_s }
+    }
+}
+
+/// Per-dimension-tuple aggregate used by the covariance pass.
+struct ScatterAgg {
+    /// Total responsibility mass of fact tuples referencing this dimension tuple.
+    gamma: Vec<f64>,
+    /// `Σ γ PD_S` over those fact tuples, one vector per component.
+    weighted_pd_s: Vec<Vec<f64>>,
+}
+
+impl ScatterAgg {
+    fn new(k: usize, d_s: usize) -> Self {
+        Self {
+            gamma: vec![0.0; k],
+            weighted_pd_s: vec![vec![0.0; d_s]; k],
+        }
+    }
+}
+
+impl FactorizedMultiwayGmm {
+    /// Trains a GMM over a star join of `q ≥ 1` dimension tables.
+    pub fn train(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+        let start = Instant::now();
+        spec.validate(db)?;
+        let sizes = spec.feature_partition(db)?;
+        let partition = BlockPartition::new(&sizes);
+        let d = partition.total_dim();
+        let d_s = sizes[0];
+        let q = sizes.len() - 1;
+        let n = spec.fact_relation(db)?.lock().num_tuples();
+        let k = config.k;
+
+        let mut model =
+            GmmInit::new(config.seed, config.init_spread).from_relations(db, spec, k)?;
+        assert_eq!(model.dim(), d, "initial model dimension mismatch");
+        let mut log_likelihood = Vec::with_capacity(config.max_iters);
+        let mut iterations = 0;
+        let mut gammas: Vec<f64> = Vec::with_capacity(n as usize * k);
+
+        for _iter in 0..config.max_iters {
+            let pre = Precomputed::from_model(&model, config.ridge);
+            let forms = pre.block_forms(&partition);
+            let means_split = pre.split_means(&partition);
+
+            // ---- Pass 1: E-step (Equation 19) ----
+            gammas.clear();
+            let mut nk = vec![0.0; k];
+            let mut ll = 0.0;
+            let mut log_dens = vec![0.0; k];
+            let mut pd_s = vec![0.0; d_s];
+            let scan = StarScan::new(db, spec, config.block_pages)?;
+            let mut caches: Vec<HashMap<u64, EStepEntry>> = (0..q).map(|_| HashMap::new()).collect();
+            for block in scan.blocks() {
+                for fact in block? {
+                    for (i, fk) in fact.fks.iter().enumerate() {
+                        if !caches[i].contains_key(fk) {
+                            let dim_tuple = scan.cache().get(i, *fk).ok_or_else(|| {
+                                fml_store::StoreError::DanglingForeignKey {
+                                    relation: spec.dimensions[i].clone(),
+                                    key: *fk,
+                                }
+                            })?;
+                            let entry = EStepEntry::build(
+                                &dim_tuple.features,
+                                i + 1,
+                                &forms,
+                                &means_split,
+                                k,
+                            );
+                            caches[i].insert(*fk, entry);
+                        }
+                    }
+                    for (c, ld) in log_dens.iter_mut().enumerate() {
+                        vector::sub_into(&fact.features, &means_split[c][0], &mut pd_s);
+                        let mut quad = forms[c].term(0, 0, &pd_s, &pd_s);
+                        for i in 0..q {
+                            let e = &caches[i][&fact.fks[i]];
+                            quad += e.diag[c] + vector::dot(&pd_s, &e.cross_s[c]);
+                        }
+                        // cross terms between distinct dimension blocks
+                        for i in 0..q {
+                            for j in 0..q {
+                                if i != j {
+                                    let ei = &caches[i][&fact.fks[i]];
+                                    let ej = &caches[j][&fact.fks[j]];
+                                    quad += forms[c].term(i + 1, j + 1, &ei.pd[c], &ej.pd[c]);
+                                }
+                            }
+                        }
+                        *ld = pre.log_norm[c] - 0.5 * quad;
+                    }
+                    let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
+                    for c in 0..k {
+                        nk[c] += resp[c];
+                    }
+                    ll += tuple_ll;
+                    gammas.extend_from_slice(&resp);
+                }
+            }
+
+            // ---- Pass 2: M-step, means (Equation 22) ----
+            let mut mean_sums = vec![Vector::zeros(d); k];
+            let mut gamma_by_dim: Vec<HashMap<u64, Vec<f64>>> =
+                (0..q).map(|_| HashMap::new()).collect();
+            let mut cursor = 0usize;
+            let scan = StarScan::new(db, spec, config.block_pages)?;
+            for block in scan.blocks() {
+                for fact in block? {
+                    let g = &gammas[cursor..cursor + k];
+                    for c in 0..k {
+                        vector::axpy(g[c], &fact.features, &mut mean_sums[c].as_mut_slice()[..d_s]);
+                    }
+                    for (i, fk) in fact.fks.iter().enumerate() {
+                        let sums = gamma_by_dim[i].entry(*fk).or_insert_with(|| vec![0.0; k]);
+                        for c in 0..k {
+                            sums[c] += g[c];
+                        }
+                    }
+                    cursor += k;
+                }
+            }
+            for i in 0..q {
+                let range = partition.range(i + 1);
+                for (key, sums) in &gamma_by_dim[i] {
+                    let dim_tuple = scan.cache().get(i, *key).expect("cached during pass 1");
+                    for c in 0..k {
+                        vector::axpy(
+                            sums[c],
+                            &dim_tuple.features,
+                            &mut mean_sums[c].as_mut_slice()[range.clone()],
+                        );
+                    }
+                }
+            }
+            let new_means = means_from_sums(&nk, &mean_sums);
+            let new_means_split: Vec<Vec<Vec<f64>>> = new_means
+                .iter()
+                .map(|m| {
+                    partition
+                        .split(m.as_slice())
+                        .into_iter()
+                        .map(|s| s.to_vec())
+                        .collect()
+                })
+                .collect();
+
+            // ---- Pass 3: M-step, covariances (Equations 23–24) ----
+            let mut scatter: Vec<BlockScatter> =
+                (0..k).map(|_| BlockScatter::new(partition.clone())).collect();
+            // Centered dimension vectors under the *new* means.
+            let mut pd_new: Vec<HashMap<u64, Vec<Vec<f64>>>> =
+                (0..q).map(|_| HashMap::new()).collect();
+            let mut aggs: Vec<HashMap<u64, ScatterAgg>> = (0..q).map(|_| HashMap::new()).collect();
+            let mut cursor = 0usize;
+            let scan = StarScan::new(db, spec, config.block_pages)?;
+            for block in scan.blocks() {
+                for fact in block? {
+                    let g = &gammas[cursor..cursor + k];
+                    for (i, fk) in fact.fks.iter().enumerate() {
+                        if !pd_new[i].contains_key(fk) {
+                            let dim_tuple = scan.cache().get(i, *fk).expect("cached during pass 1");
+                            let per_c: Vec<Vec<f64>> = (0..k)
+                                .map(|c| {
+                                    dim_tuple
+                                        .features
+                                        .iter()
+                                        .zip(new_means_split[c][i + 1].iter())
+                                        .map(|(x, m)| x - m)
+                                        .collect()
+                                })
+                                .collect();
+                            pd_new[i].insert(*fk, per_c);
+                        }
+                    }
+                    for c in 0..k {
+                        vector::sub_into(&fact.features, &new_means_split[c][0], &mut pd_s);
+                        // fact-fact block, per tuple
+                        scatter[c].add_outer(0, 0, g[c], &pd_s, &pd_s);
+                        for (i, fk) in fact.fks.iter().enumerate() {
+                            let agg = aggs[i]
+                                .entry(*fk)
+                                .or_insert_with(|| ScatterAgg::new(k, d_s));
+                            agg.gamma[c] += g[c];
+                            vector::axpy(g[c], &pd_s, &mut agg.weighted_pd_s[c]);
+                        }
+                        // cross terms between distinct dimension blocks, per tuple
+                        for i in 0..q {
+                            for j in 0..q {
+                                if i != j {
+                                    let pi = &pd_new[i][&fact.fks[i]][c];
+                                    let pj = &pd_new[j][&fact.fks[j]][c];
+                                    scatter[c].add_outer(i + 1, j + 1, g[c], pi, pj);
+                                }
+                            }
+                        }
+                    }
+                    cursor += k;
+                }
+            }
+            // Dimension-side blocks, once per dimension tuple.
+            for i in 0..q {
+                for (key, agg) in &aggs[i] {
+                    let pd = &pd_new[i][key];
+                    for c in 0..k {
+                        scatter[c].add_outer(0, i + 1, 1.0, &agg.weighted_pd_s[c], &pd[c]);
+                        scatter[c].add_outer(i + 1, 0, 1.0, &pd[c], &agg.weighted_pd_s[c]);
+                        scatter[c].add_outer(i + 1, i + 1, agg.gamma[c], &pd[c], &pd[c]);
+                    }
+                }
+            }
+            let scatter_mats: Vec<Matrix> =
+                scatter.into_iter().map(BlockScatter::into_matrix).collect();
+            model = finalize_m_step(&nk, mean_sums, scatter_mats, n, config.ridge);
+            iterations += 1;
+
+            let prev = log_likelihood.last().copied();
+            log_likelihood.push(ll);
+            if converged(prev, ll, config.tol) {
+                break;
+            }
+        }
+
+        Ok(GmmFit {
+            model,
+            iterations,
+            log_likelihood,
+            n_tuples: n,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialized::MaterializedGmm;
+    use crate::streaming::StreamingGmm;
+    use fml_data::multiway::{DimSpec, MultiwayConfig};
+    use fml_data::SyntheticConfig;
+
+    #[test]
+    fn multiway_factorized_matches_materialized() {
+        let w = MultiwayConfig {
+            n_s: 400,
+            d_s: 2,
+            dims: vec![DimSpec::new(12, 3), DimSpec::new(6, 4)],
+            k: 2,
+            noise_std: 0.7,
+            with_target: false,
+            seed: 17,
+        }
+        .generate()
+        .unwrap();
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 4,
+            ..GmmConfig::default()
+        };
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert!(
+            m.model.max_param_diff(&f.model) < 1e-7,
+            "M vs F-multiway diff {}",
+            m.model.max_param_diff(&f.model)
+        );
+        assert!(s.model.max_param_diff(&f.model) < 1e-7);
+    }
+
+    #[test]
+    fn multiway_with_three_dimension_tables() {
+        let w = MultiwayConfig {
+            n_s: 300,
+            d_s: 1,
+            dims: vec![
+                DimSpec::new(10, 2),
+                DimSpec::new(5, 3),
+                DimSpec::new(4, 2),
+            ],
+            k: 2,
+            noise_std: 0.5,
+            with_target: false,
+            seed: 8,
+        }
+        .generate()
+        .unwrap();
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 3,
+            ..GmmConfig::default()
+        };
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert!(m.model.max_param_diff(&f.model) < 1e-7);
+        assert_eq!(f.model.dim(), 8);
+    }
+
+    #[test]
+    fn multiway_reduces_to_binary_when_q_is_one() {
+        // A star join with a single dimension table must match the dedicated
+        // binary implementation exactly.
+        let w = SyntheticConfig {
+            n_s: 250,
+            n_r: 10,
+            d_s: 2,
+            d_r: 4,
+            k: 2,
+            noise_std: 0.6,
+            with_target: false,
+            seed: 31,
+        }
+        .generate()
+        .unwrap();
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 4,
+            ..GmmConfig::default()
+        };
+        let binary = crate::FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let multi = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert!(binary.model.max_param_diff(&multi.model) < 1e-8);
+    }
+
+    #[test]
+    fn log_likelihood_monotone_multiway() {
+        let w = MultiwayConfig {
+            n_s: 300,
+            d_s: 2,
+            dims: vec![DimSpec::new(9, 2), DimSpec::new(6, 2)],
+            k: 2,
+            noise_std: 0.5,
+            with_target: false,
+            seed: 13,
+        }
+        .generate()
+        .unwrap();
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 6,
+            ..GmmConfig::default()
+        };
+        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+        for pair in f.log_likelihood.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! `S-GMM`: join on the fly, train on the denormalized stream.
+//!
+//! Identical EM computation to `M-GMM`, but the join result is never written to
+//! storage: each pass re-joins the base relations (reading `R` in blocks and
+//! probing `S`, or — for multi-way joins — caching the dimension tables and
+//! scanning `S`) and feeds the joined tuples straight to the learner.  Per
+//! Section V-A the I/O cost is `3·iter·(|R| + |R|/BlockSize·|S|)`, while the
+//! computation cost equals `M-GMM`'s: the redundant dimension features are still
+//! multiplied through the full `d×d` quadratic forms for every fact tuple.
+
+use crate::em::{train_dense_from, DensePassSource, GmmFit};
+use crate::init::GmmInit;
+use crate::GmmConfig;
+use fml_store::factorized_scan::{GroupScan, StarScan};
+use fml_store::{Database, JoinSpec, StoreResult};
+use std::time::Instant;
+
+/// The streaming (join-on-the-fly) training strategy.
+pub struct StreamingGmm;
+
+impl StreamingGmm {
+    /// Trains a GMM joining the base relations on the fly each pass.
+    pub fn train(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+        let start = Instant::now();
+        spec.validate(db)?;
+        let initial =
+            GmmInit::new(config.seed, config.init_spread).from_relations(db, spec, config.k)?;
+        let mut fit = if spec.num_dimensions() == 1 {
+            let mut source = BinaryStreamSource::new(db, spec.clone(), config.block_pages)?;
+            train_dense_from(&mut source, config, initial)?
+        } else {
+            let mut source = StarStreamSource::new(db, spec.clone(), config.block_pages)?;
+            train_dense_from(&mut source, config, initial)?
+        };
+        fit.elapsed = start.elapsed();
+        Ok(fit)
+    }
+}
+
+/// Dense source for binary joins: reads `R` in blocks, probes `S`, denormalizes.
+pub struct BinaryStreamSource<'a> {
+    db: &'a Database,
+    spec: JoinSpec,
+    block_pages: usize,
+    dim: usize,
+    n: u64,
+}
+
+impl<'a> BinaryStreamSource<'a> {
+    /// Creates the source (validates the spec and captures the join shape).
+    pub fn new(db: &'a Database, spec: JoinSpec, block_pages: usize) -> StoreResult<Self> {
+        spec.validate(db)?;
+        let dim = spec.total_features(db)?;
+        let n = spec.fact_relation(db)?.lock().num_tuples();
+        Ok(Self {
+            db,
+            spec,
+            block_pages,
+            dim,
+            n,
+        })
+    }
+}
+
+impl DensePassSource for BinaryStreamSource<'_> {
+    fn for_each(&mut self, f: &mut dyn FnMut(&[f64])) -> StoreResult<()> {
+        let scan = GroupScan::from_spec(self.db, &self.spec, self.block_pages)?;
+        for block in scan {
+            for group in block? {
+                for joined in group.denormalize() {
+                    f(&joined.features);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Dense source for multi-way joins: caches the dimension tables, scans `S`, and
+/// denormalizes every fact tuple.
+pub struct StarStreamSource<'a> {
+    db: &'a Database,
+    spec: JoinSpec,
+    block_pages: usize,
+    dim: usize,
+    n: u64,
+}
+
+impl<'a> StarStreamSource<'a> {
+    /// Creates the source (validates the spec and captures the join shape).
+    pub fn new(db: &'a Database, spec: JoinSpec, block_pages: usize) -> StoreResult<Self> {
+        spec.validate(db)?;
+        let dim = spec.total_features(db)?;
+        let n = spec.fact_relation(db)?.lock().num_tuples();
+        Ok(Self {
+            db,
+            spec,
+            block_pages,
+            dim,
+            n,
+        })
+    }
+}
+
+impl DensePassSource for StarStreamSource<'_> {
+    fn for_each(&mut self, f: &mut dyn FnMut(&[f64])) -> StoreResult<()> {
+        let scan = StarScan::new(self.db, &self.spec, self.block_pages)?;
+        for block in scan.blocks() {
+            for fact in block? {
+                let joined = scan.denormalize(&fact)?;
+                f(&joined.features);
+            }
+        }
+        Ok(())
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialized::MaterializedGmm;
+    use fml_data::multiway::{DimSpec, MultiwayConfig};
+    use fml_data::SyntheticConfig;
+
+    #[test]
+    fn streaming_matches_materialized_binary() {
+        let w = SyntheticConfig {
+            n_s: 300,
+            n_r: 15,
+            d_s: 2,
+            d_r: 3,
+            k: 2,
+            noise_std: 0.6,
+            with_target: false,
+            seed: 11,
+        }
+        .generate()
+        .unwrap();
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 4,
+            ..GmmConfig::default()
+        };
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert!(
+            m.model.max_param_diff(&s.model) < 1e-8,
+            "M-GMM and S-GMM diverged: {}",
+            m.model.max_param_diff(&s.model)
+        );
+        assert_eq!(m.iterations, s.iterations);
+    }
+
+    #[test]
+    fn streaming_handles_multiway_joins() {
+        let w = MultiwayConfig {
+            n_s: 300,
+            d_s: 2,
+            dims: vec![DimSpec::new(10, 2), DimSpec::new(5, 3)],
+            k: 2,
+            noise_std: 0.6,
+            with_target: false,
+            seed: 4,
+        }
+        .generate()
+        .unwrap();
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 3,
+            ..GmmConfig::default()
+        };
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
+        assert!(m.model.max_param_diff(&s.model) < 1e-8);
+        assert_eq!(s.model.dim(), 7);
+    }
+
+    #[test]
+    fn source_shapes() {
+        let w = SyntheticConfig {
+            n_s: 100,
+            n_r: 10,
+            d_s: 2,
+            d_r: 3,
+            k: 2,
+            noise_std: 0.5,
+            with_target: false,
+            seed: 1,
+        }
+        .generate()
+        .unwrap();
+        let src = BinaryStreamSource::new(&w.db, w.spec.clone(), 8).unwrap();
+        assert_eq!(src.dim(), 5);
+        assert_eq!(src.num_tuples(), 100);
+    }
+}

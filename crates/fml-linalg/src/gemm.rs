@@ -1,0 +1,222 @@
+//! Matrix product kernels: GEMM, GEMV, rank-1 (GER) and symmetric rank-1 updates,
+//! and quadratic forms.
+//!
+//! The kernels are written as straightforward triple loops over row-major data with
+//! the inner loop running along contiguous memory.  That is enough to make the
+//! factorized-vs-materialized comparisons meaningful (both paths use the same
+//! kernels) while keeping the results deterministic.
+
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// `C = A · B` for dense matrices.
+///
+/// # Panics
+/// Panics when `A.cols() != B.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions do not agree ({}x{} · {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C += A · B`, writing into an existing output matrix (no allocation).
+pub fn matmul_acc(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "matmul_acc: inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "matmul_acc: output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "matmul_acc: output cols mismatch");
+    let n = b.cols();
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        // Accumulate into a local row to keep the inner loop contiguous.
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/// `C = A · B` into a pre-zeroed output.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    c.fill_zero();
+    matmul_acc(a, b, c);
+}
+
+/// `y = A · x` (matrix-vector product).
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
+    let mut y = vec![0.0; a.rows()];
+    matvec_into(a, x, &mut y);
+    y
+}
+
+/// `y = A · x` into an existing buffer.
+pub fn matvec_into(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.cols(), x.len(), "matvec_into: dimension mismatch");
+    assert_eq!(a.rows(), y.len(), "matvec_into: output dimension mismatch");
+    for i in 0..a.rows() {
+        y[i] = vector::dot(a.row(i), x);
+    }
+}
+
+/// `y += A · x` into an existing buffer.
+pub fn matvec_acc(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.cols(), x.len(), "matvec_acc: dimension mismatch");
+    assert_eq!(a.rows(), y.len(), "matvec_acc: output dimension mismatch");
+    for i in 0..a.rows() {
+        y[i] += vector::dot(a.row(i), x);
+    }
+}
+
+/// `y = Aᵀ · x` without materializing the transpose.
+pub fn matvec_transposed(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), x.len(), "matvec_transposed: dimension mismatch");
+    let mut y = vec![0.0; a.cols()];
+    for i in 0..a.rows() {
+        vector::axpy(x[i], a.row(i), &mut y);
+    }
+    y
+}
+
+/// Rank-1 update `A += alpha * x yᵀ` (BLAS GER).
+///
+/// Used to accumulate NN weight gradients `∂E/∂W += δ · xᵀ` and GMM scatter
+/// contributions `γ (x−µ)(x−µ)ᵀ`.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
+    assert_eq!(a.rows(), x.len(), "ger: row dimension mismatch");
+    assert_eq!(a.cols(), y.len(), "ger: col dimension mismatch");
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        vector::axpy(alpha * xi, y, a.row_mut(i));
+    }
+}
+
+/// Outer product `x yᵀ` as a fresh matrix.
+pub fn outer(x: &[f64], y: &[f64]) -> Matrix {
+    let mut m = Matrix::zeros(x.len(), y.len());
+    ger(1.0, x, y, &mut m);
+    m
+}
+
+/// Quadratic form `xᵀ A y` evaluated without forming intermediates.
+pub fn quadratic_form(x: &[f64], a: &Matrix, y: &[f64]) -> f64 {
+    assert_eq!(a.rows(), x.len(), "quadratic_form: row dimension mismatch");
+    assert_eq!(a.cols(), y.len(), "quadratic_form: col dimension mismatch");
+    let mut acc = 0.0;
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        acc += xi * vector::dot(a.row(i), y);
+    }
+    acc
+}
+
+/// Symmetric quadratic form `xᵀ A x`.
+pub fn quadratic_form_sym(x: &[f64], a: &Matrix) -> f64 {
+    quadratic_form(x, a, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn m(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = m(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let id = Matrix::identity(3);
+        assert_eq!(matmul(&a, &id), a);
+        let id2 = Matrix::identity(2);
+        assert_eq!(matmul(&id2, &a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Matrix::zeros(3, 5);
+        let b = Matrix::zeros(5, 2);
+        assert_eq!(matmul(&a, &b).shape(), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_mismatch_panics() {
+        matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(matvec(&a, &[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(
+            matvec_transposed(&a, &[1.0, 1.0, 1.0]),
+            vec![9.0, 12.0]
+        );
+        let mut y = vec![1.0, 1.0, 1.0];
+        matvec_acc(&a, &[1.0, 0.0], &mut y);
+        assert_eq!(y, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn ger_and_outer() {
+        let x = [1.0, 2.0];
+        let y = [3.0, 4.0, 5.0];
+        let o = outer(&x, &y);
+        assert_eq!(o.row(0), &[3.0, 4.0, 5.0]);
+        assert_eq!(o.row(1), &[6.0, 8.0, 10.0]);
+
+        let mut a = Matrix::zeros(2, 3);
+        ger(2.0, &x, &y, &mut a);
+        assert_eq!(a.row(1), &[12.0, 16.0, 20.0]);
+    }
+
+    #[test]
+    fn quadratic_form_matches_explicit_product() {
+        let a = m(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = [1.0, 2.0];
+        // xᵀ A x = [1 2] [[2 1][1 3]] [1 2]ᵀ = [4, 7]·[1,2] = 18
+        assert!(approx_eq(quadratic_form_sym(&x, &a), 18.0, 1e-12));
+        let y = [3.0, -1.0];
+        // xᵀ A y = [4,7]·[3,-1] = 5
+        assert!(approx_eq(quadratic_form(&x, &a, &y), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn matmul_associativity_small() {
+        let a = m(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        let b = m(&[vec![3.0, 0.0], vec![1.0, 1.0]]);
+        let c = m(&[vec![1.0, 1.0], vec![2.0, 0.0]]);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!(left.max_abs_diff(&right) < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! # fml-linalg
+//!
+//! Dense linear-algebra kernels used by the factorized machine-learning crates
+//! (`fml-gmm`, `fml-nn`).  The crate deliberately implements only the pieces the
+//! paper's algorithms need, with predictable `f64` semantics:
+//!
+//! * [`Vector`] / free slice kernels ([`vector`]) — dot products, AXPY, elementwise ops.
+//! * [`Matrix`] ([`matrix`]) — row-major dense matrices with GEMM/GEMV ([`gemm`]),
+//!   outer products and sub-block extraction.
+//! * [`Cholesky`] ([`cholesky`]) — factorization of symmetric positive-definite
+//!   matrices, used for `Σ⁻¹` and `log|Σ|` in the GMM E-step.
+//! * [`BlockPartition`] ([`block`]) — the block decompositions at the heart of the
+//!   paper: partition a feature vector / covariance matrix along relation
+//!   boundaries `[d_S, d_{R_1}, …, d_{R_q}]` and evaluate quadratic forms and
+//!   scatter matrices block-by-block (Equations 7–24 of the paper).
+//! * [`sym`] — helpers for symmetric matrices (regularization, SPD checks).
+//!
+//! All types are plain `f64` containers; no SIMD intrinsics or unsafe code are used,
+//! keeping results bit-reproducible across the materialized, streaming and
+//! factorized training paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod cholesky;
+pub mod gemm;
+pub mod matrix;
+pub mod sym;
+pub mod vector;
+
+pub use block::{BlockPartition, BlockQuadraticForm, BlockScatter};
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+/// Absolute tolerance used by the crate's own tests when comparing two floating
+/// point results that were produced by algebraically equivalent computations.
+pub const TEST_EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` agree to within `tol` absolutely **or**
+/// relatively (whichever is more permissive), which is the right comparison for
+/// results of algebraically identical computations executed in different orders.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_magnitudes() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.01e12, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_zero() {
+        assert!(approx_eq(0.0, 0.0, 1e-12));
+        assert!(approx_eq(0.0, 1e-13, 1e-12));
+        assert!(!approx_eq(0.0, 1e-3, 1e-12));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the linear-algebra kernels: the block decompositions
+//! used by the factorized algorithms must agree with their dense counterparts for
+//! arbitrary inputs, and Cholesky must invert arbitrary SPD matrices.
+
+use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
+use fml_linalg::cholesky::Cholesky;
+use fml_linalg::gemm;
+use fml_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a dimension split [d_s, d_r1, ...] with total dimension <= 8.
+fn partition_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..4, 1..4)
+}
+
+fn vector_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, len..=len)
+}
+
+fn matrix_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, dim * dim..=dim * dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_quadratic_form_matches_dense(sizes in partition_strategy(), seed in 0u64..1000) {
+        let partition = BlockPartition::new(&sizes);
+        let d = partition.total_dim();
+        // deterministic pseudo-random data from the seed
+        let data: Vec<f64> = (0..d * d).map(|i| ((i as u64 * 31 + seed * 17) % 97) as f64 / 10.0 - 4.0).collect();
+        let x: Vec<f64> = (0..d).map(|i| ((i as u64 * 13 + seed * 7) % 89) as f64 / 10.0 - 4.0).collect();
+        let m = Matrix::from_vec(d, d, data);
+        let dense = gemm::quadratic_form_sym(&x, &m);
+        let blocked = BlockQuadraticForm::new(partition, &m).eval_dense(&x);
+        prop_assert!(fml_linalg::approx_eq(dense, blocked, 1e-9), "{dense} vs {blocked}");
+    }
+
+    #[test]
+    fn blocked_scatter_matches_dense_outer_product(sizes in partition_strategy(), gamma in 0.0f64..2.0, seed in 0u64..1000) {
+        let partition = BlockPartition::new(&sizes);
+        let d = partition.total_dim();
+        let x: Vec<f64> = (0..d).map(|i| ((i as u64 * 23 + seed * 11) % 83) as f64 / 10.0 - 4.0).collect();
+        let mut dense = BlockScatter::new(partition.clone());
+        dense.add_dense(gamma, &x);
+        let mut blocked = BlockScatter::new(partition.clone());
+        let parts = partition.split(&x);
+        for i in 0..parts.len() {
+            for j in 0..parts.len() {
+                blocked.add_outer(i, j, gamma, parts[i], parts[j]);
+            }
+        }
+        prop_assert!(dense.matrix().max_abs_diff(blocked.matrix()) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_inverts_spd_matrices(dim in 1usize..6, vals in prop::collection::vec(-3.0f64..3.0, 36)) {
+        // Build an SPD matrix A = B·Bᵀ + I from arbitrary B.
+        let b = Matrix::from_vec(dim, dim, vals[..dim * dim].to_vec());
+        let mut a = gemm::matmul(&b, &b.transpose());
+        a.add_diag(1.0);
+        let ch = Cholesky::factor(&a).unwrap();
+        let inv = ch.inverse();
+        let prod = gemm::matmul(&inv, &a);
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(dim)) < 1e-8);
+        // log|A| is finite and the determinant positive
+        prop_assert!(ch.log_det().is_finite());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(dim in 1usize..5, m in matrix_strategy(4), x in vector_strategy(4), y in vector_strategy(4)) {
+        let a = Matrix::from_vec(dim, dim, m[..dim * dim].to_vec());
+        let x = &x[..dim];
+        let y = &y[..dim];
+        // A(x + y) == Ax + Ay
+        let sum: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| a + b).collect();
+        let lhs = gemm::matvec(&a, &sum);
+        let ax = gemm::matvec(&a, x);
+        let ay = gemm::matvec(&a, y);
+        for i in 0..dim {
+            prop_assert!(fml_linalg::approx_eq(lhs[i], ax[i] + ay[i], 1e-9));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_preserves_frobenius(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let data: Vec<f64> = (0..rows * cols).map(|i| ((i as u64 * 41 + seed * 13) % 101) as f64 / 7.0 - 7.0).collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        let t = m.transpose();
+        prop_assert_eq!(t.transpose(), m.clone());
+        prop_assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-12);
+    }
+}

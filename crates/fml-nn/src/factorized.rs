@@ -1,0 +1,228 @@
+//! `F-NN` for binary joins: back-propagation pushed through the join
+//! (Sections VI-A1 and VI-A3).
+//!
+//! * **Forward, first layer**: the pre-activation splits as
+//!   `a¹ = W¹_S·x_S + (W¹_R·x_R + b¹)`.  The parenthesized term depends only on
+//!   the dimension tuple and the (epoch-constant) weights, so it is computed once
+//!   per dimension tuple per epoch and reused for every matching fact tuple.
+//! * **Forward/backward, layers ≥ 2**: evaluated exactly as in the dense variants
+//!   — the paper shows that sharing computation there is only exact for additive
+//!   activations and never cheaper (see [`crate::layer_reuse`]).
+//! * **Backward, first layer**: `∂E/∂W¹ = δ¹·xᵀ = [PG_S  PG_R]` (Equation 29).
+//!   The fact-side block accumulates per tuple; the dimension-side block
+//!   accumulates the per-group sum of `δ¹` and performs a single outer product
+//!   with `x_R` per dimension tuple.  Either way the features are read from the
+//!   base relations (`n_S·d_S + n_R·d_R` fields instead of `N·d`), the I/O saving
+//!   of Section VI-A3.
+
+use crate::materialized::ensure_has_target;
+use crate::mlp::Mlp;
+use crate::multiway::FactorizedMultiwayNn;
+use crate::trainer::{NnConfig, NnFit};
+use fml_linalg::{gemm, vector, Matrix};
+use fml_store::factorized_scan::GroupScan;
+use fml_store::{Database, JoinSpec, StoreResult};
+use std::time::Instant;
+
+/// The factorized NN training strategy (the paper's proposal).
+pub struct FactorizedNn;
+
+impl FactorizedNn {
+    /// Trains the network without materializing the join, reusing the
+    /// dimension-side first-layer computation.  Multi-way joins are dispatched to
+    /// [`FactorizedMultiwayNn`].
+    pub fn train(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+        spec.validate(db)?;
+        if spec.num_dimensions() > 1 {
+            return FactorizedMultiwayNn::train(db, spec, config);
+        }
+        ensure_has_target(db, spec)?;
+        Self::train_binary(db, spec, config)
+    }
+
+    fn train_binary(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+        let start = Instant::now();
+        let sizes = spec.feature_partition(db)?;
+        let (d_s, d_r) = (sizes[0], sizes[1]);
+        let d = d_s + d_r;
+        let n = spec.fact_relation(db)?.lock().num_tuples();
+        assert!(n > 0, "cannot train on an empty source");
+        let mut model = Mlp::new(d, &config.hidden, config.activation, config.seed);
+        let mut loss_trace = Vec::with_capacity(config.epochs);
+
+        for _epoch in 0..config.epochs {
+            // Weights are constant within an epoch (full-batch update at the end),
+            // so the column split of W¹ is hoisted out of the scan.
+            let nh = model.layers()[0].out_dim();
+            let w1 = &model.layers()[0].weights;
+            let w1_s = w1.sub_block(0, nh, 0, d_s);
+            let w1_r = w1.sub_block(0, nh, d_s, d);
+            let b1 = model.layers()[0].bias.clone();
+
+            let mut grads = model.zero_grads();
+            // First-layer weight gradient, accumulated block-wise.
+            let mut grad_w_s = Matrix::zeros(nh, d_s);
+            let mut grad_w_r = Matrix::zeros(nh, d_r);
+            let mut loss_sum = 0.0;
+
+            let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
+            for block in scan {
+                for group in block? {
+                    // Reused per dimension tuple: t_R = W¹_R·x_R + b¹.
+                    let mut t_r = gemm::matvec(&w1_r, &group.r_tuple.features);
+                    vector::axpy(1.0, &b1, &mut t_r);
+                    // Per-group sum of first-layer deltas (for PG_R and its bias-free
+                    // outer product with x_R).
+                    let mut delta_sum = vec![0.0; nh];
+
+                    for s_tuple in &group.s_tuples {
+                        // ---- forward, first layer (factorized) ----
+                        let mut a1 = gemm::matvec(&w1_s, &s_tuple.features);
+                        vector::axpy(1.0, &t_r, &mut a1);
+                        let mut h1 = a1.clone();
+                        model.layers()[0].activation.apply_slice(&mut h1);
+                        // ---- forward, remaining layers (dense) ----
+                        let mut trace_layers = Vec::with_capacity(model.layers().len());
+                        trace_layers.push((a1, h1));
+                        for layer in &model.layers()[1..] {
+                            let input = trace_layers.last().unwrap().1.clone();
+                            let (a, h) = layer.forward(&input);
+                            trace_layers.push((a, h));
+                        }
+                        let trace = crate::mlp::ForwardTrace {
+                            layers: trace_layers,
+                        };
+                        // ---- backward ----
+                        let y = s_tuple.target.unwrap_or(0.0);
+                        let (delta1, loss) = model.backward_factorized(&trace, y, &mut grads);
+                        loss_sum += loss;
+                        // PG_S: per fact tuple.
+                        gemm::ger(1.0, &delta1, &s_tuple.features, &mut grad_w_s);
+                        vector::axpy(1.0, &delta1, &mut delta_sum);
+                    }
+                    // PG_R: one outer product per dimension tuple.
+                    gemm::ger(1.0, &delta_sum, &group.r_tuple.features, &mut grad_w_r);
+                }
+            }
+
+            // Assemble the first layer's weight gradient from its two blocks.
+            for i in 0..nh {
+                for j in 0..d_s {
+                    grads[0].d_weights[(i, j)] += grad_w_s[(i, j)];
+                }
+                for j in 0..d_r {
+                    grads[0].d_weights[(i, d_s + j)] += grad_w_r[(i, j)];
+                }
+            }
+            model.apply_grads(&grads, config.learning_rate, n as f64);
+            loss_trace.push(loss_sum / n as f64);
+        }
+
+        Ok(NnFit {
+            model,
+            epochs: config.epochs,
+            loss_trace,
+            n_tuples: n,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::materialized::MaterializedNn;
+    use crate::streaming::StreamingNn;
+    use fml_data::SyntheticConfig;
+
+    fn workload(n_s: u64, n_r: u64, d_s: usize, d_r: usize) -> fml_data::Workload {
+        SyntheticConfig {
+            n_s,
+            n_r,
+            d_s,
+            d_r,
+            k: 2,
+            noise_std: 0.5,
+            with_target: true,
+            seed: 19,
+        }
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn factorized_matches_materialized_and_streaming() {
+        let w = workload(300, 12, 2, 5);
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Relu] {
+            let config = NnConfig {
+                hidden: vec![7],
+                epochs: 4,
+                activation: act,
+                ..NnConfig::default()
+            };
+            let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+            let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
+            let f = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+            assert!(
+                m.model.max_param_diff(&f.model) < 1e-9,
+                "{act:?}: M vs F diff {}",
+                m.model.max_param_diff(&f.model)
+            );
+            assert!(s.model.max_param_diff(&f.model) < 1e-9);
+            for (a, b) in m.loss_trace.iter().zip(f.loss_trace.iter()) {
+                assert!((a - b).abs() < 1e-9, "loss traces diverged: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn factorized_matches_with_two_hidden_layers() {
+        let w = workload(200, 10, 3, 6);
+        let config = NnConfig {
+            hidden: vec![6, 4],
+            epochs: 3,
+            ..NnConfig::default()
+        };
+        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+        assert!(m.model.max_param_diff(&f.model) < 1e-9);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let w = workload(400, 16, 2, 4);
+        let config = NnConfig {
+            hidden: vec![10],
+            epochs: 30,
+            learning_rate: 0.1,
+            ..NnConfig::default()
+        };
+        let f = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+        assert!(
+            f.final_loss() < f.loss_trace[0],
+            "loss did not decrease: {:?}",
+            f.loss_trace
+        );
+    }
+
+    #[test]
+    fn factorized_reads_fewer_fields_than_materialized() {
+        let w = workload(1000, 10, 2, 10);
+        let config = NnConfig {
+            hidden: vec![5],
+            epochs: 2,
+            ..NnConfig::default()
+        };
+        w.db.stats().reset();
+        let _ = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+        let f_fields = w.db.stats().snapshot().fields_read;
+        w.db.stats().reset();
+        let _ = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+        let m_fields = w.db.stats().snapshot().fields_read;
+        assert!(
+            f_fields < m_fields,
+            "factorized read {f_fields} fields, materialized {m_fields}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Finite-difference gradient checking, used by the test suite to validate the
+//! analytic back-propagation gradients.
+
+use crate::layer::LayerGradient;
+use crate::mlp::Mlp;
+
+/// Compares analytic gradients against central finite differences for a single
+/// example, returning the largest absolute deviation over all parameters.
+pub fn check_gradients(net: &Mlp, x: &[f64], target: f64) -> f64 {
+    let eps = 1e-6;
+    let mut grads: Vec<LayerGradient> = net.zero_grads();
+    net.accumulate_example(x, target, &mut grads);
+
+    let loss = |net: &Mlp| -> f64 { 0.5 * (net.predict(x) - target).powi(2) };
+
+    let mut max_err: f64 = 0.0;
+    for l in 0..net.layers().len() {
+        let (rows, cols) = net.layers()[l].weights.shape();
+        for i in 0..rows {
+            for j in 0..cols {
+                let mut plus = net.clone();
+                plus.layers_mut()[l].weights[(i, j)] += eps;
+                let mut minus = net.clone();
+                minus.layers_mut()[l].weights[(i, j)] -= eps;
+                let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                max_err = max_err.max((fd - grads[l].d_weights[(i, j)]).abs());
+            }
+            let mut plus = net.clone();
+            plus.layers_mut()[l].bias[i] += eps;
+            let mut minus = net.clone();
+            minus.layers_mut()[l].bias[i] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            max_err = max_err.max((fd - grads[l].d_bias[i]).abs());
+        }
+    }
+    max_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    #[test]
+    fn analytic_gradients_agree_with_finite_differences() {
+        let net = Mlp::new(3, &[5], Activation::Sigmoid, 42);
+        let err = check_gradients(&net, &[0.2, -0.4, 1.1], 0.3);
+        assert!(err < 1e-6, "gradient check error {err}");
+    }
+
+    #[test]
+    fn deeper_networks_also_pass() {
+        let net = Mlp::new(2, &[4, 4, 3], Activation::Tanh, 9);
+        let err = check_gradients(&net, &[0.5, -0.25], -0.8);
+        assert!(err < 1e-5, "gradient check error {err}");
+    }
+}

@@ -1,0 +1,161 @@
+//! The paper's second-layer analysis (Section VI-A2): when is it possible — and
+//! when is it worthwhile — to reuse dimension-side partial results *beyond* the
+//! first hidden layer?
+//!
+//! Two results are reproduced here:
+//!
+//! 1. **Exactness**: the decomposition of a second-layer unit
+//!    `l_k = f(Σ_j w²_{kj} f(T1_j + T2_j) + b²_k)` into
+//!    `f(Σ_j w²_{kj} f(T1_j) + T3_k)` (Equation 27) is exact **only for additive
+//!    activations** (`f(x+y) = f(x)+f(y)`).  Sigmoid and tanh are not additive;
+//!    ReLU is additive only when both terms share a sign.
+//! 2. **Cost**: even for additive activations, computing a second-layer unit from
+//!    the reused terms needs `n_h` multiplications and `n_h` additions per fact
+//!    tuple *plus* another `n_h` multiplications and additions per dimension tuple
+//!    to build `T3` — never fewer operations than the direct evaluation, and
+//!    strictly more once the per-dimension-tuple work is charged.  The
+//!    [`SecondLayerCost`] model makes this comparison explicit.
+
+use crate::activation::Activation;
+
+/// Operation counts for evaluating one second-layer unit over a whole epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondLayerCost {
+    /// Multiplications + additions when evaluating directly (per Equation 25):
+    /// `2·n_h` per fact tuple.
+    pub direct_total: u64,
+    /// Multiplications + additions when attempting reuse (per Equation 27):
+    /// `2·n_h` per fact tuple **plus** `2·n_h` per dimension tuple for `T3`.
+    pub reused_total: u64,
+}
+
+impl SecondLayerCost {
+    /// Builds the cost model for `n_h` hidden units, `n_s` fact tuples and `n_r`
+    /// dimension tuples.
+    pub fn new(n_h: usize, n_s: u64, n_r: u64) -> Self {
+        let per_tuple = 2 * n_h as u64;
+        Self {
+            direct_total: per_tuple * n_s,
+            reused_total: per_tuple * n_s + per_tuple * n_r,
+        }
+    }
+
+    /// Whether reuse is ever cheaper (the paper's answer: no).
+    pub fn reuse_is_cheaper(&self) -> bool {
+        self.reused_total < self.direct_total
+    }
+
+    /// Relative overhead of the reused evaluation.
+    pub fn reuse_overhead(&self) -> f64 {
+        self.reused_total as f64 / self.direct_total as f64
+    }
+}
+
+/// Directly evaluates one second-layer unit:
+/// `f(Σ_j w2_j · f(t1_j + t2_j) + b2)` (Equations 25–26), where `t1_j` is the
+/// fact-side part of hidden unit `j`'s pre-activation and `t2_j` the
+/// dimension-side part (bias included).
+pub fn second_layer_direct(
+    f: Activation,
+    w2: &[f64],
+    t1: &[f64],
+    t2: &[f64],
+    b2: f64,
+) -> f64 {
+    assert_eq!(w2.len(), t1.len());
+    assert_eq!(w2.len(), t2.len());
+    let sum: f64 = w2
+        .iter()
+        .zip(t1.iter().zip(t2.iter()))
+        .map(|(w, (a, b))| w * f.apply(a + b))
+        .sum();
+    f.apply(sum + b2)
+}
+
+/// Evaluates the same unit from reused partial results (Equation 27):
+/// `f(Σ_j w2_j·f(t1_j) + T3)` with `T3 = Σ_j w2_j·f(t2_j) + b2` computed once per
+/// dimension tuple.  Exact only when `f` is additive.
+pub fn second_layer_reused(
+    f: Activation,
+    w2: &[f64],
+    t1: &[f64],
+    t3: f64,
+) -> f64 {
+    assert_eq!(w2.len(), t1.len());
+    let sum: f64 = w2.iter().zip(t1.iter()).map(|(w, a)| w * f.apply(*a)).sum();
+    f.apply(sum + t3)
+}
+
+/// Computes the reusable term `T3 = Σ_j w2_j·f(t2_j) + b2` for one dimension tuple.
+pub fn second_layer_t3(f: Activation, w2: &[f64], t2: &[f64], b2: f64) -> f64 {
+    assert_eq!(w2.len(), t2.len());
+    w2.iter().zip(t2.iter()).map(|(w, b)| w * f.apply(*b)).sum::<f64>() + b2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W2: [f64; 3] = [0.5, -1.0, 2.0];
+    const T1: [f64; 3] = [0.3, 1.2, -0.4];
+    const T2: [f64; 3] = [0.7, -0.2, 0.9];
+    const B2: f64 = 0.25;
+
+    #[test]
+    fn reuse_is_exact_for_additive_activation() {
+        let f = Activation::Identity;
+        let direct = second_layer_direct(f, &W2, &T1, &T2, B2);
+        let t3 = second_layer_t3(f, &W2, &T2, B2);
+        let reused = second_layer_reused(f, &W2, &T1, t3);
+        assert!((direct - reused).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_is_not_exact_for_sigmoid_or_tanh() {
+        for f in [Activation::Sigmoid, Activation::Tanh] {
+            let direct = second_layer_direct(f, &W2, &T1, &T2, B2);
+            let t3 = second_layer_t3(f, &W2, &T2, B2);
+            let reused = second_layer_reused(f, &W2, &T1, t3);
+            assert!(
+                (direct - reused).abs() > 1e-3,
+                "{f:?}: decomposition unexpectedly exact ({direct} vs {reused})"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_reuse_exact_only_when_terms_share_sign() {
+        let f = Activation::Relu;
+        // all-positive T1/T2: additive, so the decomposition is exact
+        let t1 = [0.3, 1.2, 0.4];
+        let t2 = [0.7, 0.2, 0.9];
+        let direct = second_layer_direct(f, &W2, &t1, &t2, B2);
+        let t3 = second_layer_t3(f, &W2, &t2, B2);
+        let reused = second_layer_reused(f, &W2, &t1, t3);
+        assert!((direct - reused).abs() < 1e-12);
+
+        // mixed signs: not exact
+        let t1 = [0.3, -1.2, 0.4];
+        let t2 = [-0.7, 0.2, 0.9];
+        let direct = second_layer_direct(f, &W2, &t1, &t2, B2);
+        let t3 = second_layer_t3(f, &W2, &t2, B2);
+        let reused = second_layer_reused(f, &W2, &t1, t3);
+        assert!((direct - reused).abs() > 1e-6);
+    }
+
+    #[test]
+    fn reuse_is_never_cheaper() {
+        for (nh, ns, nr) in [(50usize, 1_000_000u64, 1_000u64), (10, 100, 100), (200, 10, 5)] {
+            let cost = SecondLayerCost::new(nh, ns, nr);
+            assert!(!cost.reuse_is_cheaper(), "{nh},{ns},{nr}");
+            assert!(cost.reuse_overhead() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn overhead_grows_with_relative_dimension_table_size() {
+        let small_r = SecondLayerCost::new(50, 1000, 10);
+        let large_r = SecondLayerCost::new(50, 1000, 1000);
+        assert!(large_r.reuse_overhead() > small_r.reuse_overhead());
+    }
+}

@@ -1,0 +1,55 @@
+//! The squared-error loss used by the paper's backward-propagation phase:
+//! `E = 1/(2N) · Σ_n (o^{(n)} − Y^{(n)})²`.
+
+/// Mean squared error over a set of predictions (the paper's `E`).
+pub fn mse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "mse: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = predictions
+        .iter()
+        .zip(targets.iter())
+        .map(|(o, y)| (o - y).powi(2))
+        .sum();
+    sum / (2.0 * predictions.len() as f64)
+}
+
+/// Per-example gradient of the *summed* squared error with respect to the output:
+/// `∂(½(o−y)²)/∂o = o − y`.  The `1/N` factor is applied once when the accumulated
+/// gradient is used for the parameter update, so that accumulation order does not
+/// change the result.
+#[inline]
+pub fn output_gradient(prediction: f64, target: f64) -> f64 {
+    prediction - target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_values() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        // errors 1 and 3 → (1 + 9) / (2*2) = 2.5
+        assert_eq!(mse(&[2.0, 0.0], &[1.0, 3.0]), 2.5);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn gradient_is_residual() {
+        assert_eq!(output_gradient(2.0, 0.5), 1.5);
+        assert_eq!(output_gradient(-1.0, 1.0), -2.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_of_mse() {
+        let y = 0.7;
+        let o = 1.3;
+        let eps = 1e-6;
+        // single-example mse = (o-y)^2 / 2, derivative = o - y
+        let f = |o: f64| mse(&[o], &[y]);
+        let fd = (f(o + eps) - f(o - eps)) / (2.0 * eps);
+        assert!((output_gradient(o, y) - fd).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,231 @@
+//! `F-NN` for multi-way joins (Section VI-B).
+//!
+//! With `q` dimension tables the first-layer pre-activation splits as
+//! `a¹ = W¹_S·x_S + Σ_i W¹_{R_i}·x_{R_i} + b¹` (Equation 31); each per-dimension
+//! partial product is computed once per dimension tuple per epoch and cached.  The
+//! first-layer weight gradient splits into `q + 1` blocks
+//! `[PG_S  PG_{R_1} … PG_{R_q}]` (Equation 32); each dimension block accumulates
+//! the per-dimension-tuple sum of `δ¹` and performs one outer product with
+//! `x_{R_i}` per dimension tuple.
+
+use crate::materialized::ensure_has_target;
+use crate::mlp::Mlp;
+use crate::trainer::{NnConfig, NnFit};
+use fml_linalg::{gemm, vector, Matrix};
+use fml_store::factorized_scan::StarScan;
+use fml_store::{Database, JoinSpec, StoreResult};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The factorized NN training strategy for star (multi-way) joins.
+pub struct FactorizedMultiwayNn;
+
+impl FactorizedMultiwayNn {
+    /// Trains the network over a star join of `q ≥ 1` dimension tables.
+    pub fn train(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+        let start = Instant::now();
+        spec.validate(db)?;
+        ensure_has_target(db, spec)?;
+        let sizes = spec.feature_partition(db)?;
+        let d_s = sizes[0];
+        let d: usize = sizes.iter().sum();
+        let q = sizes.len() - 1;
+        let offsets: Vec<usize> = sizes
+            .iter()
+            .scan(0usize, |acc, s| {
+                let o = *acc;
+                *acc += s;
+                Some(o)
+            })
+            .collect();
+        let n = spec.fact_relation(db)?.lock().num_tuples();
+        assert!(n > 0, "cannot train on an empty source");
+        let mut model = Mlp::new(d, &config.hidden, config.activation, config.seed);
+        let mut loss_trace = Vec::with_capacity(config.epochs);
+
+        for _epoch in 0..config.epochs {
+            let nh = model.layers()[0].out_dim();
+            let w1 = &model.layers()[0].weights;
+            let w1_s = w1.sub_block(0, nh, 0, d_s);
+            let w1_dims: Vec<Matrix> = (0..q)
+                .map(|i| w1.sub_block(0, nh, offsets[i + 1], offsets[i + 1] + sizes[i + 1]))
+                .collect();
+            let b1 = model.layers()[0].bias.clone();
+
+            let mut grads = model.zero_grads();
+            let mut grad_w_s = Matrix::zeros(nh, d_s);
+            let mut grad_w_dims: Vec<Matrix> =
+                (0..q).map(|i| Matrix::zeros(nh, sizes[i + 1])).collect();
+            let mut loss_sum = 0.0;
+
+            let scan = StarScan::new(db, spec, config.block_pages)?;
+            // Cached per dimension tuple: the partial product W¹_{R_i}·x_{R_i}.
+            let mut partials: Vec<HashMap<u64, Vec<f64>>> = (0..q).map(|_| HashMap::new()).collect();
+            // Per dimension tuple: accumulated sum of first-layer deltas.
+            let mut delta_sums: Vec<HashMap<u64, Vec<f64>>> =
+                (0..q).map(|_| HashMap::new()).collect();
+
+            for block in scan.blocks() {
+                for fact in block? {
+                    // ---- forward, first layer (factorized) ----
+                    let mut a1 = gemm::matvec(&w1_s, &fact.features);
+                    vector::axpy(1.0, &b1, &mut a1);
+                    for (i, fk) in fact.fks.iter().enumerate() {
+                        if !partials[i].contains_key(fk) {
+                            let dim_tuple = scan.cache().get(i, *fk).ok_or_else(|| {
+                                fml_store::StoreError::DanglingForeignKey {
+                                    relation: spec.dimensions[i].clone(),
+                                    key: *fk,
+                                }
+                            })?;
+                            partials[i]
+                                .insert(*fk, gemm::matvec(&w1_dims[i], &dim_tuple.features));
+                        }
+                        vector::axpy(1.0, &partials[i][fk], &mut a1);
+                    }
+                    let mut h1 = a1.clone();
+                    model.layers()[0].activation.apply_slice(&mut h1);
+                    // ---- forward, remaining layers ----
+                    let mut trace_layers = Vec::with_capacity(model.layers().len());
+                    trace_layers.push((a1, h1));
+                    for layer in &model.layers()[1..] {
+                        let input = trace_layers.last().unwrap().1.clone();
+                        let (a, h) = layer.forward(&input);
+                        trace_layers.push((a, h));
+                    }
+                    let trace = crate::mlp::ForwardTrace {
+                        layers: trace_layers,
+                    };
+                    // ---- backward ----
+                    let y = fact.target.unwrap_or(0.0);
+                    let (delta1, loss) = model.backward_factorized(&trace, y, &mut grads);
+                    loss_sum += loss;
+                    gemm::ger(1.0, &delta1, &fact.features, &mut grad_w_s);
+                    for (i, fk) in fact.fks.iter().enumerate() {
+                        let sums = delta_sums[i]
+                            .entry(*fk)
+                            .or_insert_with(|| vec![0.0; nh]);
+                        vector::axpy(1.0, &delta1, sums);
+                    }
+                }
+            }
+
+            // Dimension blocks of the first-layer gradient: one outer product per
+            // distinct dimension tuple.
+            for i in 0..q {
+                for (key, delta_sum) in &delta_sums[i] {
+                    let dim_tuple = scan.cache().get(i, *key).expect("seen during the epoch");
+                    gemm::ger(1.0, delta_sum, &dim_tuple.features, &mut grad_w_dims[i]);
+                }
+            }
+
+            // Assemble the first layer's weight gradient from its q+1 blocks.
+            for i in 0..nh {
+                for j in 0..d_s {
+                    grads[0].d_weights[(i, j)] += grad_w_s[(i, j)];
+                }
+                for (b, gw) in grad_w_dims.iter().enumerate() {
+                    for j in 0..sizes[b + 1] {
+                        grads[0].d_weights[(i, offsets[b + 1] + j)] += gw[(i, j)];
+                    }
+                }
+            }
+            model.apply_grads(&grads, config.learning_rate, n as f64);
+            loss_trace.push(loss_sum / n as f64);
+        }
+
+        Ok(NnFit {
+            model,
+            epochs: config.epochs,
+            loss_trace,
+            n_tuples: n,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialized::MaterializedNn;
+    use crate::streaming::StreamingNn;
+    use fml_data::multiway::{DimSpec, MultiwayConfig};
+    use fml_data::SyntheticConfig;
+
+    #[test]
+    fn multiway_factorized_matches_materialized() {
+        let w = MultiwayConfig {
+            n_s: 300,
+            d_s: 2,
+            dims: vec![DimSpec::new(12, 3), DimSpec::new(6, 5)],
+            k: 2,
+            noise_std: 0.5,
+            with_target: true,
+            seed: 23,
+        }
+        .generate()
+        .unwrap();
+        let config = NnConfig {
+            hidden: vec![8],
+            epochs: 4,
+            ..NnConfig::default()
+        };
+        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+        let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedMultiwayNn::train(&w.db, &w.spec, &config).unwrap();
+        assert!(
+            m.model.max_param_diff(&f.model) < 1e-9,
+            "M vs F diff {}",
+            m.model.max_param_diff(&f.model)
+        );
+        assert!(s.model.max_param_diff(&f.model) < 1e-9);
+    }
+
+    #[test]
+    fn multiway_three_dimensions() {
+        let w = MultiwayConfig {
+            n_s: 250,
+            d_s: 1,
+            dims: vec![DimSpec::new(8, 2), DimSpec::new(4, 3), DimSpec::new(3, 2)],
+            k: 2,
+            noise_std: 0.5,
+            with_target: true,
+            seed: 29,
+        }
+        .generate()
+        .unwrap();
+        let config = NnConfig {
+            hidden: vec![5],
+            epochs: 3,
+            ..NnConfig::default()
+        };
+        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedMultiwayNn::train(&w.db, &w.spec, &config).unwrap();
+        assert!(m.model.max_param_diff(&f.model) < 1e-9);
+        assert_eq!(f.model.input_dim(), 8);
+    }
+
+    #[test]
+    fn multiway_reduces_to_binary_when_q_is_one() {
+        let w = SyntheticConfig {
+            n_s: 200,
+            n_r: 10,
+            d_s: 2,
+            d_r: 4,
+            k: 2,
+            noise_std: 0.5,
+            with_target: true,
+            seed: 31,
+        }
+        .generate()
+        .unwrap();
+        let config = NnConfig {
+            hidden: vec![6],
+            epochs: 3,
+            ..NnConfig::default()
+        };
+        let binary = crate::FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+        let multi = FactorizedMultiwayNn::train(&w.db, &w.spec, &config).unwrap();
+        assert!(binary.model.max_param_diff(&multi.model) < 1e-10);
+    }
+}

@@ -1,0 +1,188 @@
+//! `S-NN`: join on the fly each epoch, feed the denormalized tuples to the
+//! unchanged trainer.
+
+use crate::materialized::ensure_has_target;
+use crate::mlp::Mlp;
+use crate::trainer::{train_supervised_from, NnConfig, NnFit, SupervisedSource};
+use fml_store::factorized_scan::{GroupScan, StarScan};
+use fml_store::{Database, JoinSpec, StoreResult};
+use std::time::Instant;
+
+/// The streaming (join-on-the-fly) NN training strategy.
+pub struct StreamingNn;
+
+impl StreamingNn {
+    /// Trains the network joining the base relations on the fly each epoch.
+    pub fn train(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+        let start = Instant::now();
+        spec.validate(db)?;
+        ensure_has_target(db, spec)?;
+        let d = spec.total_features(db)?;
+        let initial = Mlp::new(d, &config.hidden, config.activation, config.seed);
+        let mut fit = if spec.num_dimensions() == 1 {
+            let mut source = BinarySupervisedSource::new(db, spec.clone(), config.block_pages)?;
+            train_supervised_from(&mut source, config, initial)?
+        } else {
+            let mut source = StarSupervisedSource::new(db, spec.clone(), config.block_pages)?;
+            train_supervised_from(&mut source, config, initial)?
+        };
+        fit.elapsed = start.elapsed();
+        Ok(fit)
+    }
+}
+
+/// Supervised source for binary joins (reads `R` in blocks, probes `S`).
+pub struct BinarySupervisedSource<'a> {
+    db: &'a Database,
+    spec: JoinSpec,
+    block_pages: usize,
+    dim: usize,
+    n: u64,
+}
+
+impl<'a> BinarySupervisedSource<'a> {
+    /// Creates the source.
+    pub fn new(db: &'a Database, spec: JoinSpec, block_pages: usize) -> StoreResult<Self> {
+        spec.validate(db)?;
+        let dim = spec.total_features(db)?;
+        let n = spec.fact_relation(db)?.lock().num_tuples();
+        Ok(Self {
+            db,
+            spec,
+            block_pages,
+            dim,
+            n,
+        })
+    }
+}
+
+impl SupervisedSource for BinarySupervisedSource<'_> {
+    fn for_each(&mut self, f: &mut dyn FnMut(&[f64], f64)) -> StoreResult<()> {
+        let scan = GroupScan::from_spec(self.db, &self.spec, self.block_pages)?;
+        for block in scan {
+            for group in block? {
+                for joined in group.denormalize() {
+                    f(&joined.features, joined.target.unwrap_or(0.0));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Supervised source for multi-way joins (dimension cache + fact scan).
+pub struct StarSupervisedSource<'a> {
+    db: &'a Database,
+    spec: JoinSpec,
+    block_pages: usize,
+    dim: usize,
+    n: u64,
+}
+
+impl<'a> StarSupervisedSource<'a> {
+    /// Creates the source.
+    pub fn new(db: &'a Database, spec: JoinSpec, block_pages: usize) -> StoreResult<Self> {
+        spec.validate(db)?;
+        let dim = spec.total_features(db)?;
+        let n = spec.fact_relation(db)?.lock().num_tuples();
+        Ok(Self {
+            db,
+            spec,
+            block_pages,
+            dim,
+            n,
+        })
+    }
+}
+
+impl SupervisedSource for StarSupervisedSource<'_> {
+    fn for_each(&mut self, f: &mut dyn FnMut(&[f64], f64)) -> StoreResult<()> {
+        let scan = StarScan::new(self.db, &self.spec, self.block_pages)?;
+        for block in scan.blocks() {
+            for fact in block? {
+                let joined = scan.denormalize(&fact)?;
+                f(&joined.features, joined.target.unwrap_or(0.0));
+            }
+        }
+        Ok(())
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialized::MaterializedNn;
+    use fml_data::multiway::{DimSpec, MultiwayConfig};
+    use fml_data::SyntheticConfig;
+
+    #[test]
+    fn streaming_matches_materialized_binary() {
+        let w = SyntheticConfig {
+            n_s: 250,
+            n_r: 10,
+            d_s: 2,
+            d_r: 4,
+            k: 2,
+            noise_std: 0.5,
+            with_target: true,
+            seed: 9,
+        }
+        .generate()
+        .unwrap();
+        let config = NnConfig {
+            hidden: vec![8],
+            epochs: 4,
+            ..NnConfig::default()
+        };
+        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+        let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
+        assert!(
+            m.model.max_param_diff(&s.model) < 1e-9,
+            "M-NN vs S-NN diff {}",
+            m.model.max_param_diff(&s.model)
+        );
+        for (a, b) in m.loss_trace.iter().zip(s.loss_trace.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn streaming_multiway() {
+        let w = MultiwayConfig {
+            n_s: 200,
+            d_s: 2,
+            dims: vec![DimSpec::new(10, 2), DimSpec::new(5, 3)],
+            k: 2,
+            noise_std: 0.5,
+            with_target: true,
+            seed: 12,
+        }
+        .generate()
+        .unwrap();
+        let config = NnConfig {
+            hidden: vec![6],
+            epochs: 3,
+            ..NnConfig::default()
+        };
+        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+        let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
+        assert!(m.model.max_param_diff(&s.model) < 1e-9);
+        assert_eq!(s.model.input_dim(), 7);
+    }
+}

@@ -1,0 +1,247 @@
+//! Shared training configuration, result type, and the dense full-batch trainer
+//! used by `M-NN` and `S-NN`.
+
+use crate::activation::Activation;
+use crate::mlp::Mlp;
+use fml_store::StoreResult;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Configuration shared by every NN training variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnConfig {
+    /// Hidden layer sizes (the paper uses a single hidden layer of `n_h` units).
+    pub hidden: Vec<usize>,
+    /// Hidden activation function.
+    pub activation: Activation,
+    /// Number of training epochs (the paper uses 10).
+    pub epochs: usize,
+    /// Learning rate for the full-batch gradient-descent update.
+    pub learning_rate: f64,
+    /// Seed for the (data-independent) weight initialization.
+    pub seed: u64,
+    /// Pages per scan block.
+    pub block_pages: usize,
+}
+
+impl Default for NnConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![50],
+            activation: Activation::Sigmoid,
+            epochs: 10,
+            learning_rate: 0.05,
+            seed: 7,
+            block_pages: fml_store::DEFAULT_BLOCK_PAGES,
+        }
+    }
+}
+
+impl NnConfig {
+    /// Convenience constructor fixing the hidden width `n_h`.
+    pub fn with_hidden(n_h: usize) -> Self {
+        Self {
+            hidden: vec![n_h],
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with a different epoch budget.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Returns a copy with a different activation.
+    pub fn activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of training a network.
+#[derive(Debug, Clone)]
+pub struct NnFit {
+    /// The trained network.
+    pub model: Mlp,
+    /// Number of epochs performed.
+    pub epochs: usize,
+    /// Mean squared error after each epoch (`E` of Section VI-A3).
+    pub loss_trace: Vec<f64>,
+    /// Number of training tuples `N`.
+    pub n_tuples: u64,
+    /// Wall-clock training time (includes any join / materialization work).
+    pub elapsed: Duration,
+}
+
+impl NnFit {
+    /// Final training loss.
+    pub fn final_loss(&self) -> f64 {
+        self.loss_trace.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// A source of `(joined features, target)` pairs that can be replayed once per
+/// epoch — the supervised analogue of the GMM crate's dense pass source.
+pub trait SupervisedSource {
+    /// Invokes `f` once per example.
+    fn for_each(&mut self, f: &mut dyn FnMut(&[f64], f64)) -> StoreResult<()>;
+    /// Number of examples per epoch.
+    fn num_tuples(&self) -> u64;
+    /// Dimensionality of the joined feature vectors.
+    fn dim(&self) -> usize;
+}
+
+/// Full-batch gradient-descent training over a dense supervised source, starting
+/// from the given initial network.  `M-NN` and `S-NN` share this loop.
+pub fn train_supervised_from(
+    source: &mut dyn SupervisedSource,
+    config: &NnConfig,
+    initial: Mlp,
+) -> StoreResult<NnFit> {
+    let start = Instant::now();
+    let n = source.num_tuples();
+    assert!(n > 0, "cannot train on an empty source");
+    assert_eq!(initial.input_dim(), source.dim(), "initial model dimension mismatch");
+    let mut model = initial;
+    let mut loss_trace = Vec::with_capacity(config.epochs);
+    for _epoch in 0..config.epochs {
+        let mut grads = model.zero_grads();
+        let mut loss_sum = 0.0;
+        source.for_each(&mut |x: &[f64], y: f64| {
+            loss_sum += model.accumulate_example(x, y, &mut grads);
+        })?;
+        model.apply_grads(&grads, config.learning_rate, n as f64);
+        loss_trace.push(loss_sum / n as f64);
+    }
+    Ok(NnFit {
+        model,
+        epochs: config.epochs,
+        loss_trace,
+        n_tuples: n,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Full-batch training with the default seeded initialization.
+pub fn train_supervised(
+    source: &mut dyn SupervisedSource,
+    config: &NnConfig,
+) -> StoreResult<NnFit> {
+    let initial = Mlp::new(source.dim(), &config.hidden, config.activation, config.seed);
+    train_supervised_from(source, config, initial)
+}
+
+/// An in-memory supervised source for tests.
+pub struct VecSupervisedSource {
+    rows: Vec<(Vec<f64>, f64)>,
+    dim: usize,
+}
+
+impl VecSupervisedSource {
+    /// Creates a source over in-memory `(x, y)` pairs.
+    pub fn new(rows: Vec<(Vec<f64>, f64)>) -> Self {
+        let dim = rows.first().map(|(x, _)| x.len()).unwrap_or(0);
+        assert!(rows.iter().all(|(x, _)| x.len() == dim), "ragged rows");
+        Self { rows, dim }
+    }
+}
+
+impl SupervisedSource for VecSupervisedSource {
+    fn for_each(&mut self, f: &mut dyn FnMut(&[f64], f64)) -> StoreResult<()> {
+        for (x, y) in &self.rows {
+            f(x, *y);
+        }
+        Ok(())
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> Vec<(Vec<f64>, f64)> {
+        (0..60)
+            .map(|i| {
+                let x0 = (i % 6) as f64 / 6.0;
+                let x1 = (i / 6) as f64 / 10.0;
+                (vec![x0, x1], 2.0 * x0 - x1 + 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = NnConfig::default();
+        assert_eq!(c.hidden, vec![50]);
+        assert_eq!(c.epochs, 10);
+        assert_eq!(c.activation, Activation::Sigmoid);
+    }
+
+    #[test]
+    fn builders() {
+        let c = NnConfig::with_hidden(30)
+            .epochs(5)
+            .activation(Activation::Relu)
+            .seeded(3);
+        assert_eq!(c.hidden, vec![30]);
+        assert_eq!(c.epochs, 5);
+        assert_eq!(c.activation, Activation::Relu);
+        assert_eq!(c.seed, 3);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_learnable_data() {
+        let mut source = VecSupervisedSource::new(linear_data());
+        let config = NnConfig {
+            hidden: vec![8],
+            activation: Activation::Tanh,
+            epochs: 150,
+            learning_rate: 0.5,
+            ..NnConfig::default()
+        };
+        let fit = train_supervised(&mut source, &config).unwrap();
+        assert_eq!(fit.epochs, 150);
+        assert_eq!(fit.n_tuples, 60);
+        assert!(
+            fit.final_loss() < fit.loss_trace[0] * 0.2,
+            "loss did not drop: {} -> {}",
+            fit.loss_trace[0],
+            fit.final_loss()
+        );
+    }
+
+    #[test]
+    fn loss_trace_has_one_entry_per_epoch() {
+        let mut source = VecSupervisedSource::new(linear_data());
+        let config = NnConfig {
+            hidden: vec![4],
+            epochs: 7,
+            ..NnConfig::default()
+        };
+        let fit = train_supervised(&mut source, &config).unwrap();
+        assert_eq!(fit.loss_trace.len(), 7);
+        assert!(fit.loss_trace.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn empty_source_rejected() {
+        let mut source = VecSupervisedSource::new(vec![]);
+        let _ = train_supervised(&mut source, &NnConfig::default());
+    }
+}

@@ -1,0 +1,194 @@
+//! The database catalog: named relations sharing one I/O-statistics domain.
+
+use crate::error::{StoreError, StoreResult};
+use crate::heap::{FilePageStore, HeapFile, MemPageStore};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Shared handle to a relation.  Scans and trainers lock it per page access.
+pub type RelationHandle = Arc<Mutex<Relation>>;
+
+enum Backend {
+    Memory,
+    Disk(PathBuf),
+}
+
+/// A collection of relations with a shared I/O counter domain — the stand-in for
+/// the RDBMS instance used by the paper's evaluation.
+pub struct Database {
+    backend: Backend,
+    stats: IoStats,
+    relations: Mutex<BTreeMap<String, RelationHandle>>,
+}
+
+impl Database {
+    /// Creates an in-memory database (pages live on the heap, I/O still counted).
+    pub fn in_memory() -> Self {
+        Self {
+            backend: Backend::Memory,
+            stats: IoStats::new(),
+            relations: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Creates a disk-backed database rooted at `dir` (created if missing).
+    pub fn on_disk(dir: impl Into<PathBuf>) -> StoreResult<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            backend: Backend::Disk(dir),
+            stats: IoStats::new(),
+            relations: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The database-wide I/O statistics handle.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Creates a new, empty relation with the given schema.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::RelationExists`] when the name is already taken.
+    pub fn create_relation(&self, schema: Schema) -> StoreResult<RelationHandle> {
+        let mut rels = self.relations.lock();
+        if rels.contains_key(&schema.name) {
+            return Err(StoreError::RelationExists(schema.name));
+        }
+        let heap = match &self.backend {
+            Backend::Memory => {
+                HeapFile::new(Box::new(MemPageStore::new()), schema.record_size(), self.stats.clone())?
+            }
+            Backend::Disk(dir) => {
+                let path = dir.join(format!("{}.pages", sanitize(&schema.name)));
+                let store = FilePageStore::create(&path)?;
+                HeapFile::new(Box::new(store), schema.record_size(), self.stats.clone())?
+            }
+        };
+        let handle: RelationHandle = Arc::new(Mutex::new(Relation::new(schema.clone(), heap)));
+        rels.insert(schema.name, handle.clone());
+        Ok(handle)
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> StoreResult<RelationHandle> {
+        self.relations
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::UnknownRelation(name.to_string()))
+    }
+
+    /// Removes a relation from the catalog (its pages are dropped / its file left
+    /// on disk).  Used by experiments that re-materialize a join under the same
+    /// name between runs.
+    pub fn drop_relation(&self, name: &str) -> StoreResult<()> {
+        let removed = self.relations.lock().remove(name);
+        if removed.is_none() {
+            return Err(StoreError::UnknownRelation(name.to_string()));
+        }
+        if let Backend::Disk(dir) = &self.backend {
+            let path = dir.join(format!("{}.pages", sanitize(name)));
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Names of all relations in the catalog, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.lock().keys().cloned().collect()
+    }
+
+    /// Whether a relation with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.lock().contains_key(name)
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn create_lookup_drop() {
+        let db = Database::in_memory();
+        let s = db.create_relation(Schema::fact("s", 2, 1)).unwrap();
+        assert!(db.contains("s"));
+        assert_eq!(db.relation_names(), vec!["s".to_string()]);
+        {
+            let mut s = s.lock();
+            s.append(&Tuple::fact(1, vec![1], vec![0.0, 1.0])).unwrap();
+            s.flush().unwrap();
+        }
+        let again = db.relation("s").unwrap();
+        assert_eq!(again.lock().num_tuples(), 1);
+        db.drop_relation("s").unwrap();
+        assert!(!db.contains("s"));
+        assert!(db.relation("s").is_err());
+        assert!(db.drop_relation("s").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let db = Database::in_memory();
+        db.create_relation(Schema::dimension("r", 1)).unwrap();
+        assert!(matches!(
+            db.create_relation(Schema::dimension("r", 2)),
+            Err(StoreError::RelationExists(_))
+        ));
+    }
+
+    #[test]
+    fn stats_are_shared_across_relations() {
+        let db = Database::in_memory();
+        let a = db.create_relation(Schema::dimension("a", 1)).unwrap();
+        let b = db.create_relation(Schema::dimension("b", 1)).unwrap();
+        a.lock().append(&Tuple::dimension(1, vec![1.0])).unwrap();
+        b.lock().append(&Tuple::dimension(2, vec![2.0])).unwrap();
+        a.lock().flush().unwrap();
+        b.lock().flush().unwrap();
+        let snap = db.stats().snapshot();
+        assert_eq!(snap.tuples_written, 2);
+        assert_eq!(snap.pages_written, 2);
+    }
+
+    #[test]
+    fn disk_backend_creates_files() {
+        let dir = std::env::temp_dir().join(format!("fml_db_test_{}", std::process::id()));
+        let db = Database::on_disk(&dir).unwrap();
+        let r = db.create_relation(Schema::dimension("items", 2)).unwrap();
+        {
+            let mut r = r.lock();
+            for i in 0..10 {
+                r.append(&Tuple::dimension(i, vec![i as f64, 0.0])).unwrap();
+            }
+            r.flush().unwrap();
+        }
+        assert!(dir.join("items.pages").exists());
+        assert_eq!(r.lock().read_all().unwrap().len(), 10);
+        db.drop_relation("items").unwrap();
+        assert!(!dir.join("items.pages").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("a/b c"), "a_b_c");
+        assert_eq!(sanitize("T_join"), "T_join");
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal CSV import/export for relations.
+//!
+//! The examples use this to show how a real (externally produced) dataset would be
+//! loaded into the engine before training; the implementation is intentionally
+//! simple (no quoting — all columns are numeric).
+//!
+//! Column order mirrors the record layout: `key, fk_1 … fk_q, [target,] f_1 … f_d`.
+
+use crate::catalog::RelationHandle;
+use crate::error::{StoreError, StoreResult};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a header line for the schema.
+fn header(schema: &Schema) -> String {
+    let mut cols = vec!["key".to_string()];
+    for i in 0..schema.num_foreign_keys {
+        cols.push(format!("fk{i}"));
+    }
+    if schema.has_target {
+        cols.push("target".to_string());
+    }
+    for i in 0..schema.num_features {
+        cols.push(format!("x{i}"));
+    }
+    cols.join(",")
+}
+
+/// Exports a relation to a CSV file (with header).
+pub fn export_csv(relation: &RelationHandle, path: &Path) -> StoreResult<()> {
+    let mut rel = relation.lock();
+    let schema = rel.schema().clone();
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "{}", header(&schema))?;
+    for p in 0..rel.num_pages() {
+        for t in rel.read_page_tuples(p)? {
+            let mut cols = Vec::with_capacity(schema.fields_per_record());
+            cols.push(t.key.to_string());
+            for fk in &t.fks {
+                cols.push(fk.to_string());
+            }
+            if let Some(y) = t.target {
+                cols.push(format!("{y}"));
+            }
+            for f in &t.features {
+                cols.push(format!("{f}"));
+            }
+            writeln!(w, "{}", cols.join(","))?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parses one CSV line into a tuple for the given schema.
+fn parse_line(schema: &Schema, line: &str, line_no: usize) -> StoreResult<Tuple> {
+    let expected = 1 + schema.num_foreign_keys + usize::from(schema.has_target) + schema.num_features;
+    let cols: Vec<&str> = line.split(',').map(|c| c.trim()).collect();
+    if cols.len() != expected {
+        return Err(StoreError::Csv(format!(
+            "line {line_no}: expected {expected} columns, got {}",
+            cols.len()
+        )));
+    }
+    let parse_u64 = |s: &str| -> StoreResult<u64> {
+        s.parse()
+            .map_err(|_| StoreError::Csv(format!("line {line_no}: invalid integer '{s}'")))
+    };
+    let parse_f64 = |s: &str| -> StoreResult<f64> {
+        s.parse()
+            .map_err(|_| StoreError::Csv(format!("line {line_no}: invalid number '{s}'")))
+    };
+    let mut it = cols.into_iter();
+    let key = parse_u64(it.next().unwrap())?;
+    let mut fks = Vec::with_capacity(schema.num_foreign_keys);
+    for _ in 0..schema.num_foreign_keys {
+        fks.push(parse_u64(it.next().unwrap())?);
+    }
+    let target = if schema.has_target {
+        Some(parse_f64(it.next().unwrap())?)
+    } else {
+        None
+    };
+    let mut features = Vec::with_capacity(schema.num_features);
+    for col in it {
+        features.push(parse_f64(col)?);
+    }
+    Ok(Tuple {
+        key,
+        fks,
+        target,
+        features,
+    })
+}
+
+/// Imports a CSV file (with or without header) into an existing relation.
+/// Returns the number of tuples loaded.
+pub fn import_csv(relation: &RelationHandle, path: &Path) -> StoreResult<u64> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut rel = relation.lock();
+    let schema = rel.schema().clone();
+    let mut count = 0u64;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if i == 0 && trimmed.starts_with("key") {
+            continue; // header
+        }
+        let tuple = parse_line(&schema, trimmed, i + 1)?;
+        rel.append(&tuple)?;
+        count += 1;
+    }
+    rel.flush()?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+
+    #[test]
+    fn export_import_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("fml_csv_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rel.csv");
+
+        let db = Database::in_memory();
+        let schema = Schema::fact_with_target("s", 2, 1);
+        let rel = db.create_relation(schema.clone()).unwrap();
+        for i in 0..50u64 {
+            rel.lock()
+                .append(&Tuple::fact_with_target(
+                    i,
+                    vec![i % 5],
+                    i as f64 / 2.0,
+                    vec![i as f64, -1.5],
+                ))
+                .unwrap();
+        }
+        rel.lock().flush().unwrap();
+        export_csv(&rel, &path).unwrap();
+
+        let rel2 = db.create_relation(schema.renamed("s2")).unwrap();
+        let n = import_csv(&rel2, &path).unwrap();
+        assert_eq!(n, 50);
+        let a = rel.lock().read_all().unwrap();
+        let b = rel2.lock().read_all().unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_format() {
+        let schema = Schema::fact_with_target("s", 2, 1);
+        assert_eq!(header(&schema), "key,fk0,target,x0,x1");
+        let dim = Schema::dimension("r", 1);
+        assert_eq!(header(&dim), "key,x0");
+    }
+
+    #[test]
+    fn parse_line_errors() {
+        let schema = Schema::dimension("r", 2);
+        assert!(parse_line(&schema, "1,2.0,3.0", 1).is_ok());
+        assert!(parse_line(&schema, "1,2.0", 1).is_err()); // too few columns
+        assert!(parse_line(&schema, "x,2.0,3.0", 1).is_err()); // bad key
+        assert!(parse_line(&schema, "1,a,3.0", 1).is_err()); // bad feature
+    }
+}

@@ -1,0 +1,381 @@
+//! Heap files: ordered sequences of pages, on disk or in memory.
+//!
+//! A [`HeapFile`] owns a [`PageStore`] backend plus a small tail-page write buffer,
+//! and reports every page transfer to a shared [`IoStats`] handle.  Two backends
+//! are provided:
+//!
+//! * [`MemPageStore`] — pages held in a `Vec<Vec<u8>>`; used for unit tests and
+//!   for experiments where only *counted* I/O matters.
+//! * [`FilePageStore`] — pages stored in a regular file with positional reads and
+//!   writes; used by the examples and the benchmark harness so that the
+//!   materialized variants actually pay the cost of writing the join result.
+
+use crate::error::{StoreError, StoreResult};
+use crate::page::Page;
+use crate::stats::IoStats;
+use crate::PAGE_SIZE;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Abstraction over where pages physically live.
+pub trait PageStore: Send {
+    /// Number of pages currently stored.
+    fn num_pages(&self) -> usize;
+    /// Reads page `idx`.
+    fn read_page(&mut self, idx: usize) -> StoreResult<Page>;
+    /// Overwrites page `idx`.
+    fn write_page(&mut self, idx: usize, page: &Page) -> StoreResult<()>;
+    /// Appends a page, returning its index.
+    fn append_page(&mut self, page: &Page) -> StoreResult<usize>;
+}
+
+/// In-memory page store.
+#[derive(Default)]
+pub struct MemPageStore {
+    pages: Vec<Vec<u8>>,
+}
+
+impl MemPageStore {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn read_page(&mut self, idx: usize) -> StoreResult<Page> {
+        let bytes = self
+            .pages
+            .get(idx)
+            .ok_or(StoreError::PageOutOfRange {
+                page: idx,
+                pages: self.pages.len(),
+            })?
+            .clone();
+        Page::from_bytes(bytes)
+    }
+
+    fn write_page(&mut self, idx: usize, page: &Page) -> StoreResult<()> {
+        if idx >= self.pages.len() {
+            return Err(StoreError::PageOutOfRange {
+                page: idx,
+                pages: self.pages.len(),
+            });
+        }
+        self.pages[idx] = page.as_bytes().to_vec();
+        Ok(())
+    }
+
+    fn append_page(&mut self, page: &Page) -> StoreResult<usize> {
+        self.pages.push(page.as_bytes().to_vec());
+        Ok(self.pages.len() - 1)
+    }
+}
+
+/// File-backed page store.
+pub struct FilePageStore {
+    file: File,
+    num_pages: usize,
+}
+
+impl FilePageStore {
+    /// Creates (truncating) a page file at `path`.
+    pub fn create(path: &Path) -> StoreResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self { file, num_pages: 0 })
+    }
+
+    /// Opens an existing page file at `path`.
+    pub fn open(path: &Path) -> StoreResult<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len % PAGE_SIZE != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(Self {
+            file,
+            num_pages: len / PAGE_SIZE,
+        })
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    fn read_page(&mut self, idx: usize) -> StoreResult<Page> {
+        if idx >= self.num_pages {
+            return Err(StoreError::PageOutOfRange {
+                page: idx,
+                pages: self.num_pages,
+            });
+        }
+        self.file.seek(SeekFrom::Start((idx * PAGE_SIZE) as u64))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact(&mut buf)?;
+        Page::from_bytes(buf)
+    }
+
+    fn write_page(&mut self, idx: usize, page: &Page) -> StoreResult<()> {
+        if idx >= self.num_pages {
+            return Err(StoreError::PageOutOfRange {
+                page: idx,
+                pages: self.num_pages,
+            });
+        }
+        self.file.seek(SeekFrom::Start((idx * PAGE_SIZE) as u64))?;
+        self.file.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    fn append_page(&mut self, page: &Page) -> StoreResult<usize> {
+        self.file
+            .seek(SeekFrom::Start((self.num_pages * PAGE_SIZE) as u64))?;
+        self.file.write_all(page.as_bytes())?;
+        self.num_pages += 1;
+        Ok(self.num_pages - 1)
+    }
+}
+
+/// A heap file of fixed-width records with a tail-page append buffer.
+pub struct HeapFile {
+    store: Box<dyn PageStore>,
+    record_size: usize,
+    stats: IoStats,
+    /// Partially filled tail page not yet flushed, with its page index if it was
+    /// already appended once.
+    tail: Option<(Option<usize>, Page)>,
+    num_records: u64,
+}
+
+impl HeapFile {
+    /// Creates a heap file for records of `record_size` bytes on the given backend.
+    pub fn new(store: Box<dyn PageStore>, record_size: usize, stats: IoStats) -> StoreResult<Self> {
+        // Validate record size eagerly (Page::new performs the check).
+        Page::new(record_size)?;
+        let mut num_records = 0u64;
+        // If reopening an existing store, count records without charging stats.
+        let mut store = store;
+        for i in 0..store.num_pages() {
+            num_records += store.read_page(i)?.len() as u64;
+        }
+        Ok(Self {
+            store,
+            record_size,
+            stats,
+            tail: None,
+            num_records,
+        })
+    }
+
+    /// Creates an in-memory heap file.
+    pub fn in_memory(record_size: usize, stats: IoStats) -> StoreResult<Self> {
+        Self::new(Box::new(MemPageStore::new()), record_size, stats)
+    }
+
+    /// Width of each record.
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// Shared I/O statistics handle.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Total number of records appended.
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    /// Number of pages including the unflushed tail page.
+    pub fn num_pages(&self) -> usize {
+        self.store.num_pages()
+            + match &self.tail {
+                Some((None, _)) => 1,
+                _ => 0,
+            }
+    }
+
+    /// Maximum number of records per page for this record size.
+    pub fn records_per_page(&self) -> usize {
+        (PAGE_SIZE - crate::page::PAGE_HEADER) / self.record_size
+    }
+
+    /// Appends one encoded record.
+    pub fn append(&mut self, record: &[u8]) -> StoreResult<()> {
+        if self.tail.is_none() {
+            self.tail = Some((None, Page::new(self.record_size)?));
+        }
+        {
+            let (_, page) = self.tail.as_mut().unwrap();
+            page.push(record)?;
+            self.num_records += 1;
+            self.stats.add_tuples_written(1);
+        }
+        let full = self.tail.as_ref().map(|(_, p)| p.is_full()).unwrap_or(false);
+        if full {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the tail page (if any) to the backend.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        if let Some((idx, page)) = self.tail.take() {
+            match idx {
+                Some(i) => {
+                    self.store.write_page(i, &page)?;
+                    self.stats.add_pages_written(1);
+                    if !page.is_full() {
+                        self.tail = Some((Some(i), page));
+                    }
+                }
+                None => {
+                    let i = self.store.append_page(&page)?;
+                    self.stats.add_pages_written(1);
+                    if !page.is_full() {
+                        self.tail = Some((Some(i), page));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads page `idx`, charging one page read to the stats.
+    pub fn read_page(&mut self, idx: usize) -> StoreResult<Page> {
+        // Serve unflushed tail reads from memory (still counts as a page read so
+        // every algorithm variant is charged identically for scanning its input).
+        if let Some((Some(i), page)) = &self.tail {
+            if *i == idx {
+                self.stats.add_pages_read(1);
+                return Ok(page.clone());
+            }
+        }
+        if let Some((None, page)) = &self.tail {
+            if idx == self.store.num_pages() {
+                self.stats.add_pages_read(1);
+                return Ok(page.clone());
+            }
+        }
+        let page = self.store.read_page(idx)?;
+        self.stats.add_pages_read(1);
+        Ok(page)
+    }
+
+    /// Number of pages that a scan must touch (flushed pages plus tail).
+    pub fn scan_pages(&self) -> usize {
+        let mut n = self.store.num_pages();
+        if let Some((idx, _)) = &self.tail {
+            if idx.is_none() {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(v: u8, size: usize) -> Vec<u8> {
+        vec![v; size]
+    }
+
+    #[test]
+    fn append_and_read_in_memory() {
+        let stats = IoStats::new();
+        let mut heap = HeapFile::in_memory(8, stats.clone()).unwrap();
+        for i in 0..10u8 {
+            heap.append(&record(i, 8)).unwrap();
+        }
+        heap.flush().unwrap();
+        assert_eq!(heap.num_records(), 10);
+        assert_eq!(heap.scan_pages(), 1);
+        let page = heap.read_page(0).unwrap();
+        assert_eq!(page.len(), 10);
+        assert_eq!(page.record(3).unwrap(), record(3, 8).as_slice());
+        assert!(stats.snapshot().pages_written >= 1);
+        assert_eq!(stats.snapshot().tuples_written, 10);
+        assert_eq!(stats.snapshot().pages_read, 1);
+    }
+
+    #[test]
+    fn spills_to_multiple_pages() {
+        let stats = IoStats::new();
+        // large records so a page fills quickly
+        let record_size = 2048;
+        let per_page = (PAGE_SIZE - crate::page::PAGE_HEADER) / record_size;
+        let mut heap = HeapFile::in_memory(record_size, stats).unwrap();
+        let total = per_page * 3 + 1;
+        for i in 0..total {
+            heap.append(&record(i as u8, record_size)).unwrap();
+        }
+        heap.flush().unwrap();
+        assert_eq!(heap.num_records() as usize, total);
+        assert_eq!(heap.scan_pages(), 4);
+        // read all pages back and count records
+        let mut seen = 0;
+        for p in 0..heap.scan_pages() {
+            seen += heap.read_page(p).unwrap().len();
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn unflushed_tail_is_readable() {
+        let stats = IoStats::new();
+        let mut heap = HeapFile::in_memory(8, stats).unwrap();
+        heap.append(&record(9, 8)).unwrap();
+        // no flush: page 0 lives only in the tail buffer
+        assert_eq!(heap.scan_pages(), 1);
+        let page = heap.read_page(0).unwrap();
+        assert_eq!(page.len(), 1);
+    }
+
+    #[test]
+    fn file_backed_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("fml_store_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap_roundtrip.pages");
+        let stats = IoStats::new();
+        {
+            let store = FilePageStore::create(&path).unwrap();
+            let mut heap = HeapFile::new(Box::new(store), 16, stats.clone()).unwrap();
+            for i in 0..100u8 {
+                heap.append(&record(i, 16)).unwrap();
+            }
+            heap.flush().unwrap();
+        }
+        {
+            let store = FilePageStore::open(&path).unwrap();
+            let mut heap = HeapFile::new(Box::new(store), 16, stats).unwrap();
+            assert_eq!(heap.num_records(), 100);
+            let page = heap.read_page(0).unwrap();
+            assert_eq!(page.record(5).unwrap(), record(5, 16).as_slice());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_past_end_is_error() {
+        let stats = IoStats::new();
+        let mut heap = HeapFile::in_memory(8, stats).unwrap();
+        assert!(heap.read_page(0).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Relations: a schema plus a heap file of encoded tuples.
+
+use crate::error::StoreResult;
+use crate::heap::HeapFile;
+use crate::schema::Schema;
+use crate::stats::IoStats;
+use crate::tuple::{Tuple, TupleId};
+
+/// A stored relation.
+pub struct Relation {
+    schema: Schema,
+    heap: HeapFile,
+    encode_buf: Vec<u8>,
+}
+
+impl Relation {
+    /// Creates a relation over an existing heap file.
+    ///
+    /// The heap's record size must match the schema's record size.
+    pub fn new(schema: Schema, heap: HeapFile) -> Self {
+        assert_eq!(
+            heap.record_size(),
+            schema.record_size(),
+            "heap record size does not match schema '{}'",
+            schema.name
+        );
+        Self {
+            schema,
+            heap,
+            encode_buf: Vec::new(),
+        }
+    }
+
+    /// Creates an in-memory relation.
+    pub fn in_memory(schema: Schema, stats: IoStats) -> StoreResult<Self> {
+        let heap = HeapFile::in_memory(schema.record_size(), stats)?;
+        Ok(Self::new(schema, heap))
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Shared I/O statistics handle.
+    pub fn stats(&self) -> &IoStats {
+        self.heap.stats()
+    }
+
+    /// Number of tuples stored.
+    pub fn num_tuples(&self) -> u64 {
+        self.heap.num_records()
+    }
+
+    /// Number of pages a full scan must read (the `|S|`, `|R|`, `|T|` of the
+    /// paper's I/O cost formulas).
+    pub fn num_pages(&self) -> usize {
+        self.heap.scan_pages()
+    }
+
+    /// Number of tuples that fit in one page.
+    pub fn tuples_per_page(&self) -> usize {
+        self.heap.records_per_page()
+    }
+
+    /// Appends a tuple after validating it against the schema.
+    pub fn append(&mut self, tuple: &Tuple) -> StoreResult<()> {
+        tuple.validate(&self.schema)?;
+        self.encode_buf.clear();
+        tuple.encode(&self.schema, &mut self.encode_buf);
+        let buf = std::mem::take(&mut self.encode_buf);
+        let res = self.heap.append(&buf);
+        self.encode_buf = buf;
+        res
+    }
+
+    /// Appends many tuples and flushes the tail page.
+    pub fn append_all<'a>(&mut self, tuples: impl IntoIterator<Item = &'a Tuple>) -> StoreResult<()> {
+        for t in tuples {
+            self.append(t)?;
+        }
+        self.flush()
+    }
+
+    /// Flushes buffered writes to the backend.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        self.heap.flush()
+    }
+
+    /// Reads all tuples of page `page_idx`, charging one page read plus the
+    /// decoded tuple count to the stats.
+    pub fn read_page_tuples(&mut self, page_idx: usize) -> StoreResult<Vec<Tuple>> {
+        let page = self.heap.read_page(page_idx)?;
+        let mut out = Vec::with_capacity(page.len());
+        for record in page.iter() {
+            out.push(Tuple::decode(&self.schema, record)?);
+        }
+        self.stats().add_tuples_read(out.len() as u64);
+        self.stats()
+            .add_fields_read((out.len() * self.schema.fields_per_record()) as u64);
+        Ok(out)
+    }
+
+    /// Reads the tuples of page `page_idx` together with their [`TupleId`]s.
+    pub fn read_page_with_ids(&mut self, page_idx: usize) -> StoreResult<Vec<(TupleId, Tuple)>> {
+        let page = self.heap.read_page(page_idx)?;
+        let mut out = Vec::with_capacity(page.len());
+        for (slot, record) in page.iter().enumerate() {
+            out.push((
+                TupleId::new(page_idx as u32, slot as u16),
+                Tuple::decode(&self.schema, record)?,
+            ));
+        }
+        self.stats().add_tuples_read(out.len() as u64);
+        self.stats()
+            .add_fields_read((out.len() * self.schema.fields_per_record()) as u64);
+        Ok(out)
+    }
+
+    /// Fetches a single tuple by id (reads its whole page, as a real system would).
+    pub fn fetch(&mut self, id: TupleId) -> StoreResult<Tuple> {
+        let page = self.heap.read_page(id.page as usize)?;
+        let record = page.record(id.slot as usize)?;
+        let t = Tuple::decode(&self.schema, record)?;
+        self.stats().add_tuples_read(1);
+        self.stats()
+            .add_fields_read(self.schema.fields_per_record() as u64);
+        Ok(t)
+    }
+
+    /// Reads the entire relation into memory (test / small-dimension-table helper).
+    pub fn read_all(&mut self) -> StoreResult<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(self.num_tuples() as usize);
+        for p in 0..self.num_pages() {
+            out.extend(self.read_page_tuples(p)?);
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Relation {{ name: {}, tuples: {}, pages: {} }}",
+            self.name(),
+            self.num_tuples(),
+            self.num_pages()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_relation(n: u64) -> Relation {
+        let schema = Schema::fact_with_target("s", 3, 1);
+        let mut rel = Relation::in_memory(schema, IoStats::new()).unwrap();
+        for i in 0..n {
+            rel.append(&Tuple::fact_with_target(
+                i,
+                vec![i % 10],
+                i as f64,
+                vec![i as f64, -(i as f64), 0.5],
+            ))
+            .unwrap();
+        }
+        rel.flush().unwrap();
+        rel
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let mut rel = sample_relation(500);
+        assert_eq!(rel.num_tuples(), 500);
+        let all = rel.read_all().unwrap();
+        assert_eq!(all.len(), 500);
+        assert_eq!(all[42].key, 42);
+        assert_eq!(all[42].fks, vec![2]);
+        assert_eq!(all[42].target, Some(42.0));
+        assert_eq!(all[42].features[1], -42.0);
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let schema = Schema::dimension("r", 2);
+        let mut rel = Relation::in_memory(schema, IoStats::new()).unwrap();
+        assert!(rel.append(&Tuple::dimension(1, vec![1.0])).is_err());
+        assert!(rel.append(&Tuple::fact(1, vec![3], vec![1.0, 2.0])).is_err());
+        assert!(rel.append(&Tuple::dimension(1, vec![1.0, 2.0])).is_ok());
+    }
+
+    #[test]
+    fn page_reads_are_counted() {
+        let mut rel = sample_relation(500);
+        rel.stats().reset();
+        let _ = rel.read_all().unwrap();
+        let snap = rel.stats().snapshot();
+        assert_eq!(snap.pages_read as usize, rel.num_pages());
+        assert_eq!(snap.tuples_read, 500);
+        // 1 key + 1 fk + 1 target + 3 features = 6 fields per tuple
+        assert_eq!(snap.fields_read, 500 * 6);
+    }
+
+    #[test]
+    fn fetch_by_tuple_id() {
+        let mut rel = sample_relation(300);
+        let with_ids = rel.read_page_with_ids(0).unwrap();
+        let (id, t) = with_ids[7].clone();
+        let fetched = rel.fetch(id).unwrap();
+        assert_eq!(fetched, t);
+    }
+
+    #[test]
+    fn multi_page_relations_report_page_counts() {
+        let rel = sample_relation(5000);
+        assert!(rel.num_pages() > 1);
+        assert_eq!(
+            rel.tuples_per_page(),
+            (crate::PAGE_SIZE - crate::page::PAGE_HEADER) / rel.schema().record_size()
+        );
+    }
+}

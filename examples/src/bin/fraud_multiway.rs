@@ -1,0 +1,71 @@
+//! Fraud-detection style multi-way join: transactions ⋈ customers ⋈ merchants.
+//!
+//! Demonstrates the multi-way generalizations (Sections V-C and VI-B): a GMM for
+//! soft segmentation of transactions and an NN for a supervised risk score, both
+//! trained directly over the three normalized relations.
+//!
+//! Run with: `cargo run --release -p fml-examples --bin fraud_multiway`
+
+use fml_core::report::{secs, speedup, Table};
+use fml_core::{Algorithm, GmmTrainer, NnTrainer};
+use fml_data::multiway::{DimSpec, MultiwayConfig};
+use fml_gmm::GmmConfig;
+use fml_nn::NnConfig;
+
+fn main() {
+    // transactions(amount, hour) ⋈ customers(8 profile features) ⋈ merchants(6)
+    let workload = MultiwayConfig {
+        n_s: 40_000,
+        d_s: 2,
+        dims: vec![DimSpec::new(800, 8), DimSpec::new(200, 6)],
+        k: 4,
+        noise_std: 1.0,
+        with_target: true,
+        seed: 17,
+    }
+    .generate()
+    .expect("generate");
+    println!("{}", workload.name);
+
+    // GMM over the 3-way join.
+    let gmm_config = GmmConfig { k: 4, max_iters: 4, ..GmmConfig::default() };
+    let mut gmm_table = Table::new(
+        "Transaction segmentation (GMM, K=4, 3-way join)",
+        &["algorithm", "time (s)", "speed-up vs M-GMM", "log-likelihood"],
+    );
+    let mut baseline = None;
+    for alg in Algorithm::all() {
+        let fit = GmmTrainer::new(alg, gmm_config.clone())
+            .fit(&workload.db, &workload.spec)
+            .expect("train gmm");
+        let base = *baseline.get_or_insert(fit.fit.elapsed);
+        gmm_table.push_row(vec![
+            format!("{}-GMM", alg.label()),
+            secs(fit.fit.elapsed),
+            speedup(base, fit.fit.elapsed),
+            format!("{:.1}", fit.final_log_likelihood()),
+        ]);
+    }
+    println!("\n{}", gmm_table.render());
+
+    // Supervised risk model over the same join.
+    let nn_config = NnConfig { hidden: vec![32], epochs: 5, ..NnConfig::default() };
+    let mut nn_table = Table::new(
+        "Risk score regression (NN, n_h=32, 3-way join)",
+        &["algorithm", "time (s)", "speed-up vs M-NN", "final MSE"],
+    );
+    let mut baseline = None;
+    for alg in Algorithm::all() {
+        let fit = NnTrainer::new(alg, nn_config.clone())
+            .fit(&workload.db, &workload.spec)
+            .expect("train nn");
+        let base = *baseline.get_or_insert(fit.fit.elapsed);
+        nn_table.push_row(vec![
+            format!("{}-NN", alg.label()),
+            secs(fit.fit.elapsed),
+            speedup(base, fit.fit.elapsed),
+            format!("{:.5}", fit.final_loss()),
+        ]);
+    }
+    println!("{}", nn_table.render());
+}

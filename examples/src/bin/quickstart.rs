@@ -1,0 +1,69 @@
+//! Quickstart: generate a small normalized dataset, train a GMM and an NN with the
+//! factorized algorithms, and compare against the materialized baseline.
+//!
+//! Run with: `cargo run --release -p fml-examples --bin quickstart`
+
+use fml_core::report::{secs, speedup};
+use fml_core::{Algorithm, GmmTrainer, NnTrainer};
+use fml_data::SyntheticConfig;
+use fml_gmm::GmmConfig;
+use fml_nn::NnConfig;
+
+fn main() {
+    // 1. A normalized workload: fact table S (20k rows) referencing dimension
+    //    table R (200 rows) — tuple ratio 100, so every R tuple is shared by
+    //    ~100 S tuples after the join.
+    let workload = SyntheticConfig {
+        n_s: 20_000,
+        n_r: 200,
+        d_s: 5,
+        d_r: 15,
+        k: 5,
+        noise_std: 1.0,
+        with_target: true,
+        seed: 42,
+    }
+    .generate()
+    .expect("generate workload");
+    println!("workload: {}", workload.name);
+    println!(
+        "  tuple ratio rr = {:.0}, feature split {:?}\n",
+        workload.tuple_ratio().unwrap(),
+        workload.feature_partition().unwrap()
+    );
+
+    // 2. Train a 5-component GMM with the materialized baseline and the
+    //    factorized algorithm; same model, different cost.
+    let gmm_config = GmmConfig { k: 5, max_iters: 5, ..GmmConfig::default() };
+    let m = GmmTrainer::new(Algorithm::Materialized, gmm_config.clone())
+        .fit(&workload.db, &workload.spec)
+        .expect("M-GMM");
+    let f = GmmTrainer::new(Algorithm::Factorized, gmm_config)
+        .fit(&workload.db, &workload.spec)
+        .expect("F-GMM");
+    println!("GMM (K=5, 5 EM iterations)");
+    println!("  M-GMM: {}s, {} pages of I/O", secs(m.fit.elapsed), m.io.total_page_io());
+    println!("  F-GMM: {}s, {} pages of I/O", secs(f.fit.elapsed), f.io.total_page_io());
+    println!("  speed-up: {}", speedup(m.fit.elapsed, f.fit.elapsed));
+    println!(
+        "  model agreement (max parameter difference): {:.2e}\n",
+        m.fit.model.max_param_diff(&f.fit.model)
+    );
+
+    // 3. Train a neural network (one hidden layer of 50 units, 5 epochs).
+    let nn_config = NnConfig { hidden: vec![50], epochs: 5, ..NnConfig::default() };
+    let m = NnTrainer::new(Algorithm::Materialized, nn_config.clone())
+        .fit(&workload.db, &workload.spec)
+        .expect("M-NN");
+    let f = NnTrainer::new(Algorithm::Factorized, nn_config)
+        .fit(&workload.db, &workload.spec)
+        .expect("F-NN");
+    println!("NN (n_h=50, 5 epochs)");
+    println!("  M-NN: {}s, final loss {:.5}", secs(m.fit.elapsed), m.final_loss());
+    println!("  F-NN: {}s, final loss {:.5}", secs(f.fit.elapsed), f.final_loss());
+    println!("  speed-up: {}", speedup(m.fit.elapsed, f.fit.elapsed));
+    println!(
+        "  model agreement (max parameter difference): {:.2e}",
+        m.fit.model.max_param_diff(&f.fit.model)
+    );
+}
