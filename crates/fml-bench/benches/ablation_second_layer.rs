@@ -16,16 +16,24 @@ fn ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("direct", n_h), &n_h, |b, _| {
             b.iter(|| second_layer_direct(f, &w2, &t1, &t2, 0.1))
         });
-        group.bench_with_input(BenchmarkId::new("reused_including_t3", n_h), &n_h, |b, _| {
-            b.iter(|| {
+        group.bench_with_input(
+            BenchmarkId::new("reused_including_t3", n_h),
+            &n_h,
+            |b, _| {
+                b.iter(|| {
+                    let t3 = second_layer_t3(f, &w2, &t2, 0.1);
+                    second_layer_reused(f, &w2, &t1, t3)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reused_amortized_t3", n_h),
+            &n_h,
+            |b, _| {
                 let t3 = second_layer_t3(f, &w2, &t2, 0.1);
-                second_layer_reused(f, &w2, &t1, t3)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("reused_amortized_t3", n_h), &n_h, |b, _| {
-            let t3 = second_layer_t3(f, &w2, &t2, 0.1);
-            b.iter(|| second_layer_reused(f, &w2, &t1, t3))
-        });
+                b.iter(|| second_layer_reused(f, &w2, &t1, t3))
+            },
+        );
     }
     group.finish();
 }

@@ -1,10 +1,12 @@
 //! Figure 3: GMM over a synthetic binary join — wall-clock time of M-GMM, S-GMM
 //! and F-GMM while varying (a) the tuple ratio `rr`, (b) the dimension-table
-//! width `d_R`, and (c) the number of components `K`.
+//! width `d_R`, and (c) the number of components `K` — plus (d) a
+//! [`KernelPolicy`] sweep of the factorized variant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_bench::{bench_gmm_config, binary_vary_dr, binary_vary_k, binary_vary_rr};
 use fml_core::{Algorithm, GmmTrainer};
+use fml_linalg::KernelPolicy;
 
 fn fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_gmm_binary");
@@ -64,6 +66,22 @@ fn fig3(c: &mut Criterion) {
                 },
             );
         }
+    }
+
+    // (d) kernel-policy sweep of the factorized variant (fixed workload)
+    let w = binary_vary_rr(20, 15, false);
+    for policy in KernelPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(format!("d_policy_{}_F-GMM", policy.label()), policy),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    GmmTrainer::new(Algorithm::Factorized, bench_gmm_config(5).policy(policy))
+                        .fit(&w.db, &w.spec)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

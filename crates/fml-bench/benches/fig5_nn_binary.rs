@@ -1,9 +1,11 @@
 //! Figure 5: NN over a synthetic binary join — M/S/F-NN while varying the tuple
-//! ratio `rr`, the dimension-table width `d_R`, and the hidden width `n_h`.
+//! ratio `rr`, the dimension-table width `d_R`, and the hidden width `n_h` —
+//! plus a [`KernelPolicy`] sweep of the factorized variant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_bench::{bench_nn_config, binary_vary_dr, binary_vary_k, binary_vary_rr};
 use fml_core::{Algorithm, NnTrainer};
+use fml_linalg::KernelPolicy;
 
 fn fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_nn_binary");
@@ -60,6 +62,22 @@ fn fig5(c: &mut Criterion) {
                 },
             );
         }
+    }
+
+    // (d) kernel-policy sweep of the factorized variant (fixed workload)
+    let w = binary_vary_rr(20, 15, true);
+    for policy in KernelPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(format!("d_policy_{}_F-NN", policy.label()), policy),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    NnTrainer::new(Algorithm::Factorized, bench_nn_config(50).policy(policy))
+                        .fit(&w.db, &w.spec)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,46 +1,258 @@
-//! Micro-benchmarks of the linear-algebra kernels that dominate training time:
-//! dense quadratic forms vs blocked quadratic forms with a cached dimension part.
+//! Micro-benchmarks of the linear-algebra kernels that dominate training time,
+//! swept across every [`KernelPolicy`], plus the paper's dense-vs-factorized
+//! quadratic-form comparison.
+//!
+//! Beyond printing a table, the run emits **`BENCH_kernels.json`** at the
+//! workspace root: a machine-readable trajectory of per-kernel timings and
+//! blocked/parallel speedups over the naive reference, so later PRs can track
+//! kernel regressions and wins.  Set `FML_BENCH_SMOKE=1` for a single-shot
+//! smoke run (CI) that still exercises every kernel/policy pair.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm};
+use fml_linalg::policy::{num_threads, KernelPolicy};
 use fml_linalg::{gemm, Matrix};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
 
-fn kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linalg_kernels");
-    let d_s = 5usize;
-    for d_r in [5usize, 15, 50, 100] {
-        let d = d_s + d_r;
-        let m = Matrix::from_vec(d, d, (0..d * d).map(|i| (i % 17) as f64 / 17.0).collect());
-        let x: Vec<f64> = (0..d).map(|i| (i % 11) as f64 / 11.0).collect();
-        let partition = BlockPartition::binary(d_s, d_r);
-        let form = BlockQuadraticForm::new(partition.clone(), &m);
-        let pd_s = &x[..d_s];
-        let pd_r = &x[d_s..];
-        // the per-dimension-tuple cache: LR term and cross vector
-        let lr = form.term(1, 1, pd_r, pd_r);
-        let mut w = form.block_times(0, 1, pd_r);
-        let w2 = gemm::matvec_transposed(form.block(1, 0), pd_r);
-        for (a, b) in w.iter_mut().zip(w2.iter()) {
-            *a += b;
-        }
-
-        group.bench_with_input(BenchmarkId::new("dense_quadratic_form", d_r), &d_r, |b, _| {
-            b.iter(|| gemm::quadratic_form_sym(&x, &m))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("factorized_per_tuple_part", d_r),
-            &d_r,
-            |b, _| {
-                b.iter(|| {
-                    form.term(0, 0, pd_s, pd_s)
-                        + pd_s.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>()
-                        + lr
-                })
-            },
-        );
-    }
-    group.finish();
+struct BenchResult {
+    kernel: String,
+    size: String,
+    policy: &'static str,
+    mean_ns: f64,
+    gflops: f64,
 }
 
-criterion_group!(benches, kernels);
-criterion_main!(benches);
+fn smoke() -> bool {
+    std::env::var("FML_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn pseudo_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let mut rng = fml_linalg::testutil::TestRng::new(salt);
+    Matrix::from_vec(rows, cols, rng.vec_in(rows * cols, -1.0, 1.0))
+}
+
+fn pseudo_vec(n: usize, salt: u64) -> Vec<f64> {
+    fml_linalg::testutil::TestRng::new(salt).vec_in(n, -1.0, 1.0)
+}
+
+/// Measures `f`, returning mean ns/iter: one warm-up call, then enough
+/// repetitions for a stable mean (single call in smoke mode).
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    if smoke() {
+        let t = Instant::now();
+        f();
+        return t.elapsed().as_nanos() as f64;
+    }
+    let probe = Instant::now();
+    f();
+    let per_iter = probe.elapsed().as_secs_f64().max(1e-9);
+    // target ~0.8s of measurement, 3..=200 reps
+    let reps = ((0.8 / per_iter) as usize).clamp(3, 200);
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn bench_matmul(results: &mut Vec<BenchResult>) {
+    let sizes: &[usize] = if smoke() { &[64] } else { &[128, 256, 512] };
+    for &n in sizes {
+        let a = pseudo_matrix(n, n, 1);
+        let b = pseudo_matrix(n, n, 2);
+        let mut c = Matrix::zeros(n, n);
+        let flops = 2.0 * (n as f64).powi(3);
+        for policy in KernelPolicy::ALL {
+            let mean_ns = measure(|| {
+                c.fill_zero();
+                gemm::matmul_acc_with(policy, &a, &b, &mut c);
+            });
+            results.push(BenchResult {
+                kernel: "matmul".into(),
+                size: format!("{n}x{n}x{n}"),
+                policy: policy.label(),
+                mean_ns,
+                gflops: flops / mean_ns,
+            });
+        }
+    }
+}
+
+fn bench_matvec(results: &mut Vec<BenchResult>) {
+    let sizes: &[usize] = if smoke() { &[64] } else { &[512, 2048] };
+    for &n in sizes {
+        let a = pseudo_matrix(n, n, 3);
+        let x = pseudo_vec(n, 4);
+        let mut y = vec![0.0; n];
+        let flops = 2.0 * (n as f64).powi(2);
+        for policy in KernelPolicy::ALL {
+            let mean_ns = measure(|| gemm::matvec_into_with(policy, &a, &x, &mut y));
+            results.push(BenchResult {
+                kernel: "matvec".into(),
+                size: format!("{n}x{n}"),
+                policy: policy.label(),
+                mean_ns,
+                gflops: flops / mean_ns,
+            });
+        }
+    }
+}
+
+fn bench_ger(results: &mut Vec<BenchResult>) {
+    let sizes: &[usize] = if smoke() { &[64] } else { &[512, 2048] };
+    for &n in sizes {
+        let x = pseudo_vec(n, 5);
+        let y = pseudo_vec(n, 6);
+        let mut a = Matrix::zeros(n, n);
+        let flops = 2.0 * (n as f64).powi(2);
+        for policy in KernelPolicy::ALL {
+            let mean_ns = measure(|| gemm::ger_with(policy, 0.5, &x, &y, &mut a));
+            results.push(BenchResult {
+                kernel: "ger".into(),
+                size: format!("{n}x{n}"),
+                policy: policy.label(),
+                mean_ns,
+                gflops: flops / mean_ns,
+            });
+        }
+    }
+}
+
+/// The paper's E-step kernel comparison: dense quadratic form vs the factorized
+/// per-tuple part with the dimension-side term cached.
+fn bench_quadratic_forms(results: &mut Vec<BenchResult>) {
+    let d_s = 5usize;
+    let widths: &[usize] = if smoke() { &[15] } else { &[5, 15, 50, 100] };
+    for &d_r in widths {
+        let d = d_s + d_r;
+        let m = pseudo_matrix(d, d, 7);
+        let x = pseudo_vec(d, 8);
+        let partition = BlockPartition::binary(d_s, d_r);
+        let pd_s = &x[..d_s];
+        let pd_r = &x[d_s..];
+        for policy in KernelPolicy::ALL {
+            let form = BlockQuadraticForm::new_with(partition.clone(), &m, policy);
+            // the per-dimension-tuple cache: LR term and cross vector
+            let lr = form.term(1, 1, pd_r, pd_r);
+            let mut w = form.block_times(0, 1, pd_r);
+            let w2 = gemm::matvec_transposed_with(policy, form.block(1, 0), pd_r);
+            for (a, b) in w.iter_mut().zip(w2.iter()) {
+                *a += b;
+            }
+            let flops = 2.0 * (d as f64).powi(2);
+            let mean_ns = measure(|| {
+                std::hint::black_box(gemm::quadratic_form_sym_with(policy, &x, &m));
+            });
+            results.push(BenchResult {
+                kernel: "dense_quadratic_form".into(),
+                size: format!("dR{d_r}"),
+                policy: policy.label(),
+                mean_ns,
+                gflops: flops / mean_ns,
+            });
+            let mean_ns = measure(|| {
+                std::hint::black_box(
+                    form.term(0, 0, pd_s, pd_s)
+                        + pd_s.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>()
+                        + lr,
+                );
+            });
+            results.push(BenchResult {
+                kernel: "factorized_per_tuple_part".into(),
+                size: format!("dR{d_r}"),
+                policy: policy.label(),
+                mean_ns,
+                gflops: flops / mean_ns,
+            });
+        }
+    }
+}
+
+/// Speedup of `policy` over the naive reference for the same kernel/size.
+fn speedup_vs_naive(results: &[BenchResult], r: &BenchResult) -> Option<f64> {
+    results
+        .iter()
+        .find(|o| o.kernel == r.kernel && o.size == r.size && o.policy == "naive")
+        .map(|naive| naive.mean_ns / r.mean_ns)
+}
+
+fn emit_json(results: &[BenchResult]) -> std::io::Result<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let path = root.join("BENCH_kernels.json");
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"harness\": \"linalg_kernels\",");
+    let _ = writeln!(out, "  \"threads\": {},", num_threads());
+    let _ = writeln!(
+        out,
+        "  \"smoke\": {},",
+        if smoke() { "true" } else { "false" }
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let speedup = speedup_vs_naive(results, r)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            out,
+            "    {{\"kernel\": \"{}\", \"size\": \"{}\", \"policy\": \"{}\", \"mean_ns\": {:.1}, \"gflops\": {:.3}, \"speedup_vs_naive\": {}}}{}",
+            r.kernel, r.size, r.policy, r.mean_ns, r.gflops, speedup, sep
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+fn main() {
+    let mut results = Vec::new();
+    bench_matmul(&mut results);
+    bench_matvec(&mut results);
+    bench_ger(&mut results);
+    bench_quadratic_forms(&mut results);
+
+    println!(
+        "{:<26} {:>12} {:>10} {:>12} {:>9} {:>9}",
+        "kernel", "size", "policy", "mean", "GFLOP/s", "vs naive"
+    );
+    for r in &results {
+        let speedup = speedup_vs_naive(&results, r)
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_default();
+        println!(
+            "{:<26} {:>12} {:>10} {:>9.3} ms {:>9.2} {:>9}",
+            r.kernel,
+            r.size,
+            r.policy,
+            r.mean_ns / 1e6,
+            r.gflops,
+            speedup
+        );
+    }
+
+    match emit_json(&results) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_kernels.json: {e}"),
+    }
+
+    // Prints the acceptance-criterion ratio (parallel blocked 512³ GEMM vs
+    // naive).  Enforcement lives in CI: the kernel-speedup job parses
+    // BENCH_kernels.json and fails the build below 3×; locally this is
+    // informational only.
+    if !smoke() {
+        if let Some(r) = results
+            .iter()
+            .find(|r| r.kernel == "matmul" && r.size == "512x512x512" && r.policy == "parallel")
+        {
+            let speedup = speedup_vs_naive(&results, r).unwrap_or(0.0);
+            println!("matmul 512^3 blocked+parallel speedup over naive: {speedup:.2}x");
+        }
+    }
+}

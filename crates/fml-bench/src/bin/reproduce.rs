@@ -19,7 +19,14 @@ use fml_gmm::GmmConfig;
 fn series_table(title: &str, param: &str) -> Table {
     Table::new(
         title,
-        &[param, "M (s)", "S (s)", "F (s)", "F speed-up vs M", "F speed-up vs S"],
+        &[
+            param,
+            "M (s)",
+            "S (s)",
+            "F (s)",
+            "F speed-up vs M",
+            "F speed-up vs S",
+        ],
     )
 }
 
@@ -205,7 +212,14 @@ fn table7() {
 fn io_crossover() {
     let mut t = Table::new(
         "I/O crossover (Section V-A) — measured page I/O vs the analytic model",
-        &["BlockSize", "measured M", "model M", "measured S", "model S", "winner"],
+        &[
+            "BlockSize",
+            "measured M",
+            "model M",
+            "measured S",
+            "model S",
+            "winner",
+        ],
     );
     let w = fml_data::SyntheticConfig {
         n_s: scaled(200_000),
@@ -221,19 +235,29 @@ fn io_crossover() {
     .unwrap();
     let iters = 2usize;
     let s_pages = w.spec.fact_relation(&w.db).unwrap().lock().num_pages() as u64;
-    let r_pages = w.spec.dimension_relations(&w.db).unwrap()[0].lock().num_pages() as u64;
+    let r_pages = w.spec.dimension_relations(&w.db).unwrap()[0]
+        .lock()
+        .num_pages() as u64;
     for block_pages in [1usize, 4, 16, 64, 256] {
-        let config = GmmConfig { k: 3, max_iters: iters, block_pages, ..GmmConfig::default() };
+        let config = GmmConfig {
+            k: 3,
+            max_iters: iters,
+            block_pages,
+            ..GmmConfig::default()
+        };
         w.db.stats().reset();
-        let m = GmmTrainer::new(Algorithm::Materialized, config.clone()).fit(&w.db, &w.spec).unwrap();
-        let t_pages = w
-            .db
-            .relation(&fml_gmm::MaterializedGmm::temp_table_name(&w.spec))
-            .unwrap()
-            .lock()
-            .num_pages() as u64;
+        let m = GmmTrainer::new(Algorithm::Materialized, config.clone())
+            .fit(&w.db, &w.spec)
+            .unwrap();
+        let t_pages =
+            w.db.relation(&fml_gmm::MaterializedGmm::temp_table_name(&w.spec))
+                .unwrap()
+                .lock()
+                .num_pages() as u64;
         w.db.stats().reset();
-        let s = GmmTrainer::new(Algorithm::Streaming, config).fit(&w.db, &w.spec).unwrap();
+        let s = GmmTrainer::new(Algorithm::Streaming, config)
+            .fit(&w.db, &w.spec)
+            .unwrap();
         let model = GmmIoCostModel {
             s_pages,
             r_pages,
@@ -247,7 +271,12 @@ fn io_crossover() {
             model.materialized_io().to_string(),
             s.io.total_page_io().to_string(),
             model.streaming_io().to_string(),
-            if s.io.total_page_io() < m.io.total_page_io() { "stream" } else { "materialize" }.to_string(),
+            if s.io.total_page_io() < m.io.total_page_io() {
+                "stream"
+            } else {
+                "materialize"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", t.render());
@@ -257,8 +286,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
-            "fig6a", "fig6b", "fig6c", "table6", "table7", "io-crossover",
+            "fig3a",
+            "fig3b",
+            "fig3c",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig5a",
+            "fig5b",
+            "fig5c",
+            "fig6a",
+            "fig6b",
+            "fig6c",
+            "table6",
+            "table7",
+            "io-crossover",
         ]
         .into_iter()
         .map(String::from)

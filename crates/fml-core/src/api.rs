@@ -205,7 +205,11 @@ mod tests {
         };
         let results: Vec<TrainedGmm> = Algorithm::all()
             .into_iter()
-            .map(|a| GmmTrainer::new(a, config.clone()).fit(&w.db, &w.spec).unwrap())
+            .map(|a| {
+                GmmTrainer::new(a, config.clone())
+                    .fit(&w.db, &w.spec)
+                    .unwrap()
+            })
             .collect();
         for r in &results[1..] {
             assert!(results[0].fit.model.max_param_diff(&r.fit.model) < 1e-6);
@@ -226,7 +230,11 @@ mod tests {
         };
         let results: Vec<TrainedNn> = Algorithm::all()
             .into_iter()
-            .map(|a| NnTrainer::new(a, config.clone()).fit(&w.db, &w.spec).unwrap())
+            .map(|a| {
+                NnTrainer::new(a, config.clone())
+                    .fit(&w.db, &w.spec)
+                    .unwrap()
+            })
             .collect();
         for r in &results[1..] {
             assert!(results[0].fit.model.max_param_diff(&r.fit.model) < 1e-9);

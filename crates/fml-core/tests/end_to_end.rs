@@ -22,10 +22,18 @@ fn gmm_binary_end_to_end_all_strategies_agree() {
     }
     .generate()
     .unwrap();
-    let config = GmmConfig { k: 3, max_iters: 4, ..GmmConfig::default() };
+    let config = GmmConfig {
+        k: 3,
+        max_iters: 4,
+        ..GmmConfig::default()
+    };
     let mut fits = Vec::new();
     for alg in Algorithm::all() {
-        fits.push(GmmTrainer::new(alg, config.clone()).fit(&w.db, &w.spec).unwrap());
+        fits.push(
+            GmmTrainer::new(alg, config.clone())
+                .fit(&w.db, &w.spec)
+                .unwrap(),
+        );
     }
     for f in &fits[1..] {
         assert!(fits[0].fit.model.max_param_diff(&f.fit.model) < 1e-6);
@@ -48,10 +56,18 @@ fn nn_multiway_end_to_end_all_strategies_agree() {
     }
     .generate()
     .unwrap();
-    let config = NnConfig { hidden: vec![8], epochs: 4, ..NnConfig::default() };
+    let config = NnConfig {
+        hidden: vec![8],
+        epochs: 4,
+        ..NnConfig::default()
+    };
     let mut fits = Vec::new();
     for alg in Algorithm::all() {
-        fits.push(NnTrainer::new(alg, config.clone()).fit(&w.db, &w.spec).unwrap());
+        fits.push(
+            NnTrainer::new(alg, config.clone())
+                .fit(&w.db, &w.spec)
+                .unwrap(),
+        );
     }
     for f in &fits[1..] {
         assert!(fits[0].fit.model.max_param_diff(&f.fit.model) < 1e-9);
@@ -61,7 +77,11 @@ fn nn_multiway_end_to_end_all_strategies_agree() {
 #[test]
 fn emulated_dataset_trains_with_factorized_gmm() {
     let w = EmulatedDataset::Walmart.generate(0.003, 9).unwrap();
-    let config = GmmConfig { k: 3, max_iters: 2, ..GmmConfig::default() };
+    let config = GmmConfig {
+        k: 3,
+        max_iters: 2,
+        ..GmmConfig::default()
+    };
     let fit = GmmTrainer::new(Algorithm::Factorized, config)
         .fit(&w.db, &w.spec)
         .unwrap();
@@ -72,7 +92,11 @@ fn emulated_dataset_trains_with_factorized_gmm() {
 #[test]
 fn emulated_sparse_dataset_trains_with_factorized_nn() {
     let w = EmulatedDataset::MoviesSparse.generate(0.0008, 10).unwrap();
-    let config = NnConfig { hidden: vec![10], epochs: 2, ..NnConfig::default() };
+    let config = NnConfig {
+        hidden: vec![10],
+        epochs: 2,
+        ..NnConfig::default()
+    };
     let fit = NnTrainer::new(Algorithm::Factorized, config)
         .fit(&w.db, &w.spec)
         .unwrap();
@@ -98,10 +122,17 @@ fn measured_io_is_bracketed_by_the_cost_model() {
     .generate()
     .unwrap();
     let iters = 2usize;
-    let config = GmmConfig { k: 2, max_iters: iters, tol: 0.0, ..GmmConfig::default() };
+    let config = GmmConfig {
+        k: 2,
+        max_iters: iters,
+        tol: 0.0,
+        ..GmmConfig::default()
+    };
 
     let s_pages = w.spec.fact_relation(&w.db).unwrap().lock().num_pages() as u64;
-    let r_pages = w.spec.dimension_relations(&w.db).unwrap()[0].lock().num_pages() as u64;
+    let r_pages = w.spec.dimension_relations(&w.db).unwrap()[0]
+        .lock()
+        .num_pages() as u64;
 
     w.db.stats().reset();
     let streaming = GmmTrainer::new(Algorithm::Streaming, config.clone())
@@ -112,12 +143,11 @@ fn measured_io_is_bracketed_by_the_cost_model() {
     let materialized = GmmTrainer::new(Algorithm::Materialized, config.clone())
         .fit(&w.db, &w.spec)
         .unwrap();
-    let t_pages = w
-        .db
-        .relation(&fml_gmm::MaterializedGmm::temp_table_name(&w.spec))
-        .unwrap()
-        .lock()
-        .num_pages() as u64;
+    let t_pages =
+        w.db.relation(&fml_gmm::MaterializedGmm::temp_table_name(&w.spec))
+            .unwrap()
+            .lock()
+            .num_pages() as u64;
 
     let model = GmmIoCostModel {
         s_pages,
@@ -139,7 +169,10 @@ fn measured_io_is_bracketed_by_the_cost_model() {
         "materialized I/O does not match the analytic model (reads + writes)"
     );
     assert!(t_pages > 0);
-    assert_eq!(model.streaming_wins(), streaming.io.total_page_io() < materialized.io.total_page_io());
+    assert_eq!(
+        model.streaming_wins(),
+        streaming.io.total_page_io() < materialized.io.total_page_io()
+    );
 }
 
 #[test]
@@ -172,12 +205,20 @@ fn factorized_gmm_clusters_match_generating_structure() {
     }
     .generate()
     .unwrap();
-    let config = GmmConfig { k: 3, max_iters: 12, ..GmmConfig::default() };
+    let config = GmmConfig {
+        k: 3,
+        max_iters: 12,
+        ..GmmConfig::default()
+    };
     let trained = GmmTrainer::new(Algorithm::Factorized, config)
         .fit(&w.db, &w.spec)
         .unwrap();
     // all three components should carry non-trivial weight
-    assert!(trained.fit.model.weights.iter().all(|&p| p > 0.05), "weights {:?}", trained.fit.model.weights);
+    assert!(
+        trained.fit.model.weights.iter().all(|&p| p > 0.05),
+        "weights {:?}",
+        trained.fit.model.weights
+    );
     // log-likelihood improved over training
     let ll = &trained.fit.log_likelihood;
     assert!(ll.last().unwrap() > ll.first().unwrap());

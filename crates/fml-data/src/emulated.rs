@@ -66,15 +66,25 @@ impl EmulatedDataset {
     pub fn all() -> Vec<EmulatedDataset> {
         use EmulatedDataset::*;
         vec![
-            Expedia1, Expedia2, Walmart, Movies, Expedia3, Expedia4, Expedia5, WalmartSparse,
-            MoviesSparse, Movies3Way,
+            Expedia1,
+            Expedia2,
+            Walmart,
+            Movies,
+            Expedia3,
+            Expedia4,
+            Expedia5,
+            WalmartSparse,
+            MoviesSparse,
+            Movies3Way,
         ]
     }
 
     /// Datasets used by the GMM experiment of Table VI.
     pub fn gmm_table() -> Vec<EmulatedDataset> {
         use EmulatedDataset::*;
-        vec![Expedia1, Expedia2, Walmart, Movies, Expedia3, Expedia4, Expedia5, Movies3Way]
+        vec![
+            Expedia1, Expedia2, Walmart, Movies, Expedia3, Expedia4, Expedia5, Movies3Way,
+        ]
     }
 
     /// Datasets used by the NN experiment of Table VII.
@@ -263,11 +273,7 @@ fn generate_from_shape(shape: &DatasetShape, seed: u64) -> StoreResult<Workload>
     } else {
         None
     };
-    let s_rel = db.create_relation(Schema::fact_with_target(
-        "S",
-        shape.d_s,
-        shape.dims.len(),
-    ))?;
+    let s_rel = db.create_relation(Schema::fact_with_target("S", shape.d_s, shape.dims.len()))?;
     {
         let mut rel = s_rel.lock();
         for key in 0..shape.n_s {
@@ -277,8 +283,14 @@ fn generate_from_shape(shape: &DatasetShape, seed: u64) -> StoreResult<Workload>
             for (n_r, _) in shape.dims.iter().skip(1) {
                 fks.push(rng.gen_range(0..*n_r));
             }
-            let features =
-                gen_features(&mut rng, shape.d_s, shape.sparse, s_spec.as_ref(), &s_centers, c);
+            let features = gen_features(
+                &mut rng,
+                shape.d_s,
+                shape.sparse,
+                s_spec.as_ref(),
+                &s_centers,
+                c,
+            );
             let mean = if features.is_empty() {
                 0.0
             } else {
@@ -339,7 +351,10 @@ mod tests {
         let full = EmulatedDataset::Walmart.shape();
         let rr_full = full.n_s as f64 / full.dims[0].0 as f64;
         let rr = w.tuple_ratio().unwrap();
-        assert!((rr - rr_full).abs() / rr_full < 0.05, "rr {rr} vs {rr_full}");
+        assert!(
+            (rr - rr_full).abs() / rr_full < 0.05,
+            "rr {rr} vs {rr_full}"
+        );
         assert_eq!(w.feature_partition().unwrap(), vec![3, 9]);
     }
 
@@ -351,10 +366,7 @@ mod tests {
         assert!(!tuples.is_empty());
         for t in &tuples {
             assert_eq!(t.features.len(), 126);
-            assert!(t
-                .features
-                .iter()
-                .all(|&f| f == 0.0 || f == 1.0));
+            assert!(t.features.iter().all(|&f| f == 0.0 || f == 1.0));
             // one-hot blocks: number of ones equals number of categorical columns
             let ones = t.features.iter().filter(|&&f| f == 1.0).count();
             assert_eq!(ones, one_hot_spec_for(126).num_columns());

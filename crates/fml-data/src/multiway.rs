@@ -115,7 +115,10 @@ impl MultiwayConfig {
     /// Relations are named `S`, `R1`, `R2`, … and the returned [`JoinSpec`] joins
     /// them in that order.
     pub fn generate(&self) -> StoreResult<Workload> {
-        assert!(!self.dims.is_empty(), "at least one dimension table required");
+        assert!(
+            !self.dims.is_empty(),
+            "at least one dimension table required"
+        );
         assert!(self.k > 0, "k must be positive");
         let db = Database::in_memory();
         let mut rng = seeded(self.seed);
@@ -260,10 +263,7 @@ mod tests {
     fn with_target_produces_targets() {
         let w = small().with_target(true).generate().unwrap();
         let s = w.spec.fact_relation(&w.db).unwrap();
-        assert!(scan_all(&s, 16)
-            .unwrap()
-            .iter()
-            .all(|t| t.target.is_some()));
+        assert!(scan_all(&s, 16).unwrap().iter().all(|t| t.target.is_some()));
     }
 
     #[test]

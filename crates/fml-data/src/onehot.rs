@@ -44,7 +44,10 @@ impl OneHotSpec {
     /// as evenly as possible over `columns` categorical columns.  Used by the
     /// emulated sparse datasets, whose published dimensionalities are totals.
     pub fn with_total_width(width: usize, columns: usize) -> Self {
-        assert!(columns > 0 && width >= columns, "width must be >= columns >= 1");
+        assert!(
+            columns > 0 && width >= columns,
+            "width must be >= columns >= 1"
+        );
         let base = width / columns;
         let extra = width % columns;
         let cardinalities = (0..columns)

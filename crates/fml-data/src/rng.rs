@@ -39,7 +39,10 @@ pub fn normal_vector<R: Rng + ?Sized>(rng: &mut R, means: &[f64], std_dev: f64) 
 pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     assert!(!weights.is_empty(), "sample_weighted: empty weights");
     let total: f64 = weights.iter().sum();
-    assert!(total > 0.0, "sample_weighted: weights must sum to a positive value");
+    assert!(
+        total > 0.0,
+        "sample_weighted: weights must sum to a positive value"
+    );
     let mut u = rng.gen::<f64>() * total;
     for (i, w) in weights.iter().enumerate() {
         if u < *w {

@@ -233,9 +233,7 @@ mod tests {
         let tuples = scan_all(&s, 16).unwrap();
         assert!(tuples.iter().all(|t| t.target.is_some()));
         // targets are bounded by construction (tanh + cluster offset + noise)
-        assert!(tuples
-            .iter()
-            .all(|t| t.target.unwrap().abs() < 3.0));
+        assert!(tuples.iter().all(|t| t.target.unwrap().abs() < 3.0));
     }
 
     #[test]
@@ -243,8 +241,7 @@ mod tests {
         let a = small().generate().unwrap();
         let b = small().generate().unwrap();
         let c = small().with_seed(8).generate().unwrap();
-        let read =
-            |w: &Workload| scan_all(&w.spec.fact_relation(&w.db).unwrap(), 64).unwrap();
+        let read = |w: &Workload| scan_all(&w.spec.fact_relation(&w.db).unwrap(), 64).unwrap();
         assert_eq!(read(&a), read(&b));
         assert_ne!(read(&a), read(&c));
     }

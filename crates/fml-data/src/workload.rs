@@ -27,7 +27,9 @@ impl Workload {
 
     /// Number of tuples in dimension table `i`.
     pub fn n_dim(&self, i: usize) -> StoreResult<u64> {
-        Ok(self.spec.dimension_relations(&self.db)?[i].lock().num_tuples())
+        Ok(self.spec.dimension_relations(&self.db)?[i]
+            .lock()
+            .num_tuples())
     }
 
     /// Tuple ratio `rr = n_S / n_{R_1}` — the redundancy knob of the evaluation.
@@ -48,6 +50,10 @@ impl Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Workload {{ name: {}, spec: {:?} }}", self.name, self.spec)
+        write!(
+            f,
+            "Workload {{ name: {}, spec: {:?} }}",
+            self.name, self.spec
+        )
     }
 }

@@ -18,9 +18,54 @@
 use crate::init::GmmInit;
 use crate::model::{GmmModel, Precomputed};
 use crate::GmmConfig;
+use fml_linalg::policy::par_chunks;
 use fml_linalg::{vector, Matrix, Vector};
 use fml_store::StoreResult;
 use std::time::{Duration, Instant};
+
+/// Number of joined tuples buffered per parallel batch.  Each batch is split
+/// into per-thread chunks whose partial sufficient statistics merge in chunk
+/// order, so the reduction tree is fixed for a given `(batch, thread count)`.
+pub const PAR_BATCH_TUPLES: usize = 1024;
+
+/// Minimum `k·d²·batch` work (≈ flops per E-step batch) below which the
+/// parallel policy stays inline: the scoped-thread fan-out costs tens of
+/// microseconds per batch, which tiny models cannot amortize.
+pub const PAR_MIN_BATCH_FLOPS: usize = 1 << 22;
+
+/// Buffers rows from a [`DensePassSource`] and flushes them batch-wise, so the
+/// per-batch work can fan out over threads even though the source itself is a
+/// strictly sequential callback scan.
+struct BatchBuffer {
+    rows: Vec<f64>,
+    dim: usize,
+    capacity: usize,
+}
+
+impl BatchBuffer {
+    fn new(dim: usize, capacity: usize) -> Self {
+        Self {
+            rows: Vec::with_capacity(dim * capacity),
+            dim,
+            capacity,
+        }
+    }
+
+    fn push(&mut self, x: &[f64], mut flush: impl FnMut(&[f64], usize)) {
+        self.rows.extend_from_slice(x);
+        if self.rows.len() >= self.dim * self.capacity {
+            flush(&self.rows, self.dim);
+            self.rows.clear();
+        }
+    }
+
+    fn finish(&mut self, mut flush: impl FnMut(&[f64], usize)) {
+        if !self.rows.is_empty() {
+            flush(&self.rows, self.dim);
+            self.rows.clear();
+        }
+    }
+}
 
 /// A source of denormalized (joined) feature vectors that can be scanned once per
 /// EM pass.  Implementations: the materialized table `T` (`M-GMM`) and the
@@ -145,10 +190,7 @@ pub fn means_from_sums(nk: &[f64], mean_sums: &[Vector]) -> Vec<Vector> {
 
 /// Trains a GMM with the three-pass EM of Algorithm 1 over a dense tuple source,
 /// initializing with the data-independent [`GmmInit::initial_model`].
-pub fn train_dense(
-    source: &mut dyn DensePassSource,
-    config: &GmmConfig,
-) -> StoreResult<GmmFit> {
+pub fn train_dense(source: &mut dyn DensePassSource, config: &GmmConfig) -> StoreResult<GmmFit> {
     let initial =
         GmmInit::new(config.seed, config.init_spread).initial_model(config.k, source.dim());
     train_dense_from(source, config, initial)
@@ -175,6 +217,14 @@ pub fn train_dense_from(
     let mut iterations = 0;
     let mut gammas: Vec<f64> = Vec::with_capacity((n as usize) * k);
 
+    let policy = config.kernel_policy;
+    // Per-tuple kernels run single-threaded inside the per-chunk workers; the
+    // parallelism lives at the tuple-batch level.  Fanning out only pays when a
+    // batch carries enough flops to amortize the scoped-thread spawns, so tiny
+    // models stay inline even under the parallel policy.
+    let kp = policy.sequential();
+    let par = policy.is_parallel() && k * d * d * PAR_BATCH_TUPLES >= PAR_MIN_BATCH_FLOPS;
+
     for _iter in 0..opts.max_iters {
         let pre = Precomputed::from_model(&model, opts.ridge);
 
@@ -182,45 +232,154 @@ pub fn train_dense_from(
         gammas.clear();
         let mut nk = vec![0.0; k];
         let mut ll = 0.0;
-        let mut log_dens = vec![0.0; k];
-        let mut centered = vec![0.0; d];
-        source.for_each(&mut |x: &[f64]| {
-            for c in 0..k {
-                vector::sub_into(x, pre.means[c].as_slice(), &mut centered);
-                let quad = fml_linalg::gemm::quadratic_form_sym(&centered, &pre.inverses[c]);
-                log_dens[c] = pre.log_norm[c] - 0.5 * quad;
-            }
-            let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
-            for c in 0..k {
-                nk[c] += resp[c];
-            }
-            ll += tuple_ll;
-            gammas.extend_from_slice(&resp);
-        })?;
+        if !par {
+            let mut log_dens = vec![0.0; k];
+            let mut centered = vec![0.0; d];
+            source.for_each(&mut |x: &[f64]| {
+                for (c, ld) in log_dens.iter_mut().enumerate() {
+                    vector::sub_into(x, pre.means[c].as_slice(), &mut centered);
+                    let quad =
+                        fml_linalg::gemm::quadratic_form_sym_with(kp, &centered, &pre.inverses[c]);
+                    *ld = pre.log_norm[c] - 0.5 * quad;
+                }
+                let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
+                for c in 0..k {
+                    nk[c] += resp[c];
+                }
+                ll += tuple_ll;
+                gammas.extend_from_slice(&resp);
+            })?;
+        } else {
+            // Tuples are buffered into batches; each batch fans out over
+            // deterministic chunks that compute (responsibilities, Σγ,
+            // log-likelihood) locally, and the partials merge in chunk order.
+            let mut flush = |rows: &[f64], dim: usize| {
+                let n_rows = rows.len() / dim;
+                let parts = par_chunks(true, n_rows, 1, |range| {
+                    let mut local_gammas = Vec::with_capacity(range.len() * k);
+                    let mut local_nk = vec![0.0; k];
+                    let mut local_ll = 0.0;
+                    let mut log_dens = vec![0.0; k];
+                    let mut centered = vec![0.0; dim];
+                    for r in range {
+                        let x = &rows[r * dim..(r + 1) * dim];
+                        for (c, ld) in log_dens.iter_mut().enumerate() {
+                            vector::sub_into(x, pre.means[c].as_slice(), &mut centered);
+                            let quad = fml_linalg::gemm::quadratic_form_sym_with(
+                                kp,
+                                &centered,
+                                &pre.inverses[c],
+                            );
+                            *ld = pre.log_norm[c] - 0.5 * quad;
+                        }
+                        let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
+                        for c in 0..k {
+                            local_nk[c] += resp[c];
+                        }
+                        local_ll += tuple_ll;
+                        local_gammas.extend_from_slice(&resp);
+                    }
+                    (local_gammas, local_nk, local_ll)
+                });
+                for (local_gammas, local_nk, local_ll) in parts {
+                    gammas.extend_from_slice(&local_gammas);
+                    vector::axpy(1.0, &local_nk, &mut nk);
+                    ll += local_ll;
+                }
+            };
+            let mut buffer = BatchBuffer::new(d, PAR_BATCH_TUPLES);
+            source.for_each(&mut |x: &[f64]| buffer.push(x, &mut flush))?;
+            buffer.finish(&mut flush);
+        }
 
         // ---- Pass 2: M-step — means ----
         let mut mean_sums = vec![Vector::zeros(d); k];
-        let mut cursor = 0usize;
-        source.for_each(&mut |x: &[f64]| {
-            let g = &gammas[cursor..cursor + k];
-            for c in 0..k {
-                vector::axpy(g[c], x, mean_sums[c].as_mut_slice());
-            }
-            cursor += k;
-        })?;
+        if !par {
+            let mut cursor = 0usize;
+            source.for_each(&mut |x: &[f64]| {
+                let g = &gammas[cursor..cursor + k];
+                for c in 0..k {
+                    vector::axpy(g[c], x, mean_sums[c].as_mut_slice());
+                }
+                cursor += k;
+            })?;
+        } else {
+            let mut cursor = 0usize;
+            let mut flush = |rows: &[f64], dim: usize| {
+                let n_rows = rows.len() / dim;
+                let base = cursor;
+                let parts = par_chunks(true, n_rows, 1, |range| {
+                    let mut local = vec![Vector::zeros(dim); k];
+                    for r in range {
+                        let x = &rows[r * dim..(r + 1) * dim];
+                        let g = &gammas[base + r * k..base + (r + 1) * k];
+                        for c in 0..k {
+                            vector::axpy(g[c], x, local[c].as_mut_slice());
+                        }
+                    }
+                    local
+                });
+                for local in parts {
+                    for c in 0..k {
+                        mean_sums[c].axpy(1.0, &local[c]);
+                    }
+                }
+                cursor += n_rows * k;
+            };
+            let mut buffer = BatchBuffer::new(d, PAR_BATCH_TUPLES);
+            source.for_each(&mut |x: &[f64]| buffer.push(x, &mut flush))?;
+            buffer.finish(&mut flush);
+        }
         let new_means = means_from_sums(&nk, &mean_sums);
 
         // ---- Pass 3: M-step — covariances around the new means ----
         let mut scatter = vec![Matrix::zeros(d, d); k];
-        let mut cursor = 0usize;
-        source.for_each(&mut |x: &[f64]| {
-            let g = &gammas[cursor..cursor + k];
-            for c in 0..k {
-                vector::sub_into(x, new_means[c].as_slice(), &mut centered);
-                fml_linalg::gemm::ger(g[c], &centered, &centered, &mut scatter[c]);
-            }
-            cursor += k;
-        })?;
+        if !par {
+            let mut centered = vec![0.0; d];
+            let mut cursor = 0usize;
+            source.for_each(&mut |x: &[f64]| {
+                let g = &gammas[cursor..cursor + k];
+                for c in 0..k {
+                    vector::sub_into(x, new_means[c].as_slice(), &mut centered);
+                    fml_linalg::gemm::ger_with(kp, g[c], &centered, &centered, &mut scatter[c]);
+                }
+                cursor += k;
+            })?;
+        } else {
+            let mut cursor = 0usize;
+            let mut flush = |rows: &[f64], dim: usize| {
+                let n_rows = rows.len() / dim;
+                let base = cursor;
+                let parts = par_chunks(true, n_rows, 1, |range| {
+                    let mut local = vec![Matrix::zeros(dim, dim); k];
+                    let mut centered = vec![0.0; dim];
+                    for r in range {
+                        let x = &rows[r * dim..(r + 1) * dim];
+                        let g = &gammas[base + r * k..base + (r + 1) * k];
+                        for c in 0..k {
+                            vector::sub_into(x, new_means[c].as_slice(), &mut centered);
+                            fml_linalg::gemm::ger_with(
+                                kp,
+                                g[c],
+                                &centered,
+                                &centered,
+                                &mut local[c],
+                            );
+                        }
+                    }
+                    local
+                });
+                for local in parts {
+                    for c in 0..k {
+                        scatter[c].add_assign(&local[c]);
+                    }
+                }
+                cursor += n_rows * k;
+            };
+            let mut buffer = BatchBuffer::new(d, PAR_BATCH_TUPLES);
+            source.for_each(&mut |x: &[f64]| buffer.push(x, &mut flush))?;
+            buffer.finish(&mut flush);
+        }
 
         model = finalize_m_step(&nk, mean_sums, scatter, n, opts.ridge);
         iterations += 1;
@@ -292,7 +451,10 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..n_per {
             let t = (i as f64) / (n_per as f64);
-            rows.push(vec![0.3 * (t - 0.5) + jitter(i, 1), 0.2 * (0.5 - t) + jitter(i, 7)]);
+            rows.push(vec![
+                0.3 * (t - 0.5) + jitter(i, 1),
+                0.2 * (0.5 - t) + jitter(i, 7),
+            ]);
             rows.push(vec![
                 10.0 + 0.3 * (t - 0.5) + jitter(i, 13),
                 10.0 + 0.2 * (t - 0.5) + jitter(i, 29),
@@ -353,7 +515,11 @@ mod tests {
             ..GmmConfig::default()
         };
         let fit = train_dense(&mut source, &config).unwrap();
-        assert!(fit.iterations < 50, "should converge early, ran {}", fit.iterations);
+        assert!(
+            fit.iterations < 50,
+            "should converge early, ran {}",
+            fit.iterations
+        );
     }
 
     #[test]
@@ -388,5 +554,38 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn vec_source_rejects_ragged_rows() {
         VecSource::new(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn parallel_policy_with_engaged_fanout_matches_blocked() {
+        // d and k chosen so k·d²·batch clears PAR_MIN_BATCH_FLOPS and the
+        // buffered parallel branch actually runs (small models stay inline).
+        let d = 32;
+        let k = 4;
+        assert!(k * d * d * PAR_BATCH_TUPLES >= PAR_MIN_BATCH_FLOPS);
+        let mut rng = fml_linalg::testutil::TestRng::new(5);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                let shift = if i % 2 == 0 { 0.0 } else { 25.0 };
+                (0..d).map(|_| rng.f64_in(0.0, 10.0) + shift).collect()
+            })
+            .collect();
+        let base = GmmConfig {
+            k,
+            max_iters: 2,
+            ..GmmConfig::default()
+        };
+        let blocked = train_dense(
+            &mut VecSource::new(rows.clone()),
+            &base.clone().policy(fml_linalg::KernelPolicy::Blocked),
+        )
+        .unwrap();
+        let parallel = train_dense(
+            &mut VecSource::new(rows),
+            &base.policy(fml_linalg::KernelPolicy::BlockedParallel),
+        )
+        .unwrap();
+        let diff = blocked.model.max_param_diff(&parallel.model);
+        assert!(diff < 1e-7, "parallel EM diverged from blocked: {diff}");
     }
 }

@@ -26,10 +26,15 @@ use crate::model::Precomputed;
 use crate::multiway::FactorizedMultiwayGmm;
 use crate::GmmConfig;
 use fml_linalg::block::{BlockPartition, BlockScatter};
+use fml_linalg::policy::par_chunks;
 use fml_linalg::{gemm, vector, Matrix, Vector};
 use fml_store::factorized_scan::GroupScan;
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::time::Instant;
+
+/// Minimum per-tuple work (≈ `k·d²` flops) below which the parallel policy
+/// processes join groups inline instead of fanning out.
+pub(crate) const PAR_MIN_GROUP_FLOPS: usize = 1 << 12;
 
 /// The factorized training strategy (the paper's proposal).
 pub struct FactorizedGmm;
@@ -63,53 +68,75 @@ impl FactorizedGmm {
         let mut iterations = 0;
         let mut gammas: Vec<f64> = Vec::with_capacity(n as usize * k);
 
+        let policy = config.kernel_policy;
+        // Kernels inside the per-chunk workers run single-threaded; parallelism
+        // lives at the join-group level, and only engages when per-group work is
+        // large enough to amortize the scoped-thread fan-out.
+        let kp = policy.sequential();
+        let par = policy.is_parallel() && k * d * d >= PAR_MIN_GROUP_FLOPS;
+
         for _iter in 0..config.max_iters {
             let pre = Precomputed::from_model(&model, config.ridge);
-            let forms = pre.block_forms(&partition);
+            let forms = pre.block_forms_with(&partition, kp);
             let means_split = pre.split_means(&partition);
 
             // ---- Pass 1: E-step ----
+            // Each scan block is a set of independent join groups: chunks of
+            // groups are processed in parallel and their partial statistics are
+            // merged in chunk order (fixed reduction tree).
             gammas.clear();
             let mut nk = vec![0.0; k];
             let mut ll = 0.0;
-            let mut log_dens = vec![0.0; k];
-            let mut pd_s = vec![0.0; d_s];
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
-                for group in block? {
-                    // Reused per dimension tuple: LR term and the combined
-                    // cross-term vector w = I_SR·PD_R + I_RSᵀ·PD_R.
-                    let mut lr_terms = vec![0.0; k];
-                    let mut cross_w: Vec<Vec<f64>> = Vec::with_capacity(k);
-                    for c in 0..k {
-                        let pd_r: Vec<f64> = group
-                            .r_tuple
-                            .features
-                            .iter()
-                            .zip(means_split[c][1].iter())
-                            .map(|(x, m)| x - m)
-                            .collect();
-                        lr_terms[c] = forms[c].term(1, 1, &pd_r, &pd_r);
-                        let mut w = forms[c].block_times(0, 1, &pd_r);
-                        let w2 = gemm::matvec_transposed(forms[c].block(1, 0), &pd_r);
-                        vector::axpy(1.0, &w2, &mut w);
-                        cross_w.push(w);
-                    }
-                    for s_tuple in &group.s_tuples {
+                let groups = block?;
+                let parts = par_chunks(par, groups.len(), 1, |range| {
+                    let mut local_gammas = Vec::new();
+                    let mut local_nk = vec![0.0; k];
+                    let mut local_ll = 0.0;
+                    let mut log_dens = vec![0.0; k];
+                    let mut pd_s = vec![0.0; d_s];
+                    for group in &groups[range] {
+                        // Reused per dimension tuple: LR term and the combined
+                        // cross-term vector w = I_SR·PD_R + I_RSᵀ·PD_R.
+                        let mut lr_terms = vec![0.0; k];
+                        let mut cross_w: Vec<Vec<f64>> = Vec::with_capacity(k);
                         for c in 0..k {
-                            vector::sub_into(&s_tuple.features, &means_split[c][0], &mut pd_s);
-                            let quad = forms[c].term(0, 0, &pd_s, &pd_s)
-                                + vector::dot(&pd_s, &cross_w[c])
-                                + lr_terms[c];
-                            log_dens[c] = pre.log_norm[c] - 0.5 * quad;
+                            let pd_r: Vec<f64> = group
+                                .r_tuple
+                                .features
+                                .iter()
+                                .zip(means_split[c][1].iter())
+                                .map(|(x, m)| x - m)
+                                .collect();
+                            lr_terms[c] = forms[c].term(1, 1, &pd_r, &pd_r);
+                            let mut w = forms[c].block_times(0, 1, &pd_r);
+                            let w2 = gemm::matvec_transposed_with(kp, forms[c].block(1, 0), &pd_r);
+                            vector::axpy(1.0, &w2, &mut w);
+                            cross_w.push(w);
                         }
-                        let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
-                        for c in 0..k {
-                            nk[c] += resp[c];
+                        for s_tuple in &group.s_tuples {
+                            for c in 0..k {
+                                vector::sub_into(&s_tuple.features, &means_split[c][0], &mut pd_s);
+                                let quad = forms[c].term(0, 0, &pd_s, &pd_s)
+                                    + vector::dot(&pd_s, &cross_w[c])
+                                    + lr_terms[c];
+                                log_dens[c] = pre.log_norm[c] - 0.5 * quad;
+                            }
+                            let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
+                            for c in 0..k {
+                                local_nk[c] += resp[c];
+                            }
+                            local_ll += tuple_ll;
+                            local_gammas.extend_from_slice(&resp);
                         }
-                        ll += tuple_ll;
-                        gammas.extend_from_slice(&resp);
                     }
+                    (local_gammas, local_nk, local_ll)
+                });
+                for (local_gammas, local_nk, local_ll) in parts {
+                    gammas.extend_from_slice(&local_gammas);
+                    vector::axpy(1.0, &local_nk, &mut nk);
+                    ll += local_ll;
                 }
             }
 
@@ -118,28 +145,51 @@ impl FactorizedGmm {
             let mut cursor = 0usize;
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
-                for group in block? {
-                    let mut group_gamma = vec![0.0; k];
-                    for s_tuple in &group.s_tuples {
-                        let g = &gammas[cursor..cursor + k];
+                let groups = block?;
+                // Per-group cursor offsets into the responsibility stream, so
+                // chunks can be processed independently.
+                let offsets: Vec<usize> = groups
+                    .iter()
+                    .scan(cursor, |acc, g| {
+                        let o = *acc;
+                        *acc += g.s_tuples.len() * k;
+                        Some(o)
+                    })
+                    .collect();
+                let parts = par_chunks(par, groups.len(), 1, |range| {
+                    let mut local = vec![Vector::zeros(d); k];
+                    for gi in range {
+                        let group = &groups[gi];
+                        let mut cur = offsets[gi];
+                        let mut group_gamma = vec![0.0; k];
+                        for s_tuple in &group.s_tuples {
+                            let g = &gammas[cur..cur + k];
+                            for c in 0..k {
+                                vector::axpy(
+                                    g[c],
+                                    &s_tuple.features,
+                                    &mut local[c].as_mut_slice()[..d_s],
+                                );
+                                group_gamma[c] += g[c];
+                            }
+                            cur += k;
+                        }
                         for c in 0..k {
                             vector::axpy(
-                                g[c],
-                                &s_tuple.features,
-                                &mut mean_sums[c].as_mut_slice()[..d_s],
+                                group_gamma[c],
+                                &group.r_tuple.features,
+                                &mut local[c].as_mut_slice()[d_s..],
                             );
-                            group_gamma[c] += g[c];
                         }
-                        cursor += k;
                     }
+                    local
+                });
+                for local in parts {
                     for c in 0..k {
-                        vector::axpy(
-                            group_gamma[c],
-                            &group.r_tuple.features,
-                            &mut mean_sums[c].as_mut_slice()[d_s..],
-                        );
+                        mean_sums[c].axpy(1.0, &local[c]);
                     }
                 }
+                cursor += groups.iter().map(|g| g.s_tuples.len() * k).sum::<usize>();
             }
             let new_means = means_from_sums(&nk, &mean_sums);
             let new_means_split: Vec<Vec<Vec<f64>>> = new_means
@@ -154,45 +204,72 @@ impl FactorizedGmm {
                 .collect();
 
             // ---- Pass 3: M-step, covariances (Equations 14–18) ----
-            let mut scatter: Vec<BlockScatter> =
-                (0..k).map(|_| BlockScatter::new(partition.clone())).collect();
+            // Chunks of groups accumulate into private BlockScatter grids which
+            // are merged in chunk order (`BlockScatter::merge_from`).
+            let mut scatter: Vec<BlockScatter> = (0..k)
+                .map(|_| BlockScatter::new_with(partition.clone(), kp))
+                .collect();
             let mut cursor = 0usize;
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
-                for group in block? {
-                    let mut group_gamma = vec![0.0; k];
-                    let mut weighted_pd_s = vec![vec![0.0; d_s]; k];
-                    for s_tuple in &group.s_tuples {
-                        let g = &gammas[cursor..cursor + k];
-                        for c in 0..k {
-                            vector::sub_into(
-                                &s_tuple.features,
-                                &new_means_split[c][0],
-                                &mut pd_s,
-                            );
-                            // UL block: must be accumulated per fact tuple.
-                            scatter[c].add_outer(0, 0, g[c], &pd_s, &pd_s);
-                            vector::axpy(g[c], &pd_s, &mut weighted_pd_s[c]);
-                            group_gamma[c] += g[c];
+                let groups = block?;
+                let offsets: Vec<usize> = groups
+                    .iter()
+                    .scan(cursor, |acc, g| {
+                        let o = *acc;
+                        *acc += g.s_tuples.len() * k;
+                        Some(o)
+                    })
+                    .collect();
+                let parts = par_chunks(par, groups.len(), 1, |range| {
+                    let mut local: Vec<BlockScatter> = (0..k)
+                        .map(|_| BlockScatter::new_with(partition.clone(), kp))
+                        .collect();
+                    let mut pd_s = vec![0.0; d_s];
+                    for gi in range {
+                        let group = &groups[gi];
+                        let mut cur = offsets[gi];
+                        let mut group_gamma = vec![0.0; k];
+                        let mut weighted_pd_s = vec![vec![0.0; d_s]; k];
+                        for s_tuple in &group.s_tuples {
+                            let g = &gammas[cur..cur + k];
+                            for c in 0..k {
+                                vector::sub_into(
+                                    &s_tuple.features,
+                                    &new_means_split[c][0],
+                                    &mut pd_s,
+                                );
+                                // UL block: must be accumulated per fact tuple.
+                                local[c].add_outer(0, 0, g[c], &pd_s, &pd_s);
+                                vector::axpy(g[c], &pd_s, &mut weighted_pd_s[c]);
+                                group_gamma[c] += g[c];
+                            }
+                            cur += k;
                         }
-                        cursor += k;
+                        for c in 0..k {
+                            let pd_r: Vec<f64> = group
+                                .r_tuple
+                                .features
+                                .iter()
+                                .zip(new_means_split[c][1].iter())
+                                .map(|(x, m)| x - m)
+                                .collect();
+                            // UR / LL blocks from the group-level weighted PD_S sum.
+                            local[c].add_outer(0, 1, 1.0, &weighted_pd_s[c], &pd_r);
+                            local[c].add_outer(1, 0, 1.0, &pd_r, &weighted_pd_s[c]);
+                            // LR block: one outer product per group, reused for
+                            // the whole responsibility mass of the group.
+                            local[c].add_outer(1, 1, group_gamma[c], &pd_r, &pd_r);
+                        }
                     }
+                    local
+                });
+                for local in parts {
                     for c in 0..k {
-                        let pd_r: Vec<f64> = group
-                            .r_tuple
-                            .features
-                            .iter()
-                            .zip(new_means_split[c][1].iter())
-                            .map(|(x, m)| x - m)
-                            .collect();
-                        // UR / LL blocks from the group-level weighted PD_S sum.
-                        scatter[c].add_outer(0, 1, 1.0, &weighted_pd_s[c], &pd_r);
-                        scatter[c].add_outer(1, 0, 1.0, &pd_r, &weighted_pd_s[c]);
-                        // LR block: one outer product per group, reused for the
-                        // whole responsibility mass of the group.
-                        scatter[c].add_outer(1, 1, group_gamma[c], &pd_r, &pd_r);
+                        scatter[c].merge_from(&local[c]);
                     }
                 }
+                cursor += groups.iter().map(|g| g.s_tuples.len() * k).sum::<usize>();
             }
             let scatter_mats: Vec<Matrix> =
                 scatter.into_iter().map(BlockScatter::into_matrix).collect();

@@ -113,9 +113,7 @@ impl GmmInit {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let weights = vec![1.0 / k as f64; k];
         let means = (0..k)
-            .map(|_| {
-                Vector::from_vec((0..d).map(|_| normal(&mut rng, 0.0, self.spread)).collect())
-            })
+            .map(|_| Vector::from_vec((0..d).map(|_| normal(&mut rng, 0.0, self.spread)).collect()))
             .collect();
         let covariances = (0..k).map(|_| Matrix::identity(d)).collect();
         GmmModel::new(weights, means, covariances)
@@ -166,10 +164,8 @@ mod tests {
         for i in 0..5 {
             for j in (i + 1)..5 {
                 assert!(
-                    fml_linalg::vector::max_abs_diff(
-                        m.means[i].as_slice(),
-                        m.means[j].as_slice()
-                    ) > 1e-6,
+                    fml_linalg::vector::max_abs_diff(m.means[i].as_slice(), m.means[j].as_slice())
+                        > 1e-6,
                     "components {i} and {j} initialized identically"
                 );
             }

@@ -37,6 +37,7 @@ pub use model::{GmmModel, Precomputed};
 pub use multiway::FactorizedMultiwayGmm;
 pub use streaming::StreamingGmm;
 
+use fml_linalg::KernelPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Configuration shared by every GMM training variant.
@@ -59,6 +60,10 @@ pub struct GmmConfig {
     pub init_spread: f64,
     /// Number of pages per scan block (`BlockSize` in the paper's cost analysis).
     pub block_pages: usize,
+    /// Linear-algebra kernel policy used by every pass (see
+    /// [`fml_linalg::policy`]).  All variants of one comparison should share a
+    /// policy: results across policies agree only within rounding tolerances.
+    pub kernel_policy: KernelPolicy,
 }
 
 impl Default for GmmConfig {
@@ -71,6 +76,7 @@ impl Default for GmmConfig {
             seed: 7,
             init_spread: 1.0,
             block_pages: fml_store::DEFAULT_BLOCK_PAGES,
+            kernel_policy: KernelPolicy::default(),
         }
     }
 }
@@ -101,6 +107,12 @@ impl GmmConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns a copy with a different kernel policy.
+    pub fn policy(mut self, kernel_policy: KernelPolicy) -> Self {
+        self.kernel_policy = kernel_policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +130,10 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let c = GmmConfig::with_k(3).iterations(25).tolerance(1e-4).seeded(99);
+        let c = GmmConfig::with_k(3)
+            .iterations(25)
+            .tolerance(1e-4)
+            .seeded(99);
         assert_eq!(c.k, 3);
         assert_eq!(c.max_iters, 25);
         assert_eq!(c.tol, 1e-4);

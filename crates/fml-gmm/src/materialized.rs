@@ -160,10 +160,9 @@ mod tests {
             .from_relations(&w.db, &w.spec, config.k)
             .unwrap();
         let full = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let table = w
-            .db
-            .relation(&MaterializedGmm::temp_table_name(&w.spec))
-            .unwrap();
+        let table =
+            w.db.relation(&MaterializedGmm::temp_table_name(&w.spec))
+                .unwrap();
         let reused = MaterializedGmm::train_on_table(table, &config, initial).unwrap();
         assert!(full.model.max_param_diff(&reused.model) < 1e-12);
     }

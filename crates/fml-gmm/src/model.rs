@@ -20,8 +20,15 @@ impl GmmModel {
     /// Creates a model, validating dimensional consistency.
     pub fn new(weights: Vec<f64>, means: Vec<Vector>, covariances: Vec<Matrix>) -> Self {
         assert_eq!(weights.len(), means.len(), "weights/means length mismatch");
-        assert_eq!(weights.len(), covariances.len(), "weights/covariances length mismatch");
-        assert!(!weights.is_empty(), "model must have at least one component");
+        assert_eq!(
+            weights.len(),
+            covariances.len(),
+            "weights/covariances length mismatch"
+        );
+        assert!(
+            !weights.is_empty(),
+            "model must have at least one component"
+        );
         let d = means[0].len();
         assert!(
             means.iter().all(|m| m.len() == d),
@@ -120,8 +127,8 @@ impl Precomputed {
                 Err(_) if ridge > 0.0 => {
                     let mut repaired = cov.clone();
                     sym::ensure_spd(&mut repaired, ridge);
-                    let ch = Cholesky::factor(&repaired)
-                        .expect("regularized covariance must be SPD");
+                    let ch =
+                        Cholesky::factor(&repaired).expect("regularized covariance must be SPD");
                     (ch.inverse(), ch.log_det())
                 }
                 Err(e) => panic!("component {k}: covariance not SPD and ridge disabled: {e}"),
@@ -147,9 +154,19 @@ impl Precomputed {
     /// Splits each component's covariance inverse into relation-aligned blocks
     /// (Equations 9–12 / 21) for the factorized E-step.
     pub fn block_forms(&self, partition: &BlockPartition) -> Vec<BlockQuadraticForm> {
+        self.block_forms_with(partition, fml_linalg::KernelPolicy::default())
+    }
+
+    /// [`Self::block_forms`] with an explicit kernel policy for the per-tile
+    /// evaluations.
+    pub fn block_forms_with(
+        &self,
+        partition: &BlockPartition,
+        policy: fml_linalg::KernelPolicy,
+    ) -> Vec<BlockQuadraticForm> {
         self.inverses
             .iter()
-            .map(|inv| BlockQuadraticForm::new(partition.clone(), inv))
+            .map(|inv| BlockQuadraticForm::new_with(partition.clone(), inv, policy))
             .collect()
     }
 
@@ -187,10 +204,10 @@ impl Precomputed {
     pub fn responsibilities_dense(&self, x: &[f64]) -> (Vec<f64>, f64) {
         let mut log_dens = vec![0.0; self.k()];
         let mut centered = vec![0.0; x.len()];
-        for k in 0..self.k() {
+        for (k, ld) in log_dens.iter_mut().enumerate() {
             vector::sub_into(x, self.means[k].as_slice(), &mut centered);
             let quad = gemm::quadratic_form_sym(&centered, &self.inverses[k]);
-            log_dens[k] = self.log_norm[k] - 0.5 * quad;
+            *ld = self.log_norm[k] - 0.5 * quad;
         }
         self.finish_responsibilities(&mut log_dens)
     }
@@ -245,11 +262,7 @@ mod tests {
     #[test]
     fn density_matches_closed_form_single_gaussian() {
         // Single standard normal component: log p(x) = -0.5*(d ln 2π + ||x||²)
-        let m = GmmModel::new(
-            vec![1.0],
-            vec![Vector::zeros(2)],
-            vec![Matrix::identity(2)],
-        );
+        let m = GmmModel::new(vec![1.0], vec![Vector::zeros(2)], vec![Matrix::identity(2)]);
         let pre = Precomputed::from_model(&m, 0.0);
         let (_, ll) = pre.responsibilities_dense(&[1.0, 2.0]);
         let expected = -0.5 * (2.0 * (2.0 * std::f64::consts::PI).ln() + 5.0);
@@ -262,20 +275,13 @@ mod tests {
         let data = [vec![0.0, 0.0], vec![5.0, 5.0]];
         let ll = m.log_likelihood(data.iter().map(|v| v.as_slice()));
         let pre = Precomputed::from_model(&m, 0.0);
-        let expected: f64 = data
-            .iter()
-            .map(|v| pre.responsibilities_dense(v).1)
-            .sum();
+        let expected: f64 = data.iter().map(|v| pre.responsibilities_dense(v).1).sum();
         assert!(approx_eq(ll, expected, 1e-12));
     }
 
     #[test]
     fn precompute_repairs_singular_covariance() {
-        let m = GmmModel::new(
-            vec![1.0],
-            vec![Vector::zeros(2)],
-            vec![Matrix::zeros(2, 2)],
-        );
+        let m = GmmModel::new(vec![1.0], vec![Vector::zeros(2)], vec![Matrix::zeros(2, 2)]);
         let pre = Precomputed::from_model(&m, 1e-6);
         assert!(pre.log_norm[0].is_finite());
     }

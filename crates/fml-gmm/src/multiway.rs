@@ -20,7 +20,8 @@ use crate::init::GmmInit;
 use crate::model::Precomputed;
 use crate::GmmConfig;
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
-use fml_linalg::{gemm, vector, Matrix, Vector};
+use fml_linalg::policy::par_chunks;
+use fml_linalg::{gemm, vector, KernelPolicy, Matrix, Vector};
 use fml_store::factorized_scan::StarScan;
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::collections::HashMap;
@@ -46,6 +47,7 @@ impl EStepEntry {
         forms: &[BlockQuadraticForm],
         means_split: &[Vec<Vec<f64>>],
         k: usize,
+        kp: KernelPolicy,
     ) -> Self {
         let mut pd = Vec::with_capacity(k);
         let mut diag = Vec::with_capacity(k);
@@ -58,7 +60,7 @@ impl EStepEntry {
                 .collect();
             diag.push(forms[c].term(block, block, &centered, &centered));
             let mut w = forms[c].block_times(0, block, &centered);
-            let w2 = gemm::matvec_transposed(forms[c].block(block, 0), &centered);
+            let w2 = gemm::matvec_transposed_with(kp, forms[c].block(block, 0), &centered);
             vector::axpy(1.0, &w2, &mut w);
             cross_s.push(w);
             pd.push(centered);
@@ -104,21 +106,30 @@ impl FactorizedMultiwayGmm {
         let mut iterations = 0;
         let mut gammas: Vec<f64> = Vec::with_capacity(n as usize * k);
 
+        let policy = config.kernel_policy;
+        let kp = policy.sequential();
+        // Fan out only when per-fact work can amortize the thread spawns.
+        let par = policy.is_parallel() && k * d * d >= crate::factorized::PAR_MIN_GROUP_FLOPS;
+
         for _iter in 0..config.max_iters {
             let pre = Precomputed::from_model(&model, config.ridge);
-            let forms = pre.block_forms(&partition);
+            let forms = pre.block_forms_with(&partition, kp);
             let means_split = pre.split_means(&partition);
 
             // ---- Pass 1: E-step (Equation 19) ----
+            // Per block: a sequential sweep materializes the per-dimension-tuple
+            // caches (one entry per *distinct* FK — the factorized reuse), then
+            // the per-fact evaluation fans out over chunks that read the caches
+            // immutably; partials merge in chunk order.
             gammas.clear();
             let mut nk = vec![0.0; k];
             let mut ll = 0.0;
-            let mut log_dens = vec![0.0; k];
-            let mut pd_s = vec![0.0; d_s];
             let scan = StarScan::new(db, spec, config.block_pages)?;
-            let mut caches: Vec<HashMap<u64, EStepEntry>> = (0..q).map(|_| HashMap::new()).collect();
+            let mut caches: Vec<HashMap<u64, EStepEntry>> =
+                (0..q).map(|_| HashMap::new()).collect();
             for block in scan.blocks() {
-                for fact in block? {
+                let facts = block?;
+                for fact in &facts {
                     for (i, fk) in fact.fks.iter().enumerate() {
                         if !caches[i].contains_key(fk) {
                             let dim_tuple = scan.cache().get(i, *fk).ok_or_else(|| {
@@ -133,35 +144,51 @@ impl FactorizedMultiwayGmm {
                                 &forms,
                                 &means_split,
                                 k,
+                                kp,
                             );
                             caches[i].insert(*fk, entry);
                         }
                     }
-                    for (c, ld) in log_dens.iter_mut().enumerate() {
-                        vector::sub_into(&fact.features, &means_split[c][0], &mut pd_s);
-                        let mut quad = forms[c].term(0, 0, &pd_s, &pd_s);
-                        for i in 0..q {
-                            let e = &caches[i][&fact.fks[i]];
-                            quad += e.diag[c] + vector::dot(&pd_s, &e.cross_s[c]);
-                        }
-                        // cross terms between distinct dimension blocks
-                        for i in 0..q {
-                            for j in 0..q {
-                                if i != j {
-                                    let ei = &caches[i][&fact.fks[i]];
-                                    let ej = &caches[j][&fact.fks[j]];
-                                    quad += forms[c].term(i + 1, j + 1, &ei.pd[c], &ej.pd[c]);
+                }
+                let parts = par_chunks(par, facts.len(), 1, |range| {
+                    let mut local_gammas = Vec::with_capacity(range.len() * k);
+                    let mut local_nk = vec![0.0; k];
+                    let mut local_ll = 0.0;
+                    let mut log_dens = vec![0.0; k];
+                    let mut pd_s = vec![0.0; d_s];
+                    for fact in &facts[range] {
+                        for (c, ld) in log_dens.iter_mut().enumerate() {
+                            vector::sub_into(&fact.features, &means_split[c][0], &mut pd_s);
+                            let mut quad = forms[c].term(0, 0, &pd_s, &pd_s);
+                            for i in 0..q {
+                                let e = &caches[i][&fact.fks[i]];
+                                quad += e.diag[c] + vector::dot(&pd_s, &e.cross_s[c]);
+                            }
+                            // cross terms between distinct dimension blocks
+                            for i in 0..q {
+                                for j in 0..q {
+                                    if i != j {
+                                        let ei = &caches[i][&fact.fks[i]];
+                                        let ej = &caches[j][&fact.fks[j]];
+                                        quad += forms[c].term(i + 1, j + 1, &ei.pd[c], &ej.pd[c]);
+                                    }
                                 }
                             }
+                            *ld = pre.log_norm[c] - 0.5 * quad;
                         }
-                        *ld = pre.log_norm[c] - 0.5 * quad;
+                        let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
+                        for c in 0..k {
+                            local_nk[c] += resp[c];
+                        }
+                        local_ll += tuple_ll;
+                        local_gammas.extend_from_slice(&resp);
                     }
-                    let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
-                    for c in 0..k {
-                        nk[c] += resp[c];
-                    }
-                    ll += tuple_ll;
-                    gammas.extend_from_slice(&resp);
+                    (local_gammas, local_nk, local_ll)
+                });
+                for (local_gammas, local_nk, local_ll) in parts {
+                    gammas.extend_from_slice(&local_gammas);
+                    vector::axpy(1.0, &local_nk, &mut nk);
+                    ll += local_ll;
                 }
             }
 
@@ -175,7 +202,11 @@ impl FactorizedMultiwayGmm {
                 for fact in block? {
                     let g = &gammas[cursor..cursor + k];
                     for c in 0..k {
-                        vector::axpy(g[c], &fact.features, &mut mean_sums[c].as_mut_slice()[..d_s]);
+                        vector::axpy(
+                            g[c],
+                            &fact.features,
+                            &mut mean_sums[c].as_mut_slice()[..d_s],
+                        );
                     }
                     for (i, fk) in fact.fks.iter().enumerate() {
                         let sums = gamma_by_dim[i].entry(*fk).or_insert_with(|| vec![0.0; k]);
@@ -186,9 +217,9 @@ impl FactorizedMultiwayGmm {
                     cursor += k;
                 }
             }
-            for i in 0..q {
+            for (i, dim_gammas) in gamma_by_dim.iter().enumerate() {
                 let range = partition.range(i + 1);
-                for (key, sums) in &gamma_by_dim[i] {
+                for (key, sums) in dim_gammas {
                     let dim_tuple = scan.cache().get(i, *key).expect("cached during pass 1");
                     for c in 0..k {
                         vector::axpy(
@@ -212,8 +243,10 @@ impl FactorizedMultiwayGmm {
                 .collect();
 
             // ---- Pass 3: M-step, covariances (Equations 23–24) ----
-            let mut scatter: Vec<BlockScatter> =
-                (0..k).map(|_| BlockScatter::new(partition.clone())).collect();
+            let mut pd_s = vec![0.0; d_s];
+            let mut scatter: Vec<BlockScatter> = (0..k)
+                .map(|_| BlockScatter::new_with(partition.clone(), kp))
+                .collect();
             // Centered dimension vectors under the *new* means.
             let mut pd_new: Vec<HashMap<u64, Vec<Vec<f64>>>> =
                 (0..q).map(|_| HashMap::new()).collect();
@@ -339,11 +372,7 @@ mod tests {
         let w = MultiwayConfig {
             n_s: 300,
             d_s: 1,
-            dims: vec![
-                DimSpec::new(10, 2),
-                DimSpec::new(5, 3),
-                DimSpec::new(4, 2),
-            ],
+            dims: vec![DimSpec::new(10, 2), DimSpec::new(5, 3), DimSpec::new(4, 2)],
             k: 2,
             noise_std: 0.5,
             with_target: false,

@@ -18,7 +18,10 @@ fn assert_equivalent(w: &fml_data::Workload, config: &GmmConfig, tol: f64) {
     assert!(mf < tol, "M vs F diff {mf} exceeds {tol} on {}", w.name);
     // log-likelihood traces must coincide as well
     for (a, b) in m.log_likelihood.iter().zip(f.log_likelihood.iter()) {
-        assert!((a - b).abs() / a.abs().max(1.0) < 1e-7, "LL trace diverged: {a} vs {b}");
+        assert!(
+            (a - b).abs() / a.abs().max(1.0) < 1e-7,
+            "LL trace diverged: {a} vs {b}"
+        );
     }
 }
 
@@ -38,7 +41,11 @@ fn binary_equivalence_across_tuple_ratios() {
         .with_tuple_ratio(rr)
         .generate()
         .unwrap();
-        let config = GmmConfig { k: 3, max_iters: 5, ..GmmConfig::default() };
+        let config = GmmConfig {
+            k: 3,
+            max_iters: 5,
+            ..GmmConfig::default()
+        };
         assert_equivalent(&w, &config, 1e-6);
     }
 }
@@ -58,7 +65,11 @@ fn binary_equivalence_across_dimension_widths() {
         }
         .generate()
         .unwrap();
-        let config = GmmConfig { k: 2, max_iters: 4, ..GmmConfig::default() };
+        let config = GmmConfig {
+            k: 2,
+            max_iters: 4,
+            ..GmmConfig::default()
+        };
         assert_equivalent(&w, &config, 1e-6);
     }
 }
@@ -78,7 +89,11 @@ fn binary_equivalence_across_component_counts() {
         }
         .generate()
         .unwrap();
-        let config = GmmConfig { k, max_iters: 4, ..GmmConfig::default() };
+        let config = GmmConfig {
+            k,
+            max_iters: 4,
+            ..GmmConfig::default()
+        };
         assert_equivalent(&w, &config, 1e-6);
     }
 }
@@ -96,7 +111,11 @@ fn multiway_equivalence() {
     }
     .generate()
     .unwrap();
-    let config = GmmConfig { k: 3, max_iters: 4, ..GmmConfig::default() };
+    let config = GmmConfig {
+        k: 3,
+        max_iters: 4,
+        ..GmmConfig::default()
+    };
     let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
     let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
     let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
@@ -120,7 +139,11 @@ fn factorized_io_never_exceeds_streaming_io() {
     }
     .generate()
     .unwrap();
-    let config = GmmConfig { k: 2, max_iters: 2, ..GmmConfig::default() };
+    let config = GmmConfig {
+        k: 2,
+        max_iters: 2,
+        ..GmmConfig::default()
+    };
 
     w.db.stats().reset();
     let _ = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
@@ -134,7 +157,10 @@ fn factorized_io_never_exceeds_streaming_io() {
     let _ = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
     let m_io = w.db.stats().snapshot();
 
-    assert_eq!(f_io.pages_read, s_io.pages_read, "F and S read the same pages");
+    assert_eq!(
+        f_io.pages_read, s_io.pages_read,
+        "F and S read the same pages"
+    );
     assert_eq!(f_io.pages_written, 0);
     assert_eq!(s_io.pages_written, 0);
     assert!(m_io.pages_written > 0, "M-GMM materializes the join");
@@ -144,4 +170,104 @@ fn factorized_io_never_exceeds_streaming_io() {
         m_io.total_page_io(),
         f_io.total_page_io()
     );
+}
+
+#[test]
+fn policies_learn_the_same_model() {
+    // One workload, every kernel policy, every variant: the learned models must
+    // agree across policies within rounding tolerance (the policies reorder
+    // floating-point additions but never change the multiplication set).
+    use fml_linalg::KernelPolicy;
+    let w = SyntheticConfig {
+        n_s: 300,
+        n_r: 12,
+        d_s: 2,
+        d_r: 5,
+        k: 2,
+        noise_std: 0.8,
+        with_target: false,
+        seed: 77,
+    }
+    .generate()
+    .unwrap();
+    let base = GmmConfig {
+        k: 2,
+        max_iters: 4,
+        ..GmmConfig::default()
+    };
+    let reference =
+        MaterializedGmm::train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Naive)).unwrap();
+    for policy in KernelPolicy::ALL {
+        let config = base.clone().policy(policy);
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        for (label, fit) in [("M", &m), ("S", &s), ("F", &f)] {
+            let diff = reference.model.max_param_diff(&fit.model);
+            assert!(
+                diff < 1e-6,
+                "{label}-GMM under {policy} diverged from naive reference: {diff}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multiway_policies_learn_the_same_model() {
+    use fml_linalg::KernelPolicy;
+    let w = MultiwayConfig {
+        n_s: 250,
+        d_s: 2,
+        dims: vec![DimSpec::new(10, 3), DimSpec::new(5, 2)],
+        k: 2,
+        noise_std: 0.6,
+        with_target: false,
+        seed: 78,
+    }
+    .generate()
+    .unwrap();
+    let base = GmmConfig {
+        k: 2,
+        max_iters: 3,
+        ..GmmConfig::default()
+    };
+    let reference =
+        FactorizedMultiwayGmm::train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Naive))
+            .unwrap();
+    for policy in [KernelPolicy::Blocked, KernelPolicy::BlockedParallel] {
+        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &base.clone().policy(policy)).unwrap();
+        let diff = reference.model.max_param_diff(&f.model);
+        assert!(diff < 1e-6, "F-multiway under {policy} diverged: {diff}");
+    }
+}
+
+#[test]
+fn parallel_fanout_engages_at_larger_dimensions() {
+    // Sized so k·d² clears the factorized trainer's fan-out gate (k=3, d=38 →
+    // 4332 ≥ 4096): the group-chunking, gamma-offset and scatter-merge
+    // machinery actually runs instead of falling back to the inline path.
+    use fml_linalg::KernelPolicy;
+    let w = SyntheticConfig {
+        n_s: 300,
+        n_r: 10,
+        d_s: 3,
+        d_r: 35,
+        k: 3,
+        noise_std: 0.8,
+        with_target: false,
+        seed: 91,
+    }
+    .generate()
+    .unwrap();
+    let base = GmmConfig {
+        k: 3,
+        max_iters: 2,
+        ..GmmConfig::default()
+    };
+    let blocked =
+        FactorizedGmm::train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Blocked)).unwrap();
+    let parallel =
+        FactorizedGmm::train(&w.db, &w.spec, &base.policy(KernelPolicy::BlockedParallel)).unwrap();
+    let diff = blocked.model.max_param_diff(&parallel.model);
+    assert!(diff < 1e-7, "engaged parallel F-GMM diverged: {diff}");
 }

@@ -18,6 +18,7 @@
 
 use crate::gemm;
 use crate::matrix::Matrix;
+use crate::policy::KernelPolicy;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -35,7 +36,10 @@ impl BlockPartition {
     /// # Panics
     /// Panics when `sizes` is empty.
     pub fn new(sizes: &[usize]) -> Self {
-        assert!(!sizes.is_empty(), "BlockPartition: at least one block required");
+        assert!(
+            !sizes.is_empty(),
+            "BlockPartition: at least one block required"
+        );
         let mut offsets = Vec::with_capacity(sizes.len());
         let mut acc = 0;
         for &s in sizes {
@@ -104,8 +108,16 @@ impl BlockPartition {
 
     /// Partitions a square `d×d` matrix into the full grid of sub-blocks.
     pub fn partition_matrix(&self, m: &Matrix) -> Vec<Vec<Matrix>> {
-        assert_eq!(m.rows(), self.total_dim(), "partition_matrix: row dim mismatch");
-        assert_eq!(m.cols(), self.total_dim(), "partition_matrix: col dim mismatch");
+        assert_eq!(
+            m.rows(),
+            self.total_dim(),
+            "partition_matrix: row dim mismatch"
+        );
+        assert_eq!(
+            m.cols(),
+            self.total_dim(),
+            "partition_matrix: col dim mismatch"
+        );
         (0..self.num_blocks())
             .map(|i| {
                 (0..self.num_blocks())
@@ -122,13 +134,29 @@ impl BlockPartition {
 pub struct BlockQuadraticForm {
     partition: BlockPartition,
     blocks: Vec<Vec<Matrix>>,
+    policy: KernelPolicy,
 }
 
 impl BlockQuadraticForm {
-    /// Partitions the (typically `Σ⁻¹`) matrix `a` according to `partition`.
+    /// Partitions the (typically `Σ⁻¹`) matrix `a` according to `partition`,
+    /// evaluating with the process-default [`KernelPolicy`].
     pub fn new(partition: BlockPartition, a: &Matrix) -> Self {
+        Self::new_with(partition, a, KernelPolicy::default())
+    }
+
+    /// Partitions `a` and pins the kernel policy used for every evaluation.
+    pub fn new_with(partition: BlockPartition, a: &Matrix, policy: KernelPolicy) -> Self {
         let blocks = partition.partition_matrix(a);
-        Self { partition, blocks }
+        Self {
+            partition,
+            blocks,
+            policy,
+        }
+    }
+
+    /// The kernel policy this form evaluates under.
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
     }
 
     /// The underlying partition.
@@ -141,9 +169,10 @@ impl BlockQuadraticForm {
         &self.blocks[i][j]
     }
 
-    /// Evaluates the single term `pd_iᵀ A_{ij} pd_j`.
+    /// Evaluates the single term `pd_iᵀ A_{ij} pd_j` (one tile of the
+    /// partitioned form).
     pub fn term(&self, i: usize, j: usize, pd_i: &[f64], pd_j: &[f64]) -> f64 {
-        gemm::quadratic_form(pd_i, &self.blocks[i][j], pd_j)
+        gemm::quadratic_form_with(self.policy, pd_i, &self.blocks[i][j], pd_j)
     }
 
     /// Pre-multiplies block `(i, j)` with `pd_j`: returns `A_{ij} · pd_j`.
@@ -152,7 +181,7 @@ impl BlockQuadraticForm {
     /// `A_{S,R} · PD_R` so that each matching `S` tuple only needs a `d_S`-length
     /// dot product for the cross terms.
     pub fn block_times(&self, i: usize, j: usize, pd_j: &[f64]) -> Vec<f64> {
-        gemm::matvec(&self.blocks[i][j], pd_j)
+        gemm::matvec_with(self.policy, &self.blocks[i][j], pd_j)
     }
 
     /// Evaluates the full quadratic form `Σ_{ij} pd_iᵀ A_{ij} pd_j` from per-block
@@ -194,16 +223,43 @@ impl BlockQuadraticForm {
 pub struct BlockScatter {
     partition: BlockPartition,
     acc: Matrix,
+    policy: KernelPolicy,
 }
 
 impl BlockScatter {
-    /// Creates a zeroed accumulator for the given partition.
+    /// Creates a zeroed accumulator for the given partition, accumulating with
+    /// the process-default [`KernelPolicy`].
     pub fn new(partition: BlockPartition) -> Self {
+        Self::new_with(partition, KernelPolicy::default())
+    }
+
+    /// Creates a zeroed accumulator pinned to an explicit kernel policy.
+    pub fn new_with(partition: BlockPartition, policy: KernelPolicy) -> Self {
         let d = partition.total_dim();
         Self {
             partition,
             acc: Matrix::zeros(d, d),
+            policy,
         }
+    }
+
+    /// The kernel policy this accumulator updates under.
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// Merges another accumulator over the same partition into this one.
+    ///
+    /// Used by the parallel training paths: each worker accumulates into a
+    /// private `BlockScatter`, and the partials are merged **in worker-index
+    /// order** so the reduction tree — and therefore the floating-point result
+    /// — is fixed for a given chunking.
+    pub fn merge_from(&mut self, other: &BlockScatter) {
+        assert_eq!(
+            self.partition, other.partition,
+            "BlockScatter::merge_from: partition mismatch"
+        );
+        self.acc.add_assign(&other.acc);
     }
 
     /// The underlying partition.
@@ -219,13 +275,15 @@ impl BlockScatter {
         assert_eq!(v.len(), self.partition.size(j), "add_outer: bad v length");
         let r0 = self.partition.offset(i);
         let c0 = self.partition.offset(j);
+        // Branch-free tile update: one scaled AXPY per tile row.  The centered
+        // vectors this receives are dense, so per-element zero tests cost more
+        // than they save; `gemm::ger_sparse` exists for genuinely sparse
+        // (one-hot) inputs but is not wired into any trainer yet.
         for (bi, &ui) in u.iter().enumerate() {
-            if ui == 0.0 {
-                continue;
-            }
-            let row = self.acc.row_mut(r0 + bi);
-            for (bj, &vj) in v.iter().enumerate() {
-                row[c0 + bj] += alpha * ui * vj;
+            let row = &mut self.acc.row_mut(r0 + bi)[c0..c0 + v.len()];
+            let s = alpha * ui;
+            for (dst, &vj) in row.iter_mut().zip(v.iter()) {
+                *dst += s * vj;
             }
         }
     }
@@ -235,14 +293,22 @@ impl BlockScatter {
     /// implementation.
     pub fn add_dense(&mut self, alpha: f64, x: &[f64]) {
         assert_eq!(x.len(), self.partition.total_dim(), "add_dense: bad length");
-        gemm::ger(alpha, x, x, &mut self.acc);
+        gemm::ger_with(self.policy, alpha, x, x, &mut self.acc);
     }
 
     /// Adds an already formed `d_i × d_j` matrix into block `(i, j)` with weight
     /// `alpha`.
     pub fn add_block_matrix(&mut self, i: usize, j: usize, alpha: f64, block: &Matrix) {
-        assert_eq!(block.rows(), self.partition.size(i), "add_block_matrix: bad rows");
-        assert_eq!(block.cols(), self.partition.size(j), "add_block_matrix: bad cols");
+        assert_eq!(
+            block.rows(),
+            self.partition.size(i),
+            "add_block_matrix: bad rows"
+        );
+        assert_eq!(
+            block.cols(),
+            self.partition.size(j),
+            "add_block_matrix: bad cols"
+        );
         let r0 = self.partition.offset(i);
         let c0 = self.partition.offset(j);
         for bi in 0..block.rows() {

@@ -96,8 +96,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y[..i].iter().enumerate() {
+                sum -= self.l[(i, k)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -105,8 +105,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.l[(k, i)] * x[k];
+            for (off, &xk) in x[i + 1..].iter().enumerate() {
+                sum -= self.l[(i + 1 + off, i)] * xk;
             }
             x[i] = sum / self.l[(i, i)];
         }
@@ -144,8 +144,8 @@ impl Cholesky {
         let mut z = vec![0.0; n];
         for i in 0..n {
             let mut sum = x[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * z[k];
+            for (k, &zk) in z[..i].iter().enumerate() {
+                sum -= self.l[(i, k)] * zk;
             }
             z[i] = sum / self.l[(i, i)];
         }
@@ -162,8 +162,8 @@ pub fn inverse_and_log_det(a: &Matrix) -> Result<(Matrix, f64), NotPositiveDefin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gemm::matmul;
     use crate::approx_eq;
+    use crate::gemm::matmul;
 
     fn spd3() -> Matrix {
         Matrix::from_rows(&[

@@ -117,19 +117,34 @@ impl Matrix {
 
     /// Borrows row `i` as a slice.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row index {} out of bounds ({})", i, self.rows);
+        assert!(
+            i < self.rows,
+            "row index {} out of bounds ({})",
+            i,
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutably borrows row `i`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row index {} out of bounds ({})", i, self.rows);
+        assert!(
+            i < self.rows,
+            "row index {} out of bounds ({})",
+            i,
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Copies column `j` into a new `Vec`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "col index {} out of bounds ({})", j, self.cols);
+        assert!(
+            j < self.cols,
+            "col index {} out of bounds ({})",
+            j,
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -160,8 +175,7 @@ impl Matrix {
         assert!(c0 <= c1 && c1 <= self.cols, "sub_block: bad col range");
         let mut out = Matrix::zeros(r1 - r0, c1 - c0);
         for i in r0..r1 {
-            out.row_mut(i - r0)
-                .copy_from_slice(&self.row(i)[c0..c1]);
+            out.row_mut(i - r0).copy_from_slice(&self.row(i)[c0..c1]);
         }
         out
     }

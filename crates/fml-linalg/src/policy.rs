@@ -1,0 +1,375 @@
+//! Kernel execution policies and the deterministic data-parallel helpers.
+//!
+//! Every heavy kernel in this crate ([`crate::gemm`], [`crate::block`]) is
+//! implemented three ways and selected by a [`KernelPolicy`]:
+//!
+//! * [`KernelPolicy::Naive`] — the straightforward triple loops of the original
+//!   implementation.  Reference semantics: strictly sequential accumulation in
+//!   index order.  Kept as the oracle for the equivalence property tests.
+//! * [`KernelPolicy::Blocked`] — cache-tiled kernels with packed panels and a
+//!   register-blocked `MR×NR` micro-kernel (see [`crate::gemm`] for the tiling
+//!   parameters).  Changes the *grouping* of floating-point additions (never the
+//!   multiplication set), so results agree with `Naive` to within
+//!   [`crate::TEST_EPS`]-style tolerances but are not bit-identical.
+//! * [`KernelPolicy::BlockedParallel`] — the blocked kernels with the outer loop
+//!   split over a scoped thread pool.  Work is partitioned into chunks whose
+//!   boundaries depend only on the problem shape and the thread count, and
+//!   per-chunk results are merged **in chunk-index order** (a fixed-shape
+//!   reduction tree), so a given machine configuration always produces the same
+//!   bits.  Output-disjoint kernels (GEMM row bands aligned to the register
+//!   tile) are bit-identical to `Blocked`; reductions (dot products, scatter
+//!   merges) agree within tolerance.
+//!
+//! The process-wide default policy is `Blocked`, overridable with the
+//! `FML_KERNEL_POLICY` environment variable (`naive` | `blocked` | `parallel`)
+//! or [`set_default_policy`].  Thread count defaults to the machine's available
+//! parallelism, overridable with `FML_THREADS`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Selects which implementation of the dense kernels runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelPolicy {
+    /// Reference triple loops, strictly sequential accumulation.
+    Naive,
+    /// Cache-tiled, register-blocked kernels (single thread).
+    Blocked,
+    /// Blocked kernels with deterministic multi-threaded outer loops.
+    BlockedParallel,
+}
+
+impl KernelPolicy {
+    /// All policies, in increasing order of sophistication.
+    pub const ALL: [KernelPolicy; 3] = [
+        KernelPolicy::Naive,
+        KernelPolicy::Blocked,
+        KernelPolicy::BlockedParallel,
+    ];
+
+    /// Short lowercase label (`naive` / `blocked` / `parallel`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelPolicy::Naive => "naive",
+            KernelPolicy::Blocked => "blocked",
+            KernelPolicy::BlockedParallel => "parallel",
+        }
+    }
+
+    /// Whether this policy may fan work out to the thread pool.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, KernelPolicy::BlockedParallel)
+    }
+
+    /// The single-threaded policy with the same per-kernel arithmetic.
+    ///
+    /// Training drivers that parallelize at a coarser granularity (per tuple
+    /// chunk / per join group) run the kernels *inside* each worker under this
+    /// policy, so the pool is never entered twice.
+    pub fn sequential(self) -> KernelPolicy {
+        match self {
+            KernelPolicy::BlockedParallel => KernelPolicy::Blocked,
+            p => p,
+        }
+    }
+}
+
+impl Default for KernelPolicy {
+    /// The process-wide default — see [`default_policy`].
+    fn default() -> Self {
+        default_policy()
+    }
+}
+
+impl fmt::Display for KernelPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for KernelPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive" => Ok(KernelPolicy::Naive),
+            "blocked" => Ok(KernelPolicy::Blocked),
+            "parallel" | "blocked_parallel" | "blocked+parallel" => {
+                Ok(KernelPolicy::BlockedParallel)
+            }
+            other => Err(format!(
+                "unknown kernel policy {other:?} (expected naive|blocked|parallel)"
+            )),
+        }
+    }
+}
+
+const POLICY_UNSET: u8 = u8::MAX;
+
+static DEFAULT_POLICY: AtomicU8 = AtomicU8::new(POLICY_UNSET);
+
+fn policy_to_u8(p: KernelPolicy) -> u8 {
+    match p {
+        KernelPolicy::Naive => 0,
+        KernelPolicy::Blocked => 1,
+        KernelPolicy::BlockedParallel => 2,
+    }
+}
+
+fn policy_from_u8(v: u8) -> KernelPolicy {
+    match v {
+        0 => KernelPolicy::Naive,
+        2 => KernelPolicy::BlockedParallel,
+        _ => KernelPolicy::Blocked,
+    }
+}
+
+/// The process-wide default policy used by the non-`_with` kernel entry points.
+///
+/// Initialized on first use from `FML_KERNEL_POLICY` (falling back to
+/// `Blocked`); changeable at runtime with [`set_default_policy`].
+pub fn default_policy() -> KernelPolicy {
+    let v = DEFAULT_POLICY.load(Ordering::Relaxed);
+    if v != POLICY_UNSET {
+        return policy_from_u8(v);
+    }
+    let initial = std::env::var("FML_KERNEL_POLICY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(KernelPolicy::Blocked);
+    // Racing initializations agree (env is stable), so a relaxed store is fine.
+    DEFAULT_POLICY.store(policy_to_u8(initial), Ordering::Relaxed);
+    initial
+}
+
+/// Overrides the process-wide default policy.
+pub fn set_default_policy(policy: KernelPolicy) {
+    DEFAULT_POLICY.store(policy_to_u8(policy), Ordering::Relaxed);
+}
+
+/// Number of worker threads the `BlockedParallel` policy fans out to:
+/// `FML_THREADS` if set, otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("FML_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Deterministic chunk boundaries: splits `0..n` into at most `max_chunks`
+/// contiguous ranges of near-equal length, each a multiple of `align` except
+/// possibly the last.  Depends only on the arguments — never on scheduling.
+pub fn chunk_ranges(n: usize, max_chunks: usize, align: usize) -> Vec<Range<usize>> {
+    let align = align.max(1);
+    if n == 0 || max_chunks <= 1 {
+        let mut whole = Vec::new();
+        if n > 0 {
+            whole.push(0..n);
+        }
+        return whole;
+    }
+    let aligned_units = n.div_ceil(align);
+    let chunks = max_chunks.min(aligned_units);
+    let units_per_chunk = aligned_units.div_ceil(chunks);
+    let step = units_per_chunk * align;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    while start < n {
+        let end = (start + step).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Runs `f` over deterministic chunks of `0..n` — in parallel on scoped threads
+/// when `parallel` is true and the work splits — and returns the per-chunk
+/// results **in chunk-index order**.  Callers merge the returned values
+/// front-to-back, which fixes the reduction order regardless of which thread
+/// finished first.
+pub fn par_chunks<T, F>(parallel: bool, n: usize, align: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let threads = if parallel { num_threads() } else { 1 };
+    par_chunks_with_threads(threads, n, align, f)
+}
+
+/// [`par_chunks`] with an explicit worker count — lets callers (and tests on
+/// single-core machines) force a genuine multi-chunk fan-out regardless of
+/// `FML_THREADS` / available parallelism.
+pub fn par_chunks_with_threads<T, F>(threads: usize, n: usize, align: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let mut ranges = chunk_ranges(n, threads, align);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    // The calling thread takes the last chunk itself instead of parking,
+    // saving one spawn per parallel region.
+    let last_range = ranges.pop().expect("len > 1");
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(ranges.len());
+    slots.resize_with(ranges.len(), || None);
+    let mut last = None;
+    std::thread::scope(|scope| {
+        for (slot, range) in slots.iter_mut().zip(ranges) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(range));
+            });
+        }
+        last = Some(f(last_range));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker thread completed"))
+        .chain(last)
+        .collect()
+}
+
+/// Splits `data` into bands of `band_rows * row_len` elements and runs `f` on
+/// each band — in parallel when `parallel` is true.  Band boundaries are
+/// row-aligned and deterministic; each element of `data` belongs to exactly one
+/// band, so the result is independent of scheduling.
+///
+/// `f` receives `(first_row_of_band, band_slice)`.
+pub fn par_row_bands<F>(parallel: bool, data: &mut [f64], row_len: usize, align_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let threads = if parallel { num_threads() } else { 1 };
+    par_row_bands_with_threads(threads, data, row_len, align_rows, f);
+}
+
+/// [`par_row_bands`] with an explicit worker count (see
+/// [`par_chunks_with_threads`] for why this exists).
+pub fn par_row_bands_with_threads<F>(
+    threads: usize,
+    data: &mut [f64],
+    row_len: usize,
+    align_rows: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        row_len > 0 && data.len().is_multiple_of(row_len),
+        "par_row_bands: ragged data"
+    );
+    let rows = data.len() / row_len;
+    let mut ranges = chunk_ranges(rows, threads, align_rows);
+    if ranges.len() <= 1 {
+        f(0, data);
+        return;
+    }
+    // As in `par_chunks_with_threads`, the caller runs the last band itself.
+    let last_range = ranges.pop().expect("len > 1");
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0;
+        for range in ranges {
+            let band_len = (range.end - range.start) * row_len;
+            let (band, tail) = rest.split_at_mut(band_len);
+            rest = tail;
+            let f = &f;
+            let first_row = consumed;
+            scope.spawn(move || f(first_row, band));
+            consumed += range.end - range.start;
+        }
+        debug_assert_eq!(rest.len(), (last_range.end - last_range.start) * row_len);
+        f(consumed, rest);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_parsing_roundtrip() {
+        for p in KernelPolicy::ALL {
+            assert_eq!(p.label().parse::<KernelPolicy>().unwrap(), p);
+        }
+        assert!("bogus".parse::<KernelPolicy>().is_err());
+    }
+
+    #[test]
+    fn default_policy_is_settable() {
+        let before = default_policy();
+        set_default_policy(KernelPolicy::Naive);
+        assert_eq!(default_policy(), KernelPolicy::Naive);
+        set_default_policy(before);
+        assert_eq!(default_policy(), before);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_exactly_once() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for chunks in [1usize, 2, 3, 8] {
+                for align in [1usize, 4, 8] {
+                    let ranges = chunk_ranges(n, chunks, align);
+                    let mut next = 0;
+                    for r in &ranges {
+                        assert_eq!(r.start, next);
+                        assert!(r.end > r.start);
+                        next = r.end;
+                    }
+                    assert_eq!(next, n, "n={n} chunks={chunks} align={align}");
+                    // all but the last chunk are aligned
+                    for r in ranges.iter().rev().skip(1) {
+                        assert_eq!(r.end % align, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_preserves_chunk_order() {
+        // explicit thread count: spawns real scoped threads even on 1 core
+        let results = par_chunks_with_threads(4, 100, 1, |r| r.start);
+        assert!(results.len() > 1, "fan-out must actually split");
+        let mut sorted = results.clone();
+        sorted.sort_unstable();
+        assert_eq!(results, sorted, "results must arrive in chunk order");
+        let total: usize = par_chunks_with_threads(4, 1000, 8, |r| r.len())
+            .iter()
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn par_row_bands_touches_each_row_once() {
+        let rows = 37;
+        let cols = 5;
+        let mut data = vec![0.0f64; rows * cols];
+        par_row_bands_with_threads(4, &mut data, cols, 4, |first_row, band| {
+            for (i, row) in band.chunks_exact_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first_row + i) as f64;
+                }
+            }
+        });
+        for (i, row) in data.chunks_exact(cols).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f64), "row {i} wrong: {row:?}");
+        }
+    }
+}

@@ -1,94 +1,296 @@
-//! Property-based tests for the linear-algebra kernels: the block decompositions
-//! used by the factorized algorithms must agree with their dense counterparts for
-//! arbitrary inputs, and Cholesky must invert arbitrary SPD matrices.
+//! Property-based tests for the linear-algebra kernels.
+//!
+//! Two families of properties:
+//!
+//! 1. **Policy equivalence** — the `Blocked` and `BlockedParallel` kernels must
+//!    agree with the `Naive` reference (`matmul`, `matvec`, `ger`,
+//!    `BlockScatter`) within `TEST_EPS` across randomized shapes, explicitly
+//!    including dimensions that are not multiples of the register tile
+//!    (`MR=4`/`NR=8`), not multiples of the cache blocks (`KC/MC/NC`), and
+//!    empty matrices.
+//! 2. **Structural identities** — the block decompositions used by the
+//!    factorized algorithms must agree with their dense counterparts, and
+//!    Cholesky must invert arbitrary SPD matrices.
+//!
+//! Cases come from a deterministic splitmix64 stream (the build environment is
+//! offline, so no external property-testing crate): every run replays the same
+//! inputs and failures reproduce from the case index.
 
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 use fml_linalg::cholesky::Cholesky;
-use fml_linalg::gemm;
-use fml_linalg::Matrix;
-use proptest::prelude::*;
+use fml_linalg::policy::KernelPolicy;
+use fml_linalg::{approx_eq, gemm, Matrix, TEST_EPS};
 
-/// Strategy: a dimension split [d_s, d_r1, ...] with total dimension <= 8.
-fn partition_strategy() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..4, 1..4)
-}
+struct Gen(fml_linalg::testutil::TestRng);
 
-fn vector_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, len..=len)
-}
-
-fn matrix_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-5.0f64..5.0, dim * dim..=dim * dim)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn blocked_quadratic_form_matches_dense(sizes in partition_strategy(), seed in 0u64..1000) {
-        let partition = BlockPartition::new(&sizes);
-        let d = partition.total_dim();
-        // deterministic pseudo-random data from the seed
-        let data: Vec<f64> = (0..d * d).map(|i| ((i as u64 * 31 + seed * 17) % 97) as f64 / 10.0 - 4.0).collect();
-        let x: Vec<f64> = (0..d).map(|i| ((i as u64 * 13 + seed * 7) % 89) as f64 / 10.0 - 4.0).collect();
-        let m = Matrix::from_vec(d, d, data);
-        let dense = gemm::quadratic_form_sym(&x, &m);
-        let blocked = BlockQuadraticForm::new(partition, &m).eval_dense(&x);
-        prop_assert!(fml_linalg::approx_eq(dense, blocked, 1e-9), "{dense} vs {blocked}");
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(fml_linalg::testutil::TestRng::new(seed))
     }
 
-    #[test]
-    fn blocked_scatter_matches_dense_outer_product(sizes in partition_strategy(), gamma in 0.0f64..2.0, seed in 0u64..1000) {
-        let partition = BlockPartition::new(&sizes);
-        let d = partition.total_dim();
-        let x: Vec<f64> = (0..d).map(|i| ((i as u64 * 23 + seed * 11) % 83) as f64 / 10.0 - 4.0).collect();
-        let mut dense = BlockScatter::new(partition.clone());
-        dense.add_dense(gamma, &x);
-        let mut blocked = BlockScatter::new(partition.clone());
-        let parts = partition.split(&x);
-        for i in 0..parts.len() {
-            for j in 0..parts.len() {
-                blocked.add_outer(i, j, gamma, parts[i], parts[j]);
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.range(lo, hi)
+    }
+
+    /// Uniform in `[-5, 5)`.
+    fn f64(&mut self) -> f64 {
+        self.0.f64_in(-5.0, 5.0)
+    }
+
+    fn vec(&mut self, n: usize) -> Vec<f64> {
+        self.0.vec_in(n, -5.0, 5.0)
+    }
+
+    fn matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.vec(rows * cols))
+    }
+
+    /// A dimension split `[d_S, d_{R_1}, …]` with 1–3 blocks of size 1–3.
+    fn partition(&mut self) -> Vec<usize> {
+        let blocks = self.range(1, 4);
+        (0..blocks).map(|_| self.range(1, 4)).collect()
+    }
+}
+
+/// Shapes that stress every remainder path of the tiled kernels: smaller than
+/// one register tile, straddling tile boundaries, straddling the `KC`/`MC`
+/// cache blocks, and empty on each axis.
+fn awkward_shapes(g: &mut Gen) -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (0, 0, 0),
+        (0, 3, 2),
+        (3, 0, 2),
+        (3, 2, 0),
+        (1, 1, 1),
+        (4, 8, 8),     // exactly one register tile
+        (5, 9, 17),    // one past a tile on every axis
+        (3, 7, 6),     // smaller than a tile
+        (67, 70, 130), // past MC=64 with remainders
+        (64, 257, 24), // straddles KC=256
+    ];
+    for _ in 0..12 {
+        shapes.push((g.range(0, 40), g.range(0, 40), g.range(0, 40)));
+    }
+    shapes
+}
+
+const POLICIES: [KernelPolicy; 2] = [KernelPolicy::Blocked, KernelPolicy::BlockedParallel];
+
+#[test]
+fn matmul_policies_match_naive_across_shapes() {
+    let mut g = Gen::new(1);
+    for (case, (m, k, n)) in awkward_shapes(&mut g).into_iter().enumerate() {
+        let a = g.matrix(m, k);
+        let b = g.matrix(k, n);
+        let mut reference = g.matrix(m, n); // nonzero C exercises accumulation
+        let seed_c = reference.clone();
+        gemm::matmul_acc_with(KernelPolicy::Naive, &a, &b, &mut reference);
+        for p in POLICIES {
+            let mut c = seed_c.clone();
+            gemm::matmul_acc_with(p, &a, &b, &mut c);
+            let diff = reference.max_abs_diff(&c);
+            assert!(
+                diff < TEST_EPS * (k as f64 + 1.0),
+                "case {case} {p}: {m}x{k}x{n} diff {diff}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matvec_policies_match_naive_across_shapes() {
+    let mut g = Gen::new(2);
+    for (case, (m, k, _)) in awkward_shapes(&mut g).into_iter().enumerate() {
+        let a = g.matrix(m, k);
+        let x = g.vec(k);
+        let reference = gemm::matvec_with(KernelPolicy::Naive, &a, &x);
+        for p in POLICIES {
+            let y = gemm::matvec_with(p, &a, &x);
+            assert_eq!(y.len(), reference.len());
+            for (i, (&r, &v)) in reference.iter().zip(y.iter()).enumerate() {
+                assert!(
+                    approx_eq(r, v, TEST_EPS),
+                    "case {case} {p}: row {i}: {r} vs {v}"
+                );
+            }
+            let t_ref = gemm::matvec_transposed_with(KernelPolicy::Naive, &a, &reference);
+            let t = gemm::matvec_transposed_with(p, &a, &reference);
+            for (&r, &v) in t_ref.iter().zip(t.iter()) {
+                assert!(approx_eq(r, v, TEST_EPS), "case {case} {p} transposed");
             }
         }
-        prop_assert!(dense.matrix().max_abs_diff(blocked.matrix()) < 1e-10);
     }
+}
 
-    #[test]
-    fn cholesky_inverts_spd_matrices(dim in 1usize..6, vals in prop::collection::vec(-3.0f64..3.0, 36)) {
+#[test]
+fn ger_policies_match_naive_across_shapes() {
+    let mut g = Gen::new(3);
+    for (case, (m, n, _)) in awkward_shapes(&mut g).into_iter().enumerate() {
+        let x = g.vec(m);
+        let y = g.vec(n);
+        let alpha = g.f64();
+        let seed_a = g.matrix(m, n);
+        let mut reference = seed_a.clone();
+        gemm::ger_with(KernelPolicy::Naive, alpha, &x, &y, &mut reference);
+        for p in POLICIES {
+            let mut a = seed_a.clone();
+            gemm::ger_with(p, alpha, &x, &y, &mut a);
+            let diff = reference.max_abs_diff(&a);
+            assert!(diff < TEST_EPS, "case {case} {p}: {m}x{n} diff {diff}");
+        }
+        // the sparse variant must agree with the dense one on any input
+        let mut sparse = seed_a.clone();
+        gemm::ger_sparse(alpha, &x, &y, &mut sparse);
+        assert!(
+            reference.max_abs_diff(&sparse) < TEST_EPS,
+            "case {case} sparse"
+        );
+    }
+}
+
+#[test]
+fn block_scatter_policies_match_naive() {
+    let mut g = Gen::new(4);
+    for case in 0..48 {
+        let sizes = g.partition();
+        let partition = BlockPartition::new(&sizes);
+        let d = partition.total_dim();
+        let x = g.vec(d);
+        let gamma = g.f64().abs();
+
+        let mut reference = BlockScatter::new_with(partition.clone(), KernelPolicy::Naive);
+        reference.add_dense(gamma, &x);
+
+        for p in POLICIES {
+            // dense accumulation under the policy
+            let mut dense = BlockScatter::new_with(partition.clone(), p);
+            dense.add_dense(gamma, &x);
+            assert!(
+                reference.matrix().max_abs_diff(dense.matrix()) < TEST_EPS,
+                "case {case} {p} dense"
+            );
+            // factorized tile-by-tile accumulation under the policy
+            let parts = partition.split(&x);
+            let mut fact = BlockScatter::new_with(partition.clone(), p);
+            for i in 0..parts.len() {
+                for j in 0..parts.len() {
+                    fact.add_outer(i, j, gamma, parts[i], parts[j]);
+                }
+            }
+            assert!(
+                reference.matrix().max_abs_diff(fact.matrix()) < TEST_EPS,
+                "case {case} {p} tiled"
+            );
+        }
+    }
+}
+
+#[test]
+fn scatter_merge_matches_sequential_accumulation() {
+    let mut g = Gen::new(5);
+    for case in 0..16 {
+        let sizes = g.partition();
+        let partition = BlockPartition::new(&sizes);
+        let d = partition.total_dim();
+        let xs: Vec<Vec<f64>> = (0..10).map(|_| g.vec(d)).collect();
+
+        let mut sequential = BlockScatter::new(partition.clone());
+        for x in &xs {
+            sequential.add_dense(1.0, x);
+        }
+
+        // two workers over a fixed split, merged in worker order
+        let mut w0 = BlockScatter::new(partition.clone());
+        let mut w1 = BlockScatter::new(partition.clone());
+        for x in &xs[..5] {
+            w0.add_dense(1.0, x);
+        }
+        for x in &xs[5..] {
+            w1.add_dense(1.0, x);
+        }
+        w0.merge_from(&w1);
+        assert!(
+            sequential.matrix().max_abs_diff(w0.matrix()) < TEST_EPS,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn blocked_quadratic_form_matches_dense() {
+    let mut g = Gen::new(6);
+    for case in 0..64 {
+        let sizes = g.partition();
+        let partition = BlockPartition::new(&sizes);
+        let d = partition.total_dim();
+        let m = g.matrix(d, d);
+        let x = g.vec(d);
+        let dense = gemm::quadratic_form_sym_with(KernelPolicy::Naive, &x, &m);
+        for p in [
+            KernelPolicy::Naive,
+            KernelPolicy::Blocked,
+            KernelPolicy::BlockedParallel,
+        ] {
+            let blocked = BlockQuadraticForm::new_with(partition.clone(), &m, p).eval_dense(&x);
+            assert!(
+                approx_eq(dense, blocked, 1e-9),
+                "case {case} {p}: {dense} vs {blocked}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cholesky_inverts_spd_matrices() {
+    let mut g = Gen::new(7);
+    for case in 0..64 {
+        let dim = g.range(1, 6);
         // Build an SPD matrix A = B·Bᵀ + I from arbitrary B.
-        let b = Matrix::from_vec(dim, dim, vals[..dim * dim].to_vec());
+        let b = g.matrix(dim, dim);
         let mut a = gemm::matmul(&b, &b.transpose());
         a.add_diag(1.0);
         let ch = Cholesky::factor(&a).unwrap();
         let inv = ch.inverse();
         let prod = gemm::matmul(&inv, &a);
-        prop_assert!(prod.max_abs_diff(&Matrix::identity(dim)) < 1e-8);
-        // log|A| is finite and the determinant positive
-        prop_assert!(ch.log_det().is_finite());
+        assert!(
+            prod.max_abs_diff(&Matrix::identity(dim)) < 1e-8,
+            "case {case}"
+        );
+        assert!(ch.log_det().is_finite(), "case {case}");
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(dim in 1usize..5, m in matrix_strategy(4), x in vector_strategy(4), y in vector_strategy(4)) {
-        let a = Matrix::from_vec(dim, dim, m[..dim * dim].to_vec());
-        let x = &x[..dim];
-        let y = &y[..dim];
+#[test]
+fn matmul_distributes_over_addition() {
+    let mut g = Gen::new(8);
+    for case in 0..64 {
+        let dim = g.range(1, 5);
+        let a = g.matrix(dim, dim);
+        let x = g.vec(dim);
+        let y = g.vec(dim);
         // A(x + y) == Ax + Ay
         let sum: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| a + b).collect();
         let lhs = gemm::matvec(&a, &sum);
-        let ax = gemm::matvec(&a, x);
-        let ay = gemm::matvec(&a, y);
+        let ax = gemm::matvec(&a, &x);
+        let ay = gemm::matvec(&a, &y);
         for i in 0..dim {
-            prop_assert!(fml_linalg::approx_eq(lhs[i], ax[i] + ay[i], 1e-9));
+            assert!(
+                approx_eq(lhs[i], ax[i] + ay[i], 1e-9),
+                "case {case} row {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn transpose_is_involutive_and_preserves_frobenius(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
-        let data: Vec<f64> = (0..rows * cols).map(|i| ((i as u64 * 41 + seed * 13) % 101) as f64 / 7.0 - 7.0).collect();
-        let m = Matrix::from_vec(rows, cols, data);
+#[test]
+fn transpose_is_involutive_and_preserves_frobenius() {
+    let mut g = Gen::new(9);
+    for case in 0..64 {
+        let rows = g.range(1, 6);
+        let cols = g.range(1, 6);
+        let m = g.matrix(rows, cols);
         let t = m.transpose();
-        prop_assert_eq!(t.transpose(), m.clone());
-        prop_assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-12);
+        assert_eq!(t.transpose(), m, "case {case}");
+        assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-12);
     }
 }

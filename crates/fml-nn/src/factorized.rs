@@ -19,10 +19,16 @@ use crate::materialized::ensure_has_target;
 use crate::mlp::Mlp;
 use crate::multiway::FactorizedMultiwayNn;
 use crate::trainer::{NnConfig, NnFit};
+use fml_linalg::policy::par_chunks;
 use fml_linalg::{gemm, vector, Matrix};
 use fml_store::factorized_scan::GroupScan;
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::time::Instant;
+
+/// Minimum per-example work (≈ `4·|θ|` flops) below which the parallel policy
+/// processes join groups inline instead of fanning out (mirrors the GMM
+/// trainers' `PAR_MIN_GROUP_FLOPS`).
+const PAR_MIN_GROUP_FLOPS: usize = 1 << 12;
 
 /// The factorized NN training strategy (the paper's proposal).
 pub struct FactorizedNn;
@@ -65,43 +71,73 @@ impl FactorizedNn {
             let mut grad_w_r = Matrix::zeros(nh, d_r);
             let mut loss_sum = 0.0;
 
+            let kp = config.kernel_policy.sequential();
+            // Fan out over join groups only when per-example work can amortize
+            // the scoped-thread spawns.
+            let par =
+                config.kernel_policy.is_parallel() && 4 * model.num_params() >= PAR_MIN_GROUP_FLOPS;
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
-                for group in block? {
-                    // Reused per dimension tuple: t_R = W¹_R·x_R + b¹.
-                    let mut t_r = gemm::matvec(&w1_r, &group.r_tuple.features);
-                    vector::axpy(1.0, &b1, &mut t_r);
-                    // Per-group sum of first-layer deltas (for PG_R and its bias-free
-                    // outer product with x_R).
-                    let mut delta_sum = vec![0.0; nh];
+                // Join groups are independent within a block: chunks of groups
+                // accumulate private gradients that merge in chunk order.
+                let groups = block?;
+                let parts = par_chunks(par, groups.len(), 1, |range| {
+                    let mut local_grads = model.zero_grads();
+                    let mut local_w_s = Matrix::zeros(nh, d_s);
+                    let mut local_w_r = Matrix::zeros(nh, d_r);
+                    let mut local_loss = 0.0;
+                    for group in &groups[range] {
+                        // Reused per dimension tuple: t_R = W¹_R·x_R + b¹.
+                        let mut t_r = gemm::matvec_with(kp, &w1_r, &group.r_tuple.features);
+                        vector::axpy(1.0, &b1, &mut t_r);
+                        // Per-group sum of first-layer deltas (for PG_R and its
+                        // bias-free outer product with x_R).
+                        let mut delta_sum = vec![0.0; nh];
 
-                    for s_tuple in &group.s_tuples {
-                        // ---- forward, first layer (factorized) ----
-                        let mut a1 = gemm::matvec(&w1_s, &s_tuple.features);
-                        vector::axpy(1.0, &t_r, &mut a1);
-                        let mut h1 = a1.clone();
-                        model.layers()[0].activation.apply_slice(&mut h1);
-                        // ---- forward, remaining layers (dense) ----
-                        let mut trace_layers = Vec::with_capacity(model.layers().len());
-                        trace_layers.push((a1, h1));
-                        for layer in &model.layers()[1..] {
-                            let input = trace_layers.last().unwrap().1.clone();
-                            let (a, h) = layer.forward(&input);
-                            trace_layers.push((a, h));
+                        for s_tuple in &group.s_tuples {
+                            // ---- forward, first layer (factorized) ----
+                            let mut a1 = gemm::matvec_with(kp, &w1_s, &s_tuple.features);
+                            vector::axpy(1.0, &t_r, &mut a1);
+                            let mut h1 = a1.clone();
+                            model.layers()[0].activation.apply_slice(&mut h1);
+                            // ---- forward, remaining layers (dense) ----
+                            let mut trace_layers = Vec::with_capacity(model.layers().len());
+                            trace_layers.push((a1, h1));
+                            for layer in &model.layers()[1..] {
+                                let (a, h) =
+                                    layer.forward_with(kp, &trace_layers.last().unwrap().1);
+                                trace_layers.push((a, h));
+                            }
+                            let trace = crate::mlp::ForwardTrace {
+                                layers: trace_layers,
+                            };
+                            // ---- backward ----
+                            let y = s_tuple.target.unwrap_or(0.0);
+                            let (delta1, loss) =
+                                model.backward_factorized_with(kp, &trace, y, &mut local_grads);
+                            local_loss += loss;
+                            // PG_S: per fact tuple.
+                            gemm::ger_with(kp, 1.0, &delta1, &s_tuple.features, &mut local_w_s);
+                            vector::axpy(1.0, &delta1, &mut delta_sum);
                         }
-                        let trace = crate::mlp::ForwardTrace {
-                            layers: trace_layers,
-                        };
-                        // ---- backward ----
-                        let y = s_tuple.target.unwrap_or(0.0);
-                        let (delta1, loss) = model.backward_factorized(&trace, y, &mut grads);
-                        loss_sum += loss;
-                        // PG_S: per fact tuple.
-                        gemm::ger(1.0, &delta1, &s_tuple.features, &mut grad_w_s);
-                        vector::axpy(1.0, &delta1, &mut delta_sum);
+                        // PG_R: one outer product per dimension tuple.
+                        gemm::ger_with(
+                            kp,
+                            1.0,
+                            &delta_sum,
+                            &group.r_tuple.features,
+                            &mut local_w_r,
+                        );
                     }
-                    // PG_R: one outer product per dimension tuple.
-                    gemm::ger(1.0, &delta_sum, &group.r_tuple.features, &mut grad_w_r);
+                    (local_grads, local_w_s, local_w_r, local_loss)
+                });
+                for (local_grads, local_w_s, local_w_r, local_loss) in parts {
+                    for (dst, src) in grads.iter_mut().zip(local_grads.iter()) {
+                        dst.merge_from(src);
+                    }
+                    grad_w_s.add_assign(&local_w_s);
+                    grad_w_r.add_assign(&local_w_r);
+                    loss_sum += local_loss;
                 }
             }
 

@@ -14,6 +14,7 @@ pub fn check_gradients(net: &Mlp, x: &[f64], target: f64) -> f64 {
     let loss = |net: &Mlp| -> f64 { 0.5 * (net.predict(x) - target).powi(2) };
 
     let mut max_err: f64 = 0.0;
+    #[allow(clippy::needless_range_loop)] // `l` indexes fresh clones, not one slice
     for l in 0..net.layers().len() {
         let (rows, cols) = net.layers()[l].weights.shape();
         for i in 0..rows {

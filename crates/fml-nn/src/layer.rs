@@ -18,7 +18,11 @@ pub struct DenseLayer {
 impl DenseLayer {
     /// Creates a layer with the given parameters.
     pub fn new(weights: Matrix, bias: Vec<f64>, activation: Activation) -> Self {
-        assert_eq!(weights.rows(), bias.len(), "weights/bias dimension mismatch");
+        assert_eq!(
+            weights.rows(),
+            bias.len(),
+            "weights/bias dimension mismatch"
+        );
         Self {
             weights,
             bias,
@@ -67,16 +71,26 @@ impl DenseLayer {
         self.weights.rows() * self.weights.cols() + self.bias.len()
     }
 
-    /// Computes the pre-activation `a = W·x + b`.
+    /// Computes the pre-activation `a = W·x + b` under the default policy.
     pub fn pre_activation(&self, x: &[f64]) -> Vec<f64> {
-        let mut a = gemm::matvec(&self.weights, x);
-        vector::add_into(&a.clone(), &self.bias, &mut a);
+        self.pre_activation_with(fml_linalg::KernelPolicy::default(), x)
+    }
+
+    /// Computes the pre-activation under an explicit kernel policy.
+    pub fn pre_activation_with(&self, kp: fml_linalg::KernelPolicy, x: &[f64]) -> Vec<f64> {
+        let mut a = gemm::matvec_with(kp, &self.weights, x);
+        vector::axpy(1.0, &self.bias, &mut a);
         a
     }
 
     /// Forward pass returning `(a, h)` — pre-activation and activated output.
     pub fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let a = self.pre_activation(x);
+        self.forward_with(fml_linalg::KernelPolicy::default(), x)
+    }
+
+    /// [`Self::forward`] under an explicit kernel policy.
+    pub fn forward_with(&self, kp: fml_linalg::KernelPolicy, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let a = self.pre_activation_with(kp, x);
         let mut h = a.clone();
         self.activation.apply_slice(&mut h);
         (a, h)
@@ -112,6 +126,16 @@ impl LayerGradient {
     pub fn reset(&mut self) {
         self.d_weights.fill_zero();
         self.d_bias.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Merges another accumulator into this one (`dθ += dθ_other`).
+    ///
+    /// The parallel trainers give each worker a private accumulator and merge
+    /// the partials **in worker-index order**, fixing the floating-point
+    /// reduction order for a given chunking.
+    pub fn merge_from(&mut self, other: &LayerGradient) {
+        self.d_weights.add_assign(&other.d_weights);
+        vector::axpy(1.0, &other.d_bias, &mut self.d_bias);
     }
 
     /// Applies the accumulated gradient to a layer: `θ -= lr/n · dθ`.

@@ -55,13 +55,7 @@ impl SecondLayerCost {
 /// `f(Σ_j w2_j · f(t1_j + t2_j) + b2)` (Equations 25–26), where `t1_j` is the
 /// fact-side part of hidden unit `j`'s pre-activation and `t2_j` the
 /// dimension-side part (bias included).
-pub fn second_layer_direct(
-    f: Activation,
-    w2: &[f64],
-    t1: &[f64],
-    t2: &[f64],
-    b2: f64,
-) -> f64 {
+pub fn second_layer_direct(f: Activation, w2: &[f64], t1: &[f64], t2: &[f64], b2: f64) -> f64 {
     assert_eq!(w2.len(), t1.len());
     assert_eq!(w2.len(), t2.len());
     let sum: f64 = w2
@@ -75,12 +69,7 @@ pub fn second_layer_direct(
 /// Evaluates the same unit from reused partial results (Equation 27):
 /// `f(Σ_j w2_j·f(t1_j) + T3)` with `T3 = Σ_j w2_j·f(t2_j) + b2` computed once per
 /// dimension tuple.  Exact only when `f` is additive.
-pub fn second_layer_reused(
-    f: Activation,
-    w2: &[f64],
-    t1: &[f64],
-    t3: f64,
-) -> f64 {
+pub fn second_layer_reused(f: Activation, w2: &[f64], t1: &[f64], t3: f64) -> f64 {
     assert_eq!(w2.len(), t1.len());
     let sum: f64 = w2.iter().zip(t1.iter()).map(|(w, a)| w * f.apply(*a)).sum();
     f.apply(sum + t3)
@@ -89,7 +78,11 @@ pub fn second_layer_reused(
 /// Computes the reusable term `T3 = Σ_j w2_j·f(t2_j) + b2` for one dimension tuple.
 pub fn second_layer_t3(f: Activation, w2: &[f64], t2: &[f64], b2: f64) -> f64 {
     assert_eq!(w2.len(), t2.len());
-    w2.iter().zip(t2.iter()).map(|(w, b)| w * f.apply(*b)).sum::<f64>() + b2
+    w2.iter()
+        .zip(t2.iter())
+        .map(|(w, b)| w * f.apply(*b))
+        .sum::<f64>()
+        + b2
 }
 
 #[cfg(test)]
@@ -145,7 +138,11 @@ mod tests {
 
     #[test]
     fn reuse_is_never_cheaper() {
-        for (nh, ns, nr) in [(50usize, 1_000_000u64, 1_000u64), (10, 100, 100), (200, 10, 5)] {
+        for (nh, ns, nr) in [
+            (50usize, 1_000_000u64, 1_000u64),
+            (10, 100, 100),
+            (200, 10, 5),
+        ] {
             let cost = SecondLayerCost::new(nh, ns, nr);
             assert!(!cost.reuse_is_cheaper(), "{nh},{ns},{nr}");
             assert!(cost.reuse_overhead() >= 1.0);

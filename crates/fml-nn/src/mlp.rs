@@ -3,7 +3,7 @@
 use crate::activation::Activation;
 use crate::layer::{DenseLayer, LayerGradient};
 use crate::loss::output_gradient;
-use fml_linalg::{gemm, vector};
+use fml_linalg::{gemm, vector, KernelPolicy};
 use serde::{Deserialize, Serialize};
 
 /// A feed-forward network with dense layers.  The output layer uses the identity
@@ -37,7 +37,12 @@ impl Mlp {
         let mut in_dim = input_dim;
         for (i, &h) in hidden.iter().enumerate() {
             assert!(h > 0, "hidden layer sizes must be positive");
-            layers.push(DenseLayer::init(in_dim, h, activation, seed.wrapping_add(i as u64)));
+            layers.push(DenseLayer::init(
+                in_dim,
+                h,
+                activation,
+                seed.wrapping_add(i as u64),
+            ));
             in_dim = h;
         }
         layers.push(DenseLayer::init(
@@ -77,11 +82,15 @@ impl Mlp {
 
     /// Full forward pass, keeping per-layer caches for back-propagation.
     pub fn forward_trace(&self, x: &[f64]) -> ForwardTrace {
-        let mut layers = Vec::with_capacity(self.layers.len());
-        let mut input = x.to_vec();
-        for layer in &self.layers {
-            let (a, h) = layer.forward(&input);
-            input = h.clone();
+        self.forward_trace_with(KernelPolicy::default(), x)
+    }
+
+    /// [`Self::forward_trace`] under an explicit kernel policy.
+    pub fn forward_trace_with(&self, kp: KernelPolicy, x: &[f64]) -> ForwardTrace {
+        let mut layers: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let input: &[f64] = if l == 0 { x } else { &layers[l - 1].1 };
+            let (a, h) = layer.forward_with(kp, input);
             layers.push((a, h));
         }
         ForwardTrace { layers }
@@ -103,18 +112,34 @@ impl Mlp {
         target: f64,
         grads: &mut [LayerGradient],
     ) -> f64 {
-        assert_eq!(grads.len(), self.layers.len(), "gradient accumulator mismatch");
+        self.backward_into_with(KernelPolicy::default(), x, trace, target, grads)
+    }
+
+    /// [`Self::backward_into`] under an explicit kernel policy.
+    pub fn backward_into_with(
+        &self,
+        kp: KernelPolicy,
+        x: &[f64],
+        trace: &ForwardTrace,
+        target: f64,
+        grads: &mut [LayerGradient],
+    ) -> f64 {
+        assert_eq!(
+            grads.len(),
+            self.layers.len(),
+            "gradient accumulator mismatch"
+        );
         let output = trace.output();
         // delta of the output layer (identity activation).
         let mut delta = vec![output_gradient(output, target)];
         for l in (0..self.layers.len()).rev() {
             let input: &[f64] = if l == 0 { x } else { &trace.layers[l - 1].1 };
             // dW_l += delta ⊗ input ; db_l += delta
-            gemm::ger(1.0, &delta, input, &mut grads[l].d_weights);
+            gemm::ger_with(kp, 1.0, &delta, input, &mut grads[l].d_weights);
             vector::axpy(1.0, &delta, &mut grads[l].d_bias);
             if l > 0 {
                 // delta_{l-1} = (W_lᵀ · delta) ⊙ f'(a_{l-1})
-                let mut prev = gemm::matvec_transposed(&self.layers[l].weights, &delta);
+                let mut prev = gemm::matvec_transposed_with(kp, &self.layers[l].weights, &delta);
                 let a_prev = &trace.layers[l - 1].0;
                 for (p, a) in prev.iter_mut().zip(a_prev.iter()) {
                     *p *= self.layers[l - 1].activation.derivative(*a);
@@ -138,15 +163,30 @@ impl Mlp {
         target: f64,
         grads: &mut [LayerGradient],
     ) -> (Vec<f64>, f64) {
-        assert_eq!(grads.len(), self.layers.len(), "gradient accumulator mismatch");
+        self.backward_factorized_with(KernelPolicy::default(), trace, target, grads)
+    }
+
+    /// [`Self::backward_factorized`] under an explicit kernel policy.
+    pub fn backward_factorized_with(
+        &self,
+        kp: KernelPolicy,
+        trace: &ForwardTrace,
+        target: f64,
+        grads: &mut [LayerGradient],
+    ) -> (Vec<f64>, f64) {
+        assert_eq!(
+            grads.len(),
+            self.layers.len(),
+            "gradient accumulator mismatch"
+        );
         let output = trace.output();
         let mut delta = vec![output_gradient(output, target)];
         for l in (1..self.layers.len()).rev() {
             let input: &[f64] = &trace.layers[l - 1].1;
-            gemm::ger(1.0, &delta, input, &mut grads[l].d_weights);
+            gemm::ger_with(kp, 1.0, &delta, input, &mut grads[l].d_weights);
             vector::axpy(1.0, &delta, &mut grads[l].d_bias);
             // delta_{l-1} = (W_lᵀ · delta) ⊙ f'(a_{l-1})
-            let mut prev = gemm::matvec_transposed(&self.layers[l].weights, &delta);
+            let mut prev = gemm::matvec_transposed_with(kp, &self.layers[l].weights, &delta);
             let a_prev = &trace.layers[l - 1].0;
             for (p, a) in prev.iter_mut().zip(a_prev.iter()) {
                 *p *= self.layers[l - 1].activation.derivative(*a);
@@ -159,14 +199,22 @@ impl Mlp {
     }
 
     /// Convenience: forward + backward for one example.
-    pub fn accumulate_example(
+    pub fn accumulate_example(&self, x: &[f64], target: f64, grads: &mut [LayerGradient]) -> f64 {
+        self.accumulate_example_with(KernelPolicy::default(), x, target, grads)
+    }
+
+    /// [`Self::accumulate_example`] under an explicit kernel policy — the
+    /// trainers pass `config.kernel_policy.sequential()` so worker threads
+    /// never re-enter the thread pool from inside a per-example kernel.
+    pub fn accumulate_example_with(
         &self,
+        kp: KernelPolicy,
         x: &[f64],
         target: f64,
         grads: &mut [LayerGradient],
     ) -> f64 {
-        let trace = self.forward_trace(x);
-        self.backward_into(x, &trace, target, grads)
+        let trace = self.forward_trace_with(kp, x);
+        self.backward_into_with(kp, x, &trace, target, grads)
     }
 
     /// Creates zeroed gradient accumulators matching the network's layers.
@@ -176,7 +224,11 @@ impl Mlp {
 
     /// Applies accumulated gradients with learning rate `lr`, scaling by `1/n`.
     pub fn apply_grads(&mut self, grads: &[LayerGradient], lr: f64, n: f64) {
-        assert_eq!(grads.len(), self.layers.len(), "gradient accumulator mismatch");
+        assert_eq!(
+            grads.len(),
+            self.layers.len(),
+            "gradient accumulator mismatch"
+        );
         for (layer, grad) in self.layers.iter_mut().zip(grads.iter()) {
             grad.apply(layer, lr, n);
         }
@@ -185,7 +237,11 @@ impl Mlp {
     /// Largest absolute parameter difference against another network — used by the
     /// equivalence tests between `M-NN`, `S-NN` and `F-NN`.
     pub fn max_param_diff(&self, other: &Mlp) -> f64 {
-        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "layer count mismatch"
+        );
         self.layers
             .iter()
             .zip(other.layers.iter())
@@ -218,7 +274,11 @@ mod tests {
             vec![0.5],
             Activation::Identity,
         );
-        let l2 = DenseLayer::new(Matrix::from_rows(&[vec![3.0]]), vec![1.0], Activation::Identity);
+        let l2 = DenseLayer::new(
+            Matrix::from_rows(&[vec![3.0]]),
+            vec![1.0],
+            Activation::Identity,
+        );
         let net = Mlp::from_layers(vec![l1, l2]);
         // a1 = 2*1 - 1*2 + 0.5 = 0.5 ; o = 3*0.5 + 1 = 2.5
         assert!((net.predict(&[1.0, 2.0]) - 2.5).abs() < 1e-12);

@@ -58,9 +58,11 @@ impl FactorizedMultiwayNn {
                 (0..q).map(|i| Matrix::zeros(nh, sizes[i + 1])).collect();
             let mut loss_sum = 0.0;
 
+            let kp = config.kernel_policy.sequential();
             let scan = StarScan::new(db, spec, config.block_pages)?;
             // Cached per dimension tuple: the partial product W¹_{R_i}·x_{R_i}.
-            let mut partials: Vec<HashMap<u64, Vec<f64>>> = (0..q).map(|_| HashMap::new()).collect();
+            let mut partials: Vec<HashMap<u64, Vec<f64>>> =
+                (0..q).map(|_| HashMap::new()).collect();
             // Per dimension tuple: accumulated sum of first-layer deltas.
             let mut delta_sums: Vec<HashMap<u64, Vec<f64>>> =
                 (0..q).map(|_| HashMap::new()).collect();
@@ -68,7 +70,7 @@ impl FactorizedMultiwayNn {
             for block in scan.blocks() {
                 for fact in block? {
                     // ---- forward, first layer (factorized) ----
-                    let mut a1 = gemm::matvec(&w1_s, &fact.features);
+                    let mut a1 = gemm::matvec_with(kp, &w1_s, &fact.features);
                     vector::axpy(1.0, &b1, &mut a1);
                     for (i, fk) in fact.fks.iter().enumerate() {
                         if !partials[i].contains_key(fk) {
@@ -78,8 +80,10 @@ impl FactorizedMultiwayNn {
                                     key: *fk,
                                 }
                             })?;
-                            partials[i]
-                                .insert(*fk, gemm::matvec(&w1_dims[i], &dim_tuple.features));
+                            partials[i].insert(
+                                *fk,
+                                gemm::matvec_with(kp, &w1_dims[i], &dim_tuple.features),
+                            );
                         }
                         vector::axpy(1.0, &partials[i][fk], &mut a1);
                     }
@@ -89,8 +93,7 @@ impl FactorizedMultiwayNn {
                     let mut trace_layers = Vec::with_capacity(model.layers().len());
                     trace_layers.push((a1, h1));
                     for layer in &model.layers()[1..] {
-                        let input = trace_layers.last().unwrap().1.clone();
-                        let (a, h) = layer.forward(&input);
+                        let (a, h) = layer.forward_with(kp, &trace_layers.last().unwrap().1);
                         trace_layers.push((a, h));
                     }
                     let trace = crate::mlp::ForwardTrace {
@@ -98,13 +101,11 @@ impl FactorizedMultiwayNn {
                     };
                     // ---- backward ----
                     let y = fact.target.unwrap_or(0.0);
-                    let (delta1, loss) = model.backward_factorized(&trace, y, &mut grads);
+                    let (delta1, loss) = model.backward_factorized_with(kp, &trace, y, &mut grads);
                     loss_sum += loss;
-                    gemm::ger(1.0, &delta1, &fact.features, &mut grad_w_s);
+                    gemm::ger_with(kp, 1.0, &delta1, &fact.features, &mut grad_w_s);
                     for (i, fk) in fact.fks.iter().enumerate() {
-                        let sums = delta_sums[i]
-                            .entry(*fk)
-                            .or_insert_with(|| vec![0.0; nh]);
+                        let sums = delta_sums[i].entry(*fk).or_insert_with(|| vec![0.0; nh]);
                         vector::axpy(1.0, &delta1, sums);
                     }
                 }
@@ -115,7 +116,7 @@ impl FactorizedMultiwayNn {
             for i in 0..q {
                 for (key, delta_sum) in &delta_sums[i] {
                     let dim_tuple = scan.cache().get(i, *key).expect("seen during the epoch");
-                    gemm::ger(1.0, delta_sum, &dim_tuple.features, &mut grad_w_dims[i]);
+                    gemm::ger_with(kp, 1.0, delta_sum, &dim_tuple.features, &mut grad_w_dims[i]);
                 }
             }
 

@@ -3,9 +3,18 @@
 
 use crate::activation::Activation;
 use crate::mlp::Mlp;
+use fml_linalg::policy::par_chunks;
+use fml_linalg::KernelPolicy;
 use fml_store::StoreResult;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// Number of examples buffered per parallel batch: each batch fans out over
+/// deterministic chunks whose gradient partials merge in chunk order.
+pub const PAR_BATCH_EXAMPLES: usize = 1024;
+
+/// Minimum per-batch flops below which the parallel policy stays inline.
+pub const PAR_MIN_BATCH_FLOPS: usize = 1 << 22;
 
 /// Configuration shared by every NN training variant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,6 +31,9 @@ pub struct NnConfig {
     pub seed: u64,
     /// Pages per scan block.
     pub block_pages: usize,
+    /// Linear-algebra kernel policy for forward/backward passes (see
+    /// [`fml_linalg::policy`]).  Variants being compared should share a policy.
+    pub kernel_policy: KernelPolicy,
 }
 
 impl Default for NnConfig {
@@ -33,6 +45,7 @@ impl Default for NnConfig {
             learning_rate: 0.05,
             seed: 7,
             block_pages: fml_store::DEFAULT_BLOCK_PAGES,
+            kernel_policy: KernelPolicy::default(),
         }
     }
 }
@@ -61,6 +74,12 @@ impl NnConfig {
     /// Returns a copy with a different seed.
     pub fn seeded(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different kernel policy.
+    pub fn policy(mut self, kernel_policy: KernelPolicy) -> Self {
+        self.kernel_policy = kernel_policy;
         self
     }
 }
@@ -100,6 +119,13 @@ pub trait SupervisedSource {
 
 /// Full-batch gradient-descent training over a dense supervised source, starting
 /// from the given initial network.  `M-NN` and `S-NN` share this loop.
+///
+/// Under a parallel [`KernelPolicy`] the per-example forward/backward work is
+/// buffered into batches of [`PAR_BATCH_EXAMPLES`] and fanned out over chunks;
+/// each chunk accumulates into a private gradient set and the partials merge in
+/// chunk order ([`LayerGradient::merge_from`]), so the epoch's gradient — and
+/// therefore the learned model — is deterministic for a given thread count and
+/// agrees with the sequential policies within rounding tolerances.
 pub fn train_supervised_from(
     source: &mut dyn SupervisedSource,
     config: &NnConfig,
@@ -108,15 +134,60 @@ pub fn train_supervised_from(
     let start = Instant::now();
     let n = source.num_tuples();
     assert!(n > 0, "cannot train on an empty source");
-    assert_eq!(initial.input_dim(), source.dim(), "initial model dimension mismatch");
+    assert_eq!(
+        initial.input_dim(),
+        source.dim(),
+        "initial model dimension mismatch"
+    );
     let mut model = initial;
     let mut loss_trace = Vec::with_capacity(config.epochs);
+    // Per-example kernels run single-threaded inside workers (kp); forward+
+    // backward is ~4·|θ| flops per example, so fan out only when a batch
+    // carries enough work to amortize the scoped-thread spawns.
+    let kp = config.kernel_policy.sequential();
+    let par = config.kernel_policy.is_parallel()
+        && 4 * model.num_params() * PAR_BATCH_EXAMPLES >= PAR_MIN_BATCH_FLOPS;
+    let dim = source.dim();
     for _epoch in 0..config.epochs {
         let mut grads = model.zero_grads();
         let mut loss_sum = 0.0;
-        source.for_each(&mut |x: &[f64], y: f64| {
-            loss_sum += model.accumulate_example(x, y, &mut grads);
-        })?;
+        if !par {
+            source.for_each(&mut |x: &[f64], y: f64| {
+                loss_sum += model.accumulate_example_with(kp, x, y, &mut grads);
+            })?;
+        } else {
+            let mut xs: Vec<f64> = Vec::with_capacity(dim * PAR_BATCH_EXAMPLES);
+            let mut ys: Vec<f64> = Vec::with_capacity(PAR_BATCH_EXAMPLES);
+            let mut flush = |xs: &[f64], ys: &[f64]| {
+                let parts = par_chunks(true, ys.len(), 1, |range| {
+                    let mut local_grads = model.zero_grads();
+                    let mut local_loss = 0.0;
+                    for r in range {
+                        let x = &xs[r * dim..(r + 1) * dim];
+                        local_loss += model.accumulate_example_with(kp, x, ys[r], &mut local_grads);
+                    }
+                    (local_grads, local_loss)
+                });
+                for (local_grads, local_loss) in parts {
+                    for (dst, src) in grads.iter_mut().zip(local_grads.iter()) {
+                        dst.merge_from(src);
+                    }
+                    loss_sum += local_loss;
+                }
+            };
+            source.for_each(&mut |x: &[f64], y: f64| {
+                xs.extend_from_slice(x);
+                ys.push(y);
+                if ys.len() >= PAR_BATCH_EXAMPLES {
+                    flush(&xs, &ys);
+                    xs.clear();
+                    ys.clear();
+                }
+            })?;
+            if !ys.is_empty() {
+                flush(&xs, &ys);
+            }
+        }
         model.apply_grads(&grads, config.learning_rate, n as f64);
         loss_trace.push(loss_sum / n as f64);
     }

@@ -62,9 +62,11 @@ impl Database {
             return Err(StoreError::RelationExists(schema.name));
         }
         let heap = match &self.backend {
-            Backend::Memory => {
-                HeapFile::new(Box::new(MemPageStore::new()), schema.record_size(), self.stats.clone())?
-            }
+            Backend::Memory => HeapFile::new(
+                Box::new(MemPageStore::new()),
+                schema.record_size(),
+                self.stats.clone(),
+            )?,
             Backend::Disk(dir) => {
                 let path = dir.join(format!("{}.pages", sanitize(&schema.name)));
                 let store = FilePageStore::create(&path)?;
@@ -115,7 +117,13 @@ impl Database {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

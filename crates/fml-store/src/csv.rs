@@ -57,7 +57,8 @@ pub fn export_csv(relation: &RelationHandle, path: &Path) -> StoreResult<()> {
 
 /// Parses one CSV line into a tuple for the given schema.
 fn parse_line(schema: &Schema, line: &str, line_no: usize) -> StoreResult<Tuple> {
-    let expected = 1 + schema.num_foreign_keys + usize::from(schema.has_target) + schema.num_features;
+    let expected =
+        1 + schema.num_foreign_keys + usize::from(schema.has_target) + schema.num_features;
     let cols: Vec<&str> = line.split(',').map(|c| c.trim()).collect();
     if cols.len() != expected {
         return Err(StoreError::Csv(format!(

@@ -78,7 +78,10 @@ impl fmt::Display for StoreError {
                 "record of {record_size} bytes cannot fit a page payload of {capacity} bytes"
             ),
             StoreError::DanglingForeignKey { relation, key } => {
-                write!(f, "foreign key {key} in relation '{relation}' has no referenced tuple")
+                write!(
+                    f,
+                    "foreign key {key} in relation '{relation}' has no referenced tuple"
+                )
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
             StoreError::Csv(msg) => write!(f, "csv error: {msg}"),

@@ -79,12 +79,7 @@ pub struct GroupScan {
 
 impl GroupScan {
     /// Creates a group scan over `R ⋈ S` using block-nested-loop probing.
-    pub fn new(
-        r: RelationHandle,
-        s: RelationHandle,
-        fk_column: usize,
-        block_pages: usize,
-    ) -> Self {
+    pub fn new(r: RelationHandle, s: RelationHandle, fk_column: usize, block_pages: usize) -> Self {
         Self {
             r_scan: BatchScan::new(r.clone(), block_pages),
             r,
@@ -317,9 +312,13 @@ mod tests {
         let db = Database::in_memory();
         let r1 = db.create_relation(Schema::dimension("d1", 1)).unwrap();
         let r2 = db.create_relation(Schema::dimension("d2", 2)).unwrap();
-        let s = db.create_relation(Schema::fact_with_target("f", 1, 2)).unwrap();
+        let s = db
+            .create_relation(Schema::fact_with_target("f", 1, 2))
+            .unwrap();
         for k in 0..4u64 {
-            r1.lock().append(&Tuple::dimension(k, vec![k as f64])).unwrap();
+            r1.lock()
+                .append(&Tuple::dimension(k, vec![k as f64]))
+                .unwrap();
         }
         for k in 0..2u64 {
             r2.lock()
@@ -328,7 +327,12 @@ mod tests {
         }
         for i in 0..20u64 {
             s.lock()
-                .append(&Tuple::fact_with_target(i, vec![i % 4, i % 2], 0.5, vec![i as f64]))
+                .append(&Tuple::fact_with_target(
+                    i,
+                    vec![i % 4, i % 2],
+                    0.5,
+                    vec![i as f64],
+                ))
                 .unwrap();
         }
         r1.lock().flush().unwrap();

@@ -99,7 +99,7 @@ impl FilePageStore {
     pub fn open(path: &Path) -> StoreResult<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len() as usize;
-        if len % PAGE_SIZE != 0 {
+        if !len.is_multiple_of(PAGE_SIZE) {
             return Err(StoreError::Corrupt(format!(
                 "file length {len} is not a multiple of the page size"
             )));
@@ -226,7 +226,11 @@ impl HeapFile {
             self.num_records += 1;
             self.stats.add_tuples_written(1);
         }
-        let full = self.tail.as_ref().map(|(_, p)| p.is_full()).unwrap_or(false);
+        let full = self
+            .tail
+            .as_ref()
+            .map(|(_, p)| p.is_full())
+            .unwrap_or(false);
         if full {
             self.flush()?;
         }

@@ -205,8 +205,7 @@ pub fn materialize_join(
         let dim = &dims[0];
         for r_block in BatchScan::new(dim.clone(), block_pages) {
             let r_block = r_block?;
-            let block_map: HashMap<u64, &Tuple> =
-                r_block.iter().map(|t| (t.key, t)).collect();
+            let block_map: HashMap<u64, &Tuple> = r_block.iter().map(|t| (t.key, t)).collect();
             for s_batch in BatchScan::new(fact.clone(), block_pages) {
                 for s_tuple in s_batch? {
                     if let Some(r_tuple) = block_map.get(&s_tuple.fks[0]) {
@@ -365,7 +364,10 @@ mod tests {
         s.lock().flush().unwrap();
         let spec = JoinSpec::multiway("f", vec!["d1".into(), "d2".into()]);
         let err = materialize_join(&db, &spec, "T", 4).unwrap_err();
-        assert!(matches!(err, StoreError::DanglingForeignKey { key: 99, .. }));
+        assert!(matches!(
+            err,
+            StoreError::DanglingForeignKey { key: 99, .. }
+        ));
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl Relation {
     }
 
     /// Appends many tuples and flushes the tail page.
-    pub fn append_all<'a>(&mut self, tuples: impl IntoIterator<Item = &'a Tuple>) -> StoreResult<()> {
+    pub fn append_all<'a>(
+        &mut self,
+        tuples: impl IntoIterator<Item = &'a Tuple>,
+    ) -> StoreResult<()> {
         for t in tuples {
             self.append(t)?;
         }
@@ -192,7 +195,9 @@ mod tests {
         let schema = Schema::dimension("r", 2);
         let mut rel = Relation::in_memory(schema, IoStats::new()).unwrap();
         assert!(rel.append(&Tuple::dimension(1, vec![1.0])).is_err());
-        assert!(rel.append(&Tuple::fact(1, vec![3], vec![1.0, 2.0])).is_err());
+        assert!(rel
+            .append(&Tuple::fact(1, vec![3], vec![1.0, 2.0]))
+            .is_err());
         assert!(rel.append(&Tuple::dimension(1, vec![1.0, 2.0])).is_ok());
     }
 

@@ -205,7 +205,9 @@ mod tests {
             .validate(&schema)
             .is_err());
         // missing target
-        assert!(Tuple::fact(1, vec![2], vec![0.0, 0.0]).validate(&schema).is_err());
+        assert!(Tuple::fact(1, vec![2], vec![0.0, 0.0])
+            .validate(&schema)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Offline shim for `bytes`.
+//!
+//! Implements the little-endian `Buf` / `BufMut` accessors the storage engine's
+//! fixed-width tuple codec uses, over plain `Vec<u8>` / `&[u8]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Reading side: consumes from the front of a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads the next 8 bytes as a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads the next 8 bytes as a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+}
+
+/// Writing side: appends to the end of a byte sink.
+pub trait BufMut {
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends an `f64` in little-endian order.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut out = Vec::new();
+        out.put_u64_le(0x0102_0304_0506_0708);
+        out.put_f64_le(-2.5);
+        let mut buf = &out[..];
+        assert_eq!(buf.remaining(), 16);
+        assert_eq!(buf.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(buf.get_f64_le(), -2.5);
+        assert_eq!(buf.remaining(), 0);
+    }
+}

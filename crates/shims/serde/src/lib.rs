@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` marker traits and re-exports the
+//! no-op derive macros from the `serde_derive` shim, so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! Nothing in the workspace performs actual serialization; when registry access
+//! is available, deleting the two shim crates and pointing the workspace
+//! manifest at crates.io restores real serde with zero source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}

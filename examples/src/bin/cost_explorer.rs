@@ -25,7 +25,12 @@ fn main() {
             block.to_string(),
             m.materialized_io().to_string(),
             m.streaming_io().to_string(),
-            if m.streaming_wins() { "stream/factorize" } else { "materialize" }.to_string(),
+            if m.streaming_wins() {
+                "stream/factorize"
+            } else {
+                "materialize"
+            }
+            .to_string(),
         ]);
     }
     let example = GmmIoCostModel {
@@ -50,7 +55,11 @@ fn main() {
             .iter()
             .map(|&d_r| {
                 let m = SavingRateModel::unit_costs(1000 * rr, 1000, 5, d_r);
-                format!("{:.1}% ({:.2}x)", 100.0 * m.saving_rate(), m.predicted_speedup())
+                format!(
+                    "{:.1}% ({:.2}x)",
+                    100.0 * m.saving_rate(),
+                    m.predicted_speedup()
+                )
             })
             .collect();
         save_table.push_row(vec![

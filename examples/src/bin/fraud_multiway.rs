@@ -28,10 +28,19 @@ fn main() {
     println!("{}", workload.name);
 
     // GMM over the 3-way join.
-    let gmm_config = GmmConfig { k: 4, max_iters: 4, ..GmmConfig::default() };
+    let gmm_config = GmmConfig {
+        k: 4,
+        max_iters: 4,
+        ..GmmConfig::default()
+    };
     let mut gmm_table = Table::new(
         "Transaction segmentation (GMM, K=4, 3-way join)",
-        &["algorithm", "time (s)", "speed-up vs M-GMM", "log-likelihood"],
+        &[
+            "algorithm",
+            "time (s)",
+            "speed-up vs M-GMM",
+            "log-likelihood",
+        ],
     );
     let mut baseline = None;
     for alg in Algorithm::all() {
@@ -49,7 +58,11 @@ fn main() {
     println!("\n{}", gmm_table.render());
 
     // Supervised risk model over the same join.
-    let nn_config = NnConfig { hidden: vec![32], epochs: 5, ..NnConfig::default() };
+    let nn_config = NnConfig {
+        hidden: vec![32],
+        epochs: 5,
+        ..NnConfig::default()
+    };
     let mut nn_table = Table::new(
         "Risk score regression (NN, n_h=32, 3-way join)",
         &["algorithm", "time (s)", "speed-up vs M-NN", "final MSE"],

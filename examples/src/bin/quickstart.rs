@@ -34,7 +34,11 @@ fn main() {
 
     // 2. Train a 5-component GMM with the materialized baseline and the
     //    factorized algorithm; same model, different cost.
-    let gmm_config = GmmConfig { k: 5, max_iters: 5, ..GmmConfig::default() };
+    let gmm_config = GmmConfig {
+        k: 5,
+        max_iters: 5,
+        ..GmmConfig::default()
+    };
     let m = GmmTrainer::new(Algorithm::Materialized, gmm_config.clone())
         .fit(&workload.db, &workload.spec)
         .expect("M-GMM");
@@ -42,8 +46,16 @@ fn main() {
         .fit(&workload.db, &workload.spec)
         .expect("F-GMM");
     println!("GMM (K=5, 5 EM iterations)");
-    println!("  M-GMM: {}s, {} pages of I/O", secs(m.fit.elapsed), m.io.total_page_io());
-    println!("  F-GMM: {}s, {} pages of I/O", secs(f.fit.elapsed), f.io.total_page_io());
+    println!(
+        "  M-GMM: {}s, {} pages of I/O",
+        secs(m.fit.elapsed),
+        m.io.total_page_io()
+    );
+    println!(
+        "  F-GMM: {}s, {} pages of I/O",
+        secs(f.fit.elapsed),
+        f.io.total_page_io()
+    );
     println!("  speed-up: {}", speedup(m.fit.elapsed, f.fit.elapsed));
     println!(
         "  model agreement (max parameter difference): {:.2e}\n",
@@ -51,7 +63,11 @@ fn main() {
     );
 
     // 3. Train a neural network (one hidden layer of 50 units, 5 epochs).
-    let nn_config = NnConfig { hidden: vec![50], epochs: 5, ..NnConfig::default() };
+    let nn_config = NnConfig {
+        hidden: vec![50],
+        epochs: 5,
+        ..NnConfig::default()
+    };
     let m = NnTrainer::new(Algorithm::Materialized, nn_config.clone())
         .fit(&workload.db, &workload.spec)
         .expect("M-NN");
@@ -59,8 +75,16 @@ fn main() {
         .fit(&workload.db, &workload.spec)
         .expect("F-NN");
     println!("NN (n_h=50, 5 epochs)");
-    println!("  M-NN: {}s, final loss {:.5}", secs(m.fit.elapsed), m.final_loss());
-    println!("  F-NN: {}s, final loss {:.5}", secs(f.fit.elapsed), f.final_loss());
+    println!(
+        "  M-NN: {}s, final loss {:.5}",
+        secs(m.fit.elapsed),
+        m.final_loss()
+    );
+    println!(
+        "  F-NN: {}s, final loss {:.5}",
+        secs(f.fit.elapsed),
+        f.final_loss()
+    );
     println!("  speed-up: {}", speedup(m.fit.elapsed, f.fit.elapsed));
     println!(
         "  model agreement (max parameter difference): {:.2e}",

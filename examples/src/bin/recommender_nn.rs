@@ -17,7 +17,9 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.02);
-    let workload = EmulatedDataset::Movies.generate(scale, 11).expect("generate");
+    let workload = EmulatedDataset::Movies
+        .generate(scale, 11)
+        .expect("generate");
     println!("{}", workload.name);
     println!(
         "  ratings: {}  movies: {}  features: {:?}",
@@ -26,10 +28,20 @@ fn main() {
         workload.feature_partition().unwrap()
     );
 
-    let config = NnConfig { hidden: vec![50], epochs: 5, ..NnConfig::default() };
+    let config = NnConfig {
+        hidden: vec![50],
+        epochs: 5,
+        ..NnConfig::default()
+    };
     let mut table = Table::new(
         "Rating prediction (1 hidden layer, 50 units, 5 epochs)",
-        &["algorithm", "time (s)", "speed-up vs M-NN", "final MSE", "pages I/O"],
+        &[
+            "algorithm",
+            "time (s)",
+            "speed-up vs M-NN",
+            "final MSE",
+            "pages I/O",
+        ],
     );
     let mut baseline = None;
     for alg in Algorithm::all() {

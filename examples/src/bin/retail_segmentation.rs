@@ -58,10 +58,17 @@ fn main() {
     }
 
     let spec = JoinSpec::binary("orders", "items");
-    println!("orders ⋈ items: {} order tuples sharing {} items", 60_000, 300);
+    println!(
+        "orders ⋈ items: {} order tuples sharing {} items",
+        60_000, 300
+    );
 
     // Segment into 3 clusters with the factorized algorithm.
-    let config = GmmConfig { k: 3, max_iters: 8, ..GmmConfig::default() };
+    let config = GmmConfig {
+        k: 3,
+        max_iters: 8,
+        ..GmmConfig::default()
+    };
     let trained = GmmTrainer::new(Algorithm::Factorized, config)
         .fit(&db, &spec)
         .expect("F-GMM");
@@ -70,13 +77,16 @@ fn main() {
         trained.fit.elapsed.as_secs_f64(),
         trained.final_log_likelihood()
     );
-    println!("segment weights: {:?}", trained
-        .fit
-        .model
-        .weights
-        .iter()
-        .map(|w| format!("{w:.3}"))
-        .collect::<Vec<_>>());
+    println!(
+        "segment weights: {:?}",
+        trained
+            .fit
+            .model
+            .weights
+            .iter()
+            .map(|w| format!("{w:.3}"))
+            .collect::<Vec<_>>()
+    );
 
     // Assign a few orders to segments using the trained model.
     let pre = Precomputed::from_model(&trained.fit.model, 1e-6);
