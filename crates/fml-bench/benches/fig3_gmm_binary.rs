@@ -1,12 +1,15 @@
 //! Figure 3: GMM over a synthetic binary join — wall-clock time of M-GMM, S-GMM
 //! and F-GMM while varying (a) the tuple ratio `rr`, (b) the dimension-table
 //! width `d_R`, and (c) the number of components `K` — plus (d) a
-//! [`KernelPolicy`] sweep of the factorized variant.
+//! [`KernelPolicy`] sweep of the factorized variant and (e) the categorical
+//! one-hot scenario (emulated WalmartSparse) comparing the auto-detected
+//! sparse path against the forced-dense kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fml_bench::{bench_gmm_config, binary_vary_dr, binary_vary_k, binary_vary_rr};
+use fml_bench::{bench_gmm_config, binary_vary_dr, binary_vary_k, binary_vary_rr, emulated};
 use fml_core::{Algorithm, GmmTrainer};
-use fml_linalg::KernelPolicy;
+use fml_data::EmulatedDataset;
+use fml_linalg::{KernelPolicy, SparseMode};
 
 fn fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_gmm_binary");
@@ -77,6 +80,26 @@ fn fig3(c: &mut Criterion) {
             |b, w| {
                 b.iter(|| {
                     GmmTrainer::new(Algorithm::Factorized, bench_gmm_config(5).policy(policy))
+                        .fit(&w.db, &w.spec)
+                        .unwrap()
+                })
+            },
+        );
+    }
+
+    // (e) categorical one-hot scenario: auto-detected sparse path vs forced
+    // dense on the emulated WalmartSparse dataset (126/175 one-hot features)
+    let w = emulated(EmulatedDataset::WalmartSparse);
+    for mode in [SparseMode::Auto, SparseMode::Dense] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("e_categorical_{}_F-GMM", mode.label()),
+                mode.label(),
+            ),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    GmmTrainer::new(Algorithm::Factorized, bench_gmm_config(5).sparse_mode(mode))
                         .fit(&w.db, &w.spec)
                         .unwrap()
                 })

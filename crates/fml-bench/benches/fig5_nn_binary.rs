@@ -1,11 +1,13 @@
 //! Figure 5: NN over a synthetic binary join — M/S/F-NN while varying the tuple
 //! ratio `rr`, the dimension-table width `d_R`, and the hidden width `n_h` —
-//! plus a [`KernelPolicy`] sweep of the factorized variant.
+//! plus a [`KernelPolicy`] sweep of the factorized variant and the categorical
+//! one-hot scenario (emulated WalmartSparse, sparse vs forced dense).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fml_bench::{bench_nn_config, binary_vary_dr, binary_vary_k, binary_vary_rr};
+use fml_bench::{bench_nn_config, binary_vary_dr, binary_vary_k, binary_vary_rr, emulated};
 use fml_core::{Algorithm, NnTrainer};
-use fml_linalg::KernelPolicy;
+use fml_data::EmulatedDataset;
+use fml_linalg::{KernelPolicy, SparseMode};
 
 fn fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_nn_binary");
@@ -73,6 +75,24 @@ fn fig5(c: &mut Criterion) {
             |b, w| {
                 b.iter(|| {
                     NnTrainer::new(Algorithm::Factorized, bench_nn_config(50).policy(policy))
+                        .fit(&w.db, &w.spec)
+                        .unwrap()
+                })
+            },
+        );
+    }
+
+    // (e) categorical one-hot scenario: gather/scatter first layer vs forced
+    // dense on the emulated WalmartSparse dataset (the paper's NN "Sparse"
+    // variant, 126/175 one-hot features)
+    let w = emulated(EmulatedDataset::WalmartSparse);
+    for mode in [SparseMode::Auto, SparseMode::Dense] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("e_categorical_{}_F-NN", mode.label()), mode.label()),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    NnTrainer::new(Algorithm::Factorized, bench_nn_config(50).sparse_mode(mode))
                         .fit(&w.db, &w.spec)
                         .unwrap()
                 })

@@ -1,0 +1,308 @@
+//! Micro-benchmarks of the one-hot sparse kernels against their dense
+//! counterparts, swept over block occupancy (1%–50%) and [`KernelPolicy`].
+//!
+//! Three kernel families are measured, each in three variants:
+//!
+//! * `spmm` — one-hot × dense block product: dense GEMM
+//!   ([`gemm::matmul_acc_with`]) vs the zero-skipping scan
+//!   ([`gemm::matmul_acc_sparse_with`]) vs the index-form gather
+//!   ([`sparse::spmm_onehot_with`]).
+//! * `ger` — rank-1 gradient update: dense GER vs the one-hot column scatter
+//!   ([`sparse::ger_onehot_cols_with`]).
+//! * `quadratic_form` — `xᵀAx` for one-hot `x`: dense form vs the `s²`-load
+//!   pair gather ([`sparse::quadratic_form_onehot_pair`]).
+//!
+//! The run emits **`BENCH_sparse.json`** at the workspace root with per-row
+//! `speedup_vs_dense`; CI's sparse-speedup guard asserts the `width126`
+//! one-hot block (the WalmartSparse fact layout: 15 active of 126) beats the
+//! dense GEMM by ≥ 3× under the blocked policy.  Set `FML_BENCH_SMOKE=1` for
+//! a single-shot smoke run that still exercises every kernel/variant pair.
+
+use fml_linalg::policy::{num_threads, KernelPolicy};
+use fml_linalg::{gemm, sparse, Matrix};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct BenchResult {
+    kernel: String,
+    size: String,
+    occupancy: f64,
+    variant: &'static str,
+    policy: &'static str,
+    mean_ns: f64,
+}
+
+fn smoke() -> bool {
+    std::env::var("FML_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn pseudo_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let mut rng = fml_linalg::testutil::TestRng::new(salt);
+    Matrix::from_vec(rows, cols, rng.vec_in(rows * cols, -1.0, 1.0))
+}
+
+fn pseudo_vec(n: usize, salt: u64) -> Vec<f64> {
+    fml_linalg::testutil::TestRng::new(salt).vec_in(n, -1.0, 1.0)
+}
+
+/// Mean ns/iter: one warm-up call, then enough repetitions for a stable mean
+/// (single call in smoke mode) — same scheme as `linalg_kernels`.
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    if smoke() {
+        let t = Instant::now();
+        f();
+        return t.elapsed().as_nanos() as f64;
+    }
+    let probe = Instant::now();
+    f();
+    let per_iter = probe.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((0.4 / per_iter) as usize).clamp(3, 400);
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// A one-hot block: `rows` rows of `nnz` ascending indices over `width`
+/// columns (evenly split column sub-ranges, deterministic picks), plus its
+/// dense 0/1 expansion.
+fn onehot_block(rows: usize, width: usize, nnz: usize, salt: u64) -> (Vec<u32>, Matrix) {
+    let mut rng = fml_linalg::testutil::TestRng::new(salt);
+    let card = width / nnz;
+    let mut idx = Vec::with_capacity(rows * nnz);
+    let mut dense = Matrix::zeros(rows, width);
+    for r in 0..rows {
+        for col in 0..nnz {
+            let offset = col * card;
+            let pick = offset + rng.range(0, card);
+            idx.push(pick as u32);
+            dense[(r, pick)] = 1.0;
+        }
+    }
+    (idx, dense)
+}
+
+/// Occupancy sweep points `(width, nnz)` — ~1% to 50% — plus the width-126
+/// WalmartSparse layout (15 of 126 ≈ 12%) that the CI guard reads.
+fn sweep_points() -> Vec<(usize, usize)> {
+    if smoke() {
+        return vec![(64, 4), (126, 15)];
+    }
+    vec![
+        (256, 2),   // ~1%
+        (256, 8),   // ~3%
+        (256, 32),  // 12.5%
+        (256, 128), // 50%
+        (126, 15),  // WalmartSparse fact block (the guard row)
+    ]
+}
+
+fn bench_spmm(results: &mut Vec<BenchResult>) {
+    let rows = if smoke() { 64 } else { 4096 };
+    let n = 64; // hidden width scale
+    for (width, nnz) in sweep_points() {
+        let (idx, x) = onehot_block(rows, width, nnz, 1);
+        let b = pseudo_matrix(width, n, 2);
+        let mut c = Matrix::zeros(rows, n);
+        let size = format!("{rows}x{width}x{n}/width{width}");
+        let occupancy = nnz as f64 / width as f64;
+        for policy in KernelPolicy::ALL {
+            let mean_ns = measure(|| {
+                c.fill_zero();
+                gemm::matmul_acc_with(policy, &x, &b, &mut c);
+            });
+            results.push(BenchResult {
+                kernel: "spmm".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "dense",
+                policy: policy.label(),
+                mean_ns,
+            });
+            let mean_ns = measure(|| {
+                c.fill_zero();
+                gemm::matmul_acc_sparse_with(policy, &x, &b, &mut c);
+            });
+            results.push(BenchResult {
+                kernel: "spmm".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "zero_skip",
+                policy: policy.label(),
+                mean_ns,
+            });
+            let mean_ns = measure(|| {
+                c.fill_zero();
+                sparse::spmm_onehot_with(policy, &idx, nnz, &b, &mut c);
+            });
+            results.push(BenchResult {
+                kernel: "spmm".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "onehot",
+                policy: policy.label(),
+                mean_ns,
+            });
+        }
+    }
+}
+
+fn bench_ger(results: &mut Vec<BenchResult>) {
+    let nh = if smoke() { 16 } else { 64 };
+    for (width, nnz) in sweep_points() {
+        let (idx_all, x) = onehot_block(1, width, nnz, 3);
+        let xrow = x.row(0).to_vec();
+        let delta = pseudo_vec(nh, 4);
+        let mut a = Matrix::zeros(nh, width);
+        let size = format!("{nh}x{width}/width{width}");
+        let occupancy = nnz as f64 / width as f64;
+        for policy in KernelPolicy::ALL {
+            let mean_ns = measure(|| gemm::ger_with(policy, 0.5, &delta, &xrow, &mut a));
+            results.push(BenchResult {
+                kernel: "ger".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "dense",
+                policy: policy.label(),
+                mean_ns,
+            });
+            let mean_ns =
+                measure(|| sparse::ger_onehot_cols_with(policy, 0.5, &delta, &idx_all, &mut a));
+            results.push(BenchResult {
+                kernel: "ger".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "onehot",
+                policy: policy.label(),
+                mean_ns,
+            });
+        }
+    }
+}
+
+fn bench_quadratic_form(results: &mut Vec<BenchResult>) {
+    for (width, nnz) in sweep_points() {
+        let (idx, x) = onehot_block(1, width, nnz, 5);
+        let xrow = x.row(0).to_vec();
+        let a = pseudo_matrix(width, width, 6);
+        let size = format!("{width}x{width}/width{width}");
+        let occupancy = nnz as f64 / width as f64;
+        for policy in KernelPolicy::ALL {
+            let mean_ns = measure(|| {
+                std::hint::black_box(gemm::quadratic_form_sym_with(policy, &xrow, &a));
+            });
+            results.push(BenchResult {
+                kernel: "quadratic_form".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "dense",
+                policy: policy.label(),
+                mean_ns,
+            });
+            let mean_ns = measure(|| {
+                std::hint::black_box(sparse::quadratic_form_onehot_pair(&idx, &a, &idx));
+            });
+            results.push(BenchResult {
+                kernel: "quadratic_form".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "onehot",
+                policy: policy.label(),
+                mean_ns,
+            });
+        }
+    }
+}
+
+/// Speedup of `r` over the dense variant of the same kernel/size/policy.
+fn speedup_vs_dense(results: &[BenchResult], r: &BenchResult) -> Option<f64> {
+    if r.variant == "dense" {
+        return None;
+    }
+    results
+        .iter()
+        .find(|o| {
+            o.kernel == r.kernel && o.size == r.size && o.policy == r.policy && o.variant == "dense"
+        })
+        .map(|dense| dense.mean_ns / r.mean_ns)
+}
+
+fn emit_json(results: &[BenchResult]) -> std::io::Result<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let path = root.join("BENCH_sparse.json");
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"harness\": \"sparse_kernels\",");
+    let _ = writeln!(out, "  \"threads\": {},", num_threads());
+    let _ = writeln!(
+        out,
+        "  \"smoke\": {},",
+        if smoke() { "true" } else { "false" }
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let speedup = speedup_vs_dense(results, r)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            out,
+            "    {{\"kernel\": \"{}\", \"size\": \"{}\", \"occupancy\": {:.4}, \"variant\": \"{}\", \"policy\": \"{}\", \"mean_ns\": {:.1}, \"speedup_vs_dense\": {}}}{}",
+            r.kernel, r.size, r.occupancy, r.variant, r.policy, r.mean_ns, speedup, sep
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+fn main() {
+    let mut results = Vec::new();
+    bench_spmm(&mut results);
+    bench_ger(&mut results);
+    bench_quadratic_form(&mut results);
+
+    println!(
+        "{:<16} {:>20} {:>6} {:>10} {:>10} {:>12} {:>9}",
+        "kernel", "size", "occ%", "variant", "policy", "mean", "vs dense"
+    );
+    for r in &results {
+        let speedup = speedup_vs_dense(&results, r)
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_default();
+        println!(
+            "{:<16} {:>20} {:>6.1} {:>10} {:>10} {:>9.3} us {:>9}",
+            r.kernel,
+            r.size,
+            r.occupancy * 100.0,
+            r.variant,
+            r.policy,
+            r.mean_ns / 1e3,
+            speedup
+        );
+    }
+
+    match emit_json(&results) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_sparse.json: {e}"),
+    }
+
+    // Acceptance-criterion ratio: one-hot spmm vs dense GEMM on the width-126
+    // block under the blocked policy.  Enforcement lives in CI.
+    if let Some(r) = results.iter().find(|r| {
+        r.kernel == "spmm"
+            && r.size.ends_with("width126")
+            && r.variant == "onehot"
+            && r.policy == "blocked"
+    }) {
+        let speedup = speedup_vs_dense(&results, r).unwrap_or(0.0);
+        println!("spmm width-126 one-hot speedup over dense blocked GEMM: {speedup:.2}x");
+    }
+}

@@ -12,8 +12,9 @@
 //! Use [`EmulatedDataset::generate`] with a `scale < 1.0` to shrink the fact and
 //! dimension tables proportionally (preserving the tuple ratio) for laptop runs.
 
+use crate::feature_block::FeatureBlock;
 use crate::onehot::OneHotSpec;
-use crate::rng::{cluster_centers, normal, normal_vector, seeded};
+use crate::rng::{cluster_centers, normal, seeded};
 use crate::workload::Workload;
 use fml_store::{Database, JoinSpec, Schema, StoreResult, Tuple};
 use rand::rngs::StdRng;
@@ -21,6 +22,10 @@ use rand::Rng;
 
 /// Number of mixture components used when emulating real data.
 const EMULATED_CLUSTERS: usize = 5;
+
+/// Rows per generated [`FeatureBlock`]: bounds the dense staging buffer while
+/// keeping block-generation overhead negligible.
+const GEN_BLOCK_ROWS: usize = 4096;
 
 /// The real-dataset configurations of Tables IV and V, plus the Movies-3way
 /// multi-way join of Section VII-A.
@@ -201,38 +206,18 @@ fn scale_count(n: u64, scale: f64, floor: u64) -> u64 {
     ((n as f64 * scale).round() as u64).max(floor.min(n))
 }
 
-/// Generates dense or one-hot features for one tuple of the given width.
-fn gen_features(
+/// Generates a feature block for a batch of rows: one-hot in index form
+/// (never densified here) when `spec` is given, normal draws otherwise.
+fn gen_feature_block(
     rng: &mut StdRng,
-    width: usize,
-    sparse: bool,
-    onehot: Option<&OneHotSpec>,
+    spec: Option<&OneHotSpec>,
     centers: &[Vec<f64>],
-    cluster: usize,
-) -> Vec<f64> {
-    if sparse {
-        let spec = onehot.expect("sparse generation requires a one-hot spec");
-        let values: Vec<usize> = (0..spec.num_columns())
-            .map(|c| {
-                // Category choice is biased by the cluster so the data keeps
-                // exploitable structure after encoding.
-                let card = spec.cardinality(c);
-                (rng.gen_range(0..card) + cluster) % card
-            })
-            .collect();
-        spec.encode(&values)
-    } else {
-        normal_vector(rng, &centers[cluster], 1.0)
+    clusters: &[usize],
+) -> FeatureBlock {
+    match spec {
+        Some(spec) => FeatureBlock::generate_onehot(rng, spec, clusters),
+        None => FeatureBlock::generate_dense(rng, centers, clusters, 1.0),
     }
-    .into_iter()
-    .take(width)
-    .collect()
-}
-
-fn one_hot_spec_for(width: usize) -> OneHotSpec {
-    // Roughly 8 categories per column, at least one column.
-    let columns = (width / 8).max(1).min(width);
-    OneHotSpec::with_total_width(width, columns)
 }
 
 fn generate_from_shape(shape: &DatasetShape, seed: u64) -> StoreResult<Workload> {
@@ -242,11 +227,16 @@ fn generate_from_shape(shape: &DatasetShape, seed: u64) -> StoreResult<Workload>
 
     let mut dim_names = Vec::new();
     let mut dim_clusters: Vec<Vec<usize>> = Vec::new();
+    let mut onehot = vec![if shape.sparse {
+        Some(OneHotSpec::auto(shape.d_s))
+    } else {
+        None
+    }];
     for (i, (n_r, d_r)) in shape.dims.iter().enumerate() {
         let name = format!("R{}", i + 1);
         let centers = cluster_centers(&mut rng, k, *d_r, 6.0);
         let spec = if shape.sparse {
-            Some(one_hot_spec_for(*d_r))
+            Some(OneHotSpec::auto(*d_r))
         } else {
             None
         };
@@ -254,50 +244,60 @@ fn generate_from_shape(shape: &DatasetShape, seed: u64) -> StoreResult<Workload>
         let mut clusters = Vec::with_capacity(*n_r as usize);
         {
             let mut rel = rel.lock();
-            for key in 0..*n_r {
-                let c = (key as usize) % k;
-                clusters.push(c);
-                let features =
-                    gen_features(&mut rng, *d_r, shape.sparse, spec.as_ref(), &centers, c);
-                rel.append(&Tuple::dimension(key, features))?;
+            let mut key = 0u64;
+            while key < *n_r {
+                let rows = GEN_BLOCK_ROWS.min((*n_r - key) as usize);
+                let chunk: Vec<usize> = (0..rows).map(|r| (key as usize + r) % k).collect();
+                let block = gen_feature_block(&mut rng, spec.as_ref(), &centers, &chunk);
+                for (r, &c) in chunk.iter().enumerate() {
+                    clusters.push(c);
+                    // Storage boundary: the fixed-width page format takes
+                    // dense rows; one-hot blocks stay in index form until here.
+                    rel.append(&Tuple::dimension(key + r as u64, block.dense_row(r)))?;
+                }
+                key += rows as u64;
             }
             rel.flush()?;
         }
         dim_names.push(name);
         dim_clusters.push(clusters);
+        onehot.push(spec);
     }
 
     let s_centers = cluster_centers(&mut rng, k, shape.d_s, 6.0);
-    let s_spec = if shape.sparse {
-        Some(one_hot_spec_for(shape.d_s))
-    } else {
-        None
-    };
+    let s_spec = onehot[0].clone();
     let s_rel = db.create_relation(Schema::fact_with_target("S", shape.d_s, shape.dims.len()))?;
     {
         let mut rel = s_rel.lock();
-        for key in 0..shape.n_s {
-            let fk0 = rng.gen_range(0..shape.dims[0].0);
-            let c = dim_clusters[0][fk0 as usize];
-            let mut fks = vec![fk0];
-            for (n_r, _) in shape.dims.iter().skip(1) {
-                fks.push(rng.gen_range(0..*n_r));
+        let mut key = 0u64;
+        while key < shape.n_s {
+            let rows = GEN_BLOCK_ROWS.min((shape.n_s - key) as usize);
+            // Foreign keys and clusters first (the cluster drives the feature
+            // block), then the whole chunk's features in one block.
+            let mut fks_chunk = Vec::with_capacity(rows);
+            let mut clusters = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let fk0 = rng.gen_range(0..shape.dims[0].0);
+                let c = dim_clusters[0][fk0 as usize];
+                let mut fks = vec![fk0];
+                for (n_r, _) in shape.dims.iter().skip(1) {
+                    fks.push(rng.gen_range(0..*n_r));
+                }
+                fks_chunk.push(fks);
+                clusters.push(c);
             }
-            let features = gen_features(
-                &mut rng,
-                shape.d_s,
-                shape.sparse,
-                s_spec.as_ref(),
-                &s_centers,
-                c,
-            );
-            let mean = if features.is_empty() {
-                0.0
-            } else {
-                features.iter().sum::<f64>() / features.len() as f64
-            };
-            let y = (mean / 4.0).tanh() + c as f64 / k as f64 + normal(&mut rng, 0.0, 0.05);
-            rel.append(&Tuple::fact_with_target(key, fks, y, features))?;
+            let block = gen_feature_block(&mut rng, s_spec.as_ref(), &s_centers, &clusters);
+            for (r, (fks, &c)) in fks_chunk.into_iter().zip(clusters.iter()).enumerate() {
+                let mean = block.row_mean(r);
+                let y = (mean / 4.0).tanh() + c as f64 / k as f64 + normal(&mut rng, 0.0, 0.05);
+                rel.append(&Tuple::fact_with_target(
+                    key + r as u64,
+                    fks,
+                    y,
+                    block.dense_row(r),
+                ))?;
+            }
+            key += rows as u64;
         }
         rel.flush()?;
     }
@@ -311,6 +311,7 @@ fn generate_from_shape(shape: &DatasetShape, seed: u64) -> StoreResult<Workload>
         },
         name: "emulated".to_string(),
         generating_clusters: Some(k),
+        onehot,
     })
 }
 
@@ -369,9 +370,21 @@ mod tests {
             assert!(t.features.iter().all(|&f| f == 0.0 || f == 1.0));
             // one-hot blocks: number of ones equals number of categorical columns
             let ones = t.features.iter().filter(|&&f| f == 1.0).count();
-            assert_eq!(ones, one_hot_spec_for(126).num_columns());
+            assert_eq!(ones, OneHotSpec::auto(126).num_columns());
             assert!(t.target.is_some());
         }
+        // the workload carries the layout as typed metadata
+        assert!(w.has_onehot_blocks());
+        assert_eq!(w.onehot.len(), 2);
+        assert_eq!(w.onehot[0], Some(OneHotSpec::auto(126)));
+        assert_eq!(w.onehot[1], Some(OneHotSpec::auto(175)));
+    }
+
+    #[test]
+    fn dense_datasets_carry_no_onehot_metadata() {
+        let w = EmulatedDataset::Walmart.generate(0.002, 2).unwrap();
+        assert!(!w.has_onehot_blocks());
+        assert_eq!(w.onehot, vec![None, None]);
     }
 
     #[test]

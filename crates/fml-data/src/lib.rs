@@ -13,6 +13,10 @@
 //!   Walmart, Movies) reproducing their cardinalities and dimensionalities
 //!   (Tables IV & V) with synthetic values, including the one-hot "Sparse"
 //!   variants used for the NN experiments.
+//! * [`feature_block`] — the typed per-relation feature representation
+//!   ([`FeatureBlock`]): dense matrices or one-hot index sets; categorical
+//!   blocks are generated in index form and never densified until the
+//!   fixed-width storage boundary.
 //! * [`onehot`] — one-hot encoding utilities used to build the sparse variants.
 //! * [`workload`] — a small bundle type (`Database` + `JoinSpec` + metadata) handed
 //!   to trainers and the benchmark harness.
@@ -21,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod emulated;
+pub mod feature_block;
 pub mod multiway;
 pub mod onehot;
 pub mod rng;
@@ -28,6 +33,8 @@ pub mod synthetic;
 pub mod workload;
 
 pub use emulated::EmulatedDataset;
+pub use feature_block::FeatureBlock;
 pub use multiway::MultiwayConfig;
+pub use onehot::OneHotSpec;
 pub use synthetic::SyntheticConfig;
 pub use workload::Workload;

@@ -6,6 +6,8 @@
 //! key from every dimension table, and cluster structure carried by the first
 //! dimension so GMM training remains well-posed.
 
+use crate::feature_block::FeatureBlock;
+use crate::onehot::OneHotSpec;
 use crate::rng::{cluster_centers, normal, normal_vector, seeded};
 use crate::workload::Workload;
 use fml_store::{Database, JoinSpec, Schema, StoreResult, Tuple};
@@ -18,12 +20,34 @@ pub struct DimSpec {
     pub n: u64,
     /// Number of features `d_{R_i}`.
     pub d: usize,
+    /// Whether the features are one-hot encoded categorical attributes
+    /// (generated directly in index form as a [`FeatureBlock::OneHot`]).
+    pub categorical: bool,
 }
 
 impl DimSpec {
-    /// Creates a dimension spec.
+    /// Creates a dense numeric dimension spec.
     pub fn new(n: u64, d: usize) -> Self {
-        Self { n, d }
+        Self {
+            n,
+            d,
+            categorical: false,
+        }
+    }
+
+    /// Creates a one-hot categorical dimension spec of encoded width `d`
+    /// (layout chosen by [`OneHotSpec::auto`]).
+    pub fn categorical(n: u64, d: usize) -> Self {
+        Self {
+            n,
+            d,
+            categorical: true,
+        }
+    }
+
+    /// The one-hot layout of this dimension's feature block, if categorical.
+    pub fn onehot_spec(&self) -> Option<OneHotSpec> {
+        self.categorical.then(|| OneHotSpec::auto(self.d))
     }
 }
 
@@ -126,26 +150,30 @@ impl MultiwayConfig {
         // Per-dimension cluster centers and per-tuple cluster assignments.
         let mut dim_names = Vec::with_capacity(self.dims.len());
         let mut dim_clusters: Vec<Vec<usize>> = Vec::with_capacity(self.dims.len());
+        let mut onehot = vec![None];
         for (i, dim) in self.dims.iter().enumerate() {
             assert!(dim.n > 0, "dimension table {i} must have tuples");
             let name = format!("R{}", i + 1);
             let centers = cluster_centers(&mut rng, self.k, dim.d, 8.0);
+            let spec = dim.onehot_spec();
             let rel = db.create_relation(Schema::dimension(name.clone(), dim.d))?;
-            let mut clusters = Vec::with_capacity(dim.n as usize);
+            let clusters: Vec<usize> = (0..dim.n as usize).map(|key| key % self.k).collect();
+            // Categorical dimensions are generated straight into index form;
+            // rows densify only at the fixed-width storage boundary below.
+            let block = match &spec {
+                Some(spec) => FeatureBlock::generate_onehot(&mut rng, spec, &clusters),
+                None => FeatureBlock::generate_dense(&mut rng, &centers, &clusters, self.noise_std),
+            };
             {
                 let mut rel = rel.lock();
-                for key in 0..dim.n {
-                    let c = (key as usize) % self.k;
-                    clusters.push(c);
-                    rel.append(&Tuple::dimension(
-                        key,
-                        normal_vector(&mut rng, &centers[c], self.noise_std),
-                    ))?;
+                for (key, _) in clusters.iter().enumerate() {
+                    rel.append(&Tuple::dimension(key as u64, block.dense_row(key)))?;
                 }
                 rel.flush()?;
             }
             dim_names.push(name);
             dim_clusters.push(clusters);
+            onehot.push(spec);
         }
 
         let s_centers = cluster_centers(&mut rng, self.k, self.d_s, 8.0);
@@ -211,6 +239,7 @@ impl MultiwayConfig {
                 self.k
             ),
             generating_clusters: Some(self.k),
+            onehot,
         })
     }
 }
@@ -282,6 +311,23 @@ mod tests {
         assert_eq!(cfg.num_dims(), 2);
         assert_eq!(cfg.d_s, 1);
         assert_eq!(cfg.dims[1].d, 21);
+    }
+
+    #[test]
+    fn categorical_dimensions_generate_onehot_blocks() {
+        let mut cfg = small();
+        cfg.dims[1] = DimSpec::categorical(12, 9);
+        let w = cfg.generate().unwrap();
+        assert!(w.has_onehot_blocks());
+        assert_eq!(w.onehot[2], Some(OneHotSpec::auto(9)));
+        assert_eq!(w.onehot[1], None);
+        let r2 = w.db.relation("R2").unwrap();
+        let spec = OneHotSpec::auto(9);
+        for t in scan_all(&r2, 16).unwrap() {
+            assert!(t.features.iter().all(|&f| f == 0.0 || f == 1.0));
+            let ones = t.features.iter().filter(|&&f| f == 1.0).count();
+            assert_eq!(ones, spec.num_columns());
+        }
     }
 
     #[test]

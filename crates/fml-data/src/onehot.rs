@@ -43,10 +43,23 @@ impl OneHotSpec {
     /// Builds a spec whose encoded width is exactly `width`, spreading categories
     /// as evenly as possible over `columns` categorical columns.  Used by the
     /// emulated sparse datasets, whose published dimensionalities are totals.
+    ///
+    /// **Remainder behavior**: when `width` does not divide evenly, the first
+    /// `width % columns` columns receive one extra category
+    /// (`⌈width/columns⌉`), the rest `⌊width/columns⌋` — so
+    /// `Σ cardinalities == width` always holds and the widest and narrowest
+    /// columns differ by at most one.
+    ///
+    /// # Panics
+    /// Panics when `columns == 0`, or when `width < columns` (including
+    /// `width == 0`): every categorical column needs at least one category, so
+    /// a valid spec requires `width ≥ columns ≥ 1`.
     pub fn with_total_width(width: usize, columns: usize) -> Self {
+        assert!(columns > 0, "with_total_width: columns must be >= 1");
         assert!(
-            columns > 0 && width >= columns,
-            "width must be >= columns >= 1"
+            width >= columns,
+            "with_total_width: width {width} < columns {columns} \
+             (every column needs at least one category; width == 0 is invalid)"
         );
         let base = width / columns;
         let extra = width % columns;
@@ -54,6 +67,16 @@ impl OneHotSpec {
             .map(|i| base + usize::from(i < extra))
             .collect();
         Self::new(cardinalities)
+    }
+
+    /// The layout the emulated sparse datasets use for a block of total
+    /// `width`: roughly 8 categories per column, at least one column.
+    ///
+    /// # Panics
+    /// Panics when `width == 0` (see [`with_total_width`](Self::with_total_width)).
+    pub fn auto(width: usize) -> Self {
+        let columns = (width / 8).clamp(1, width.max(1));
+        Self::with_total_width(width, columns)
     }
 
     /// Number of categorical columns.
@@ -69,6 +92,39 @@ impl OneHotSpec {
     /// Total width of the encoded feature vector.
     pub fn encoded_width(&self) -> usize {
         self.cardinalities.iter().sum()
+    }
+
+    /// Offset of column `i`'s indicator sub-range within the encoded vector.
+    pub fn offset(&self, i: usize) -> usize {
+        self.cardinalities[..i].iter().sum()
+    }
+
+    /// Encodes one tuple of category indices into its **active absolute
+    /// indices** — the sparse counterpart of [`encode`](Self::encode), one
+    /// ascending index per categorical column, no densification.
+    ///
+    /// # Panics
+    /// Panics when the number of values differs from the number of columns or
+    /// any index is out of range for its column's cardinality.
+    pub fn encode_indices(&self, values: &[usize]) -> Vec<u32> {
+        assert_eq!(
+            values.len(),
+            self.cardinalities.len(),
+            "encode_indices: expected {} categorical values, got {}",
+            self.cardinalities.len(),
+            values.len()
+        );
+        let mut out = Vec::with_capacity(values.len());
+        let mut offset = 0usize;
+        for (v, c) in values.iter().zip(self.cardinalities.iter()) {
+            assert!(
+                v < c,
+                "encode_indices: value {v} out of range for cardinality {c}"
+            );
+            out.push((offset + v) as u32);
+            offset += c;
+        }
+        out
     }
 
     /// Encodes one tuple of category indices into a dense 0/1 vector.
@@ -158,5 +214,67 @@ mod tests {
     #[should_panic(expected = "expected 2 categorical values")]
     fn encode_wrong_arity_panics() {
         OneHotSpec::new(vec![2, 2]).encode(&[0]);
+    }
+
+    #[test]
+    fn encode_indices_matches_dense_encoding() {
+        let spec = OneHotSpec::new(vec![3, 2, 4]);
+        let values = [1usize, 0, 3];
+        let idx = spec.encode_indices(&values);
+        assert_eq!(idx, vec![1, 3, 8]);
+        let dense = spec.encode(&values);
+        for (i, &v) in dense.iter().enumerate() {
+            let expected = if idx.contains(&(i as u32)) { 1.0 } else { 0.0 };
+            assert_eq!(v, expected, "position {i}");
+        }
+        assert_eq!(spec.offset(0), 0);
+        assert_eq!(spec.offset(2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_indices_rejects_out_of_range_value() {
+        OneHotSpec::new(vec![2, 2]).encode_indices(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 2 < columns 3")]
+    fn with_total_width_rejects_width_below_columns() {
+        OneHotSpec::with_total_width(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 0 < columns 1")]
+    fn with_total_width_rejects_zero_width() {
+        OneHotSpec::with_total_width(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns must be >= 1")]
+    fn with_total_width_rejects_zero_columns() {
+        OneHotSpec::with_total_width(4, 0);
+    }
+
+    #[test]
+    fn with_total_width_remainder_goes_to_leading_columns() {
+        // width == columns: every column is a cardinality-1 indicator
+        let unit = OneHotSpec::with_total_width(3, 3);
+        assert_eq!(unit.encoded_width(), 3);
+        assert!((0..3).all(|i| unit.cardinality(i) == 1));
+        // widest and narrowest differ by at most one, sum is exact
+        let spec = OneHotSpec::with_total_width(17, 5);
+        let cards: Vec<usize> = (0..5).map(|i| spec.cardinality(i)).collect();
+        assert_eq!(cards, vec![4, 4, 3, 3, 3]);
+        assert_eq!(spec.encoded_width(), 17);
+    }
+
+    #[test]
+    fn auto_layout_has_about_eight_categories_per_column() {
+        let spec = OneHotSpec::auto(126);
+        assert_eq!(spec.encoded_width(), 126);
+        assert_eq!(spec.num_columns(), 15);
+        // degenerate widths still produce valid specs
+        assert_eq!(OneHotSpec::auto(1).num_columns(), 1);
+        assert_eq!(OneHotSpec::auto(7).num_columns(), 1);
     }
 }

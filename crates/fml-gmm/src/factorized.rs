@@ -24,10 +24,12 @@ use crate::em::{converged, finalize_m_step, means_from_sums, GmmFit};
 use crate::init::GmmInit;
 use crate::model::Precomputed;
 use crate::multiway::FactorizedMultiwayGmm;
+use crate::sparse::{OneHotDiagAcc, OneHotFormPre, OneHotScatterAcc};
 use crate::GmmConfig;
 use fml_linalg::block::{BlockPartition, BlockScatter};
 use fml_linalg::policy::par_chunks;
-use fml_linalg::{gemm, vector, Matrix, Vector};
+use fml_linalg::sparse::SparseMode;
+use fml_linalg::{gemm, sparse, vector, Matrix, Vector};
 use fml_store::factorized_scan::GroupScan;
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::time::Instant;
@@ -74,11 +76,33 @@ impl FactorizedGmm {
         // large enough to amortize the scoped-thread fan-out.
         let kp = policy.sequential();
         let par = policy.is_parallel() && k * d * d >= PAR_MIN_GROUP_FLOPS;
+        let auto_sparse = config.sparse == SparseMode::Auto;
+        // Detects a one-hot feature block (0/1 entries, ≤ ½ occupancy).
+        let detect = |features: &[f64]| config.sparse.detect(features);
 
         for _iter in 0..config.max_iters {
             let pre = Precomputed::from_model(&model, config.ridge);
             let forms = pre.block_forms_with(&partition, kp);
             let means_split = pre.split_means(&partition);
+            // One-hot decomposition constants: O(k·d²) once per iteration, so
+            // the per-group hot path below runs pure gathers on the sparse path.
+            let onehot_pre = if auto_sparse {
+                OneHotFormPre::build_all(&forms, &means_split, partition.num_blocks(), kp)
+            } else {
+                Vec::new()
+            };
+            // Fact-block diagonal constants: the per-fact UL term uses the
+            // same decomposition when the fact features are one-hot too
+            // (e.g. WalmartSparse, where d_S = 126 is one-hot).
+            let fact_pre: Vec<OneHotFormPre> = if auto_sparse {
+                forms
+                    .iter()
+                    .enumerate()
+                    .map(|(c, form)| OneHotFormPre::build_diag(form, 0, &means_split[c][0], kp))
+                    .collect()
+            } else {
+                Vec::new()
+            };
 
             // ---- Pass 1: E-step ----
             // Each scan block is a set of independent join groups: chunks of
@@ -98,10 +122,18 @@ impl FactorizedGmm {
                     let mut pd_s = vec![0.0; d_s];
                     for group in &groups[range] {
                         // Reused per dimension tuple: LR term and the combined
-                        // cross-term vector w = I_SR·PD_R + I_RSᵀ·PD_R.
+                        // cross-term vector w = I_SR·PD_R + I_RSᵀ·PD_R.  For
+                        // one-hot dimension tuples both come from the mean
+                        // decomposition — gathers only, zero dense multiplies.
+                        let r_idx = detect(&group.r_tuple.features);
                         let mut lr_terms = vec![0.0; k];
                         let mut cross_w: Vec<Vec<f64>> = Vec::with_capacity(k);
                         for c in 0..k {
+                            if let Some(idx) = &r_idx {
+                                lr_terms[c] = onehot_pre[c][0].diag_term(&forms[c], 1, idx);
+                                cross_w.push(onehot_pre[c][0].cross_vector(&forms[c], 1, idx, kp));
+                                continue;
+                            }
                             let pd_r: Vec<f64> = group
                                 .r_tuple
                                 .features
@@ -115,12 +147,41 @@ impl FactorizedGmm {
                             vector::axpy(1.0, &w2, &mut w);
                             cross_w.push(w);
                         }
+                        // Per-group constant for the sparse fact path
+                        // (µ_Sᵀ·w, so pd_Sᵀ·w becomes gather(w) − µᵀw per
+                        // fact), computed lazily on the group's first one-hot
+                        // fact so fully-dense groups never pay for it.
+                        let mut mu_dot_w: Option<Vec<f64>> = None;
                         for s_tuple in &group.s_tuples {
+                            let s_idx = detect(&s_tuple.features);
+                            if s_idx.is_some() && mu_dot_w.is_none() {
+                                mu_dot_w = Some(
+                                    cross_w
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(c, w)| vector::dot(&means_split[c][0], w))
+                                        .collect(),
+                                );
+                            }
                             for c in 0..k {
-                                vector::sub_into(&s_tuple.features, &means_split[c][0], &mut pd_s);
-                                let quad = forms[c].term(0, 0, &pd_s, &pd_s)
-                                    + vector::dot(&pd_s, &cross_w[c])
-                                    + lr_terms[c];
+                                let quad = match &s_idx {
+                                    Some(idx) => {
+                                        fact_pre[c].diag_term(&forms[c], 0, idx)
+                                            + (sparse::gather_sum(&cross_w[c], idx)
+                                                - mu_dot_w.as_ref().expect("computed above")[c])
+                                            + lr_terms[c]
+                                    }
+                                    None => {
+                                        vector::sub_into(
+                                            &s_tuple.features,
+                                            &means_split[c][0],
+                                            &mut pd_s,
+                                        );
+                                        forms[c].term(0, 0, &pd_s, &pd_s)
+                                            + vector::dot(&pd_s, &cross_w[c])
+                                            + lr_terms[c]
+                                    }
+                                };
                                 log_dens[c] = pre.log_norm[c] - 0.5 * quad;
                             }
                             let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
@@ -164,22 +225,51 @@ impl FactorizedGmm {
                         let mut group_gamma = vec![0.0; k];
                         for s_tuple in &group.s_tuples {
                             let g = &gammas[cur..cur + k];
-                            for c in 0..k {
-                                vector::axpy(
-                                    g[c],
-                                    &s_tuple.features,
-                                    &mut local[c].as_mut_slice()[..d_s],
-                                );
-                                group_gamma[c] += g[c];
+                            match detect(&s_tuple.features) {
+                                Some(idx) => {
+                                    for c in 0..k {
+                                        sparse::axpy_onehot(
+                                            g[c],
+                                            &idx,
+                                            &mut local[c].as_mut_slice()[..d_s],
+                                        );
+                                        group_gamma[c] += g[c];
+                                    }
+                                }
+                                None => {
+                                    for c in 0..k {
+                                        vector::axpy(
+                                            g[c],
+                                            &s_tuple.features,
+                                            &mut local[c].as_mut_slice()[..d_s],
+                                        );
+                                        group_gamma[c] += g[c];
+                                    }
+                                }
                             }
                             cur += k;
                         }
-                        for c in 0..k {
-                            vector::axpy(
-                                group_gamma[c],
-                                &group.r_tuple.features,
-                                &mut local[c].as_mut_slice()[d_s..],
-                            );
+                        // Dimension part: one scatter-add per active index
+                        // for one-hot tuples, one AXPY otherwise.
+                        match detect(&group.r_tuple.features) {
+                            Some(idx) => {
+                                for c in 0..k {
+                                    sparse::axpy_onehot(
+                                        group_gamma[c],
+                                        &idx,
+                                        &mut local[c].as_mut_slice()[d_s..],
+                                    );
+                                }
+                            }
+                            None => {
+                                for c in 0..k {
+                                    vector::axpy(
+                                        group_gamma[c],
+                                        &group.r_tuple.features,
+                                        &mut local[c].as_mut_slice()[d_s..],
+                                    );
+                                }
+                            }
                         }
                     }
                     local
@@ -205,10 +295,17 @@ impl FactorizedGmm {
 
             // ---- Pass 3: M-step, covariances (Equations 14–18) ----
             // Chunks of groups accumulate into private BlockScatter grids which
-            // are merged in chunk order (`BlockScatter::merge_from`).
+            // are merged in chunk order (`BlockScatter::merge_from`).  One-hot
+            // dimension tuples contribute through the sparse decomposition:
+            // raw-x scatters per group, dense mean corrections once per pass.
             let mut scatter: Vec<BlockScatter> = (0..k)
                 .map(|_| BlockScatter::new_with(partition.clone(), kp))
                 .collect();
+            let mut sparse_acc: Vec<OneHotScatterAcc> = (0..k)
+                .map(|_| OneHotScatterAcc::new(d_s, d - d_s))
+                .collect();
+            let mut fact_acc: Vec<OneHotDiagAcc> =
+                (0..k).map(|_| OneHotDiagAcc::new(d_s)).collect();
             let mut cursor = 0usize;
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
@@ -225,26 +322,76 @@ impl FactorizedGmm {
                     let mut local: Vec<BlockScatter> = (0..k)
                         .map(|_| BlockScatter::new_with(partition.clone(), kp))
                         .collect();
+                    let mut local_acc: Vec<OneHotScatterAcc> = (0..k)
+                        .map(|_| OneHotScatterAcc::new(d_s, d - d_s))
+                        .collect();
+                    let mut local_fact: Vec<OneHotDiagAcc> =
+                        (0..k).map(|_| OneHotDiagAcc::new(d_s)).collect();
                     let mut pd_s = vec![0.0; d_s];
                     for gi in range {
                         let group = &groups[gi];
                         let mut cur = offsets[gi];
                         let mut group_gamma = vec![0.0; k];
                         let mut weighted_pd_s = vec![vec![0.0; d_s]; k];
+                        // Raw sums over the group's *one-hot* facts, folded
+                        // into `weighted_pd_s` once per group below
+                        // (Σ γ(x−µ) = Σ γx − (Σ γ)µ).
+                        let mut wg_sparse = vec![vec![0.0; d_s]; k];
+                        let mut wg_gamma = vec![0.0; k];
+                        let mut any_sparse_fact = false;
                         for s_tuple in &group.s_tuples {
                             let g = &gammas[cur..cur + k];
-                            for c in 0..k {
-                                vector::sub_into(
-                                    &s_tuple.features,
-                                    &new_means_split[c][0],
-                                    &mut pd_s,
-                                );
-                                // UL block: must be accumulated per fact tuple.
-                                local[c].add_outer(0, 0, g[c], &pd_s, &pd_s);
-                                vector::axpy(g[c], &pd_s, &mut weighted_pd_s[c]);
-                                group_gamma[c] += g[c];
+                            match detect(&s_tuple.features) {
+                                Some(idx) => {
+                                    // UL block: raw γ·x xᵀ pair scatter; the
+                                    // mean corrections apply once per pass.
+                                    any_sparse_fact = true;
+                                    for c in 0..k {
+                                        local_fact[c].record(&mut local[c], 0, g[c], &idx);
+                                        sparse::axpy_onehot(g[c], &idx, &mut wg_sparse[c]);
+                                        wg_gamma[c] += g[c];
+                                        group_gamma[c] += g[c];
+                                    }
+                                }
+                                None => {
+                                    for c in 0..k {
+                                        vector::sub_into(
+                                            &s_tuple.features,
+                                            &new_means_split[c][0],
+                                            &mut pd_s,
+                                        );
+                                        // UL block: must be accumulated per fact tuple.
+                                        local[c].add_outer(0, 0, g[c], &pd_s, &pd_s);
+                                        vector::axpy(g[c], &pd_s, &mut weighted_pd_s[c]);
+                                        group_gamma[c] += g[c];
+                                    }
+                                }
                             }
                             cur += k;
+                        }
+                        if any_sparse_fact {
+                            for c in 0..k {
+                                vector::axpy(1.0, &wg_sparse[c], &mut weighted_pd_s[c]);
+                                vector::axpy(
+                                    -wg_gamma[c],
+                                    &new_means_split[c][0],
+                                    &mut weighted_pd_s[c],
+                                );
+                            }
+                        }
+                        if let Some(idx) = detect(&group.r_tuple.features) {
+                            // UR / LL / LR blocks: sparse raw-x scatters; the
+                            // mean corrections are applied once after the pass.
+                            for c in 0..k {
+                                local_acc[c].record(
+                                    &mut local[c],
+                                    1,
+                                    group_gamma[c],
+                                    &weighted_pd_s[c],
+                                    &idx,
+                                );
+                            }
+                            continue;
                         }
                         for c in 0..k {
                             let pd_r: Vec<f64> = group
@@ -262,14 +409,22 @@ impl FactorizedGmm {
                             local[c].add_outer(1, 1, group_gamma[c], &pd_r, &pd_r);
                         }
                     }
-                    local
+                    (local, local_acc, local_fact)
                 });
-                for local in parts {
+                for (local, local_acc, local_fact) in parts {
                     for c in 0..k {
                         scatter[c].merge_from(&local[c]);
+                        sparse_acc[c].merge_from(&local_acc[c]);
+                        fact_acc[c].merge_from(&local_fact[c]);
                     }
                 }
                 cursor += groups.iter().map(|g| g.s_tuples.len() * k).sum::<usize>();
+            }
+            for (c, acc) in sparse_acc.iter().enumerate() {
+                acc.finalize(&mut scatter[c], 1, &new_means_split[c][1]);
+            }
+            for (c, acc) in fact_acc.iter().enumerate() {
+                acc.finalize(&mut scatter[c], 0, &new_means_split[c][0]);
             }
             let scatter_mats: Vec<Matrix> =
                 scatter.into_iter().map(BlockScatter::into_matrix).collect();

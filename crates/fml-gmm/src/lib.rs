@@ -27,6 +27,7 @@ pub mod init;
 pub mod materialized;
 pub mod model;
 pub mod multiway;
+pub(crate) mod sparse;
 pub mod streaming;
 
 pub use em::{EmOptions, GmmFit};
@@ -37,7 +38,7 @@ pub use model::{GmmModel, Precomputed};
 pub use multiway::FactorizedMultiwayGmm;
 pub use streaming::StreamingGmm;
 
-use fml_linalg::KernelPolicy;
+use fml_linalg::{KernelPolicy, SparseMode};
 use serde::{Deserialize, Serialize};
 
 /// Configuration shared by every GMM training variant.
@@ -64,6 +65,13 @@ pub struct GmmConfig {
     /// [`fml_linalg::policy`]).  All variants of one comparison should share a
     /// policy: results across policies agree only within rounding tolerances.
     pub kernel_policy: KernelPolicy,
+    /// Whether the factorized trainers detect one-hot dimension blocks and
+    /// route them through the sparse kernels ([`fml_linalg::sparse`]).  The
+    /// default `Auto` engages on 0/1 blocks at ≤ ½ occupancy; `Dense` forces
+    /// the dense path (the comparison baseline).  Sparse-path models agree
+    /// with the dense path within rounding tolerances (the centered
+    /// decomposition regroups additions), not bit-for-bit.
+    pub sparse: SparseMode,
 }
 
 impl Default for GmmConfig {
@@ -77,6 +85,7 @@ impl Default for GmmConfig {
             init_spread: 1.0,
             block_pages: fml_store::DEFAULT_BLOCK_PAGES,
             kernel_policy: KernelPolicy::default(),
+            sparse: SparseMode::default(),
         }
     }
 }
@@ -111,6 +120,12 @@ impl GmmConfig {
     /// Returns a copy with a different kernel policy.
     pub fn policy(mut self, kernel_policy: KernelPolicy) -> Self {
         self.kernel_policy = kernel_policy;
+        self
+    }
+
+    /// Returns a copy with a different sparse-path mode.
+    pub fn sparse_mode(mut self, sparse: SparseMode) -> Self {
+        self.sparse = sparse;
         self
     }
 }

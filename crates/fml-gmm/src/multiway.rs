@@ -18,9 +18,11 @@
 use crate::em::{converged, finalize_m_step, means_from_sums, GmmFit};
 use crate::init::GmmInit;
 use crate::model::Precomputed;
+use crate::sparse::{OneHotFormPre, OneHotScatterAcc};
 use crate::GmmConfig;
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 use fml_linalg::policy::par_chunks;
+use fml_linalg::sparse::{self, SparseMode};
 use fml_linalg::{gemm, vector, KernelPolicy, Matrix, Vector};
 use fml_store::factorized_scan::StarScan;
 use fml_store::{Database, JoinSpec, StoreResult};
@@ -40,29 +42,52 @@ struct EStepEntry {
     cross_s: Vec<Vec<f64>>,
 }
 
+/// Per-iteration context the E-step cache construction reads: the partitioned
+/// covariance inverses, split means and (when auto-sparse) the one-hot
+/// decomposition constants.
+struct EStepCtx<'a> {
+    forms: &'a [BlockQuadraticForm],
+    means_split: &'a [Vec<Vec<f64>>],
+    onehot_pre: &'a [Vec<OneHotFormPre>],
+    kp: KernelPolicy,
+}
+
 impl EStepEntry {
-    fn build(
-        features: &[f64],
-        block: usize,
-        forms: &[BlockQuadraticForm],
-        means_split: &[Vec<Vec<f64>>],
-        k: usize,
-        kp: KernelPolicy,
-    ) -> Self {
+    /// Builds the cache for one distinct dimension tuple.  One-hot tuples
+    /// (`idx` given) compute the diagonal and fact-cross quantities through
+    /// the mean decomposition (gathers only); the centered vector is still
+    /// materialized because the cross terms between *distinct* dimension
+    /// blocks evaluate densely (sparse cross-dimension terms are a ROADMAP
+    /// follow-up).
+    fn build(features: &[f64], idx: Option<&[u32]>, block: usize, ctx: &EStepCtx<'_>) -> Self {
+        let k = ctx.forms.len();
         let mut pd = Vec::with_capacity(k);
         let mut diag = Vec::with_capacity(k);
         let mut cross_s = Vec::with_capacity(k);
         for c in 0..k {
             let centered: Vec<f64> = features
                 .iter()
-                .zip(means_split[c][block].iter())
+                .zip(ctx.means_split[c][block].iter())
                 .map(|(x, m)| x - m)
                 .collect();
-            diag.push(forms[c].term(block, block, &centered, &centered));
-            let mut w = forms[c].block_times(0, block, &centered);
-            let w2 = gemm::matvec_transposed_with(kp, forms[c].block(block, 0), &centered);
-            vector::axpy(1.0, &w2, &mut w);
-            cross_s.push(w);
+            match idx {
+                Some(idx) => {
+                    let pre = &ctx.onehot_pre[c][block - 1];
+                    diag.push(pre.diag_term(&ctx.forms[c], block, idx));
+                    cross_s.push(pre.cross_vector(&ctx.forms[c], block, idx, ctx.kp));
+                }
+                None => {
+                    diag.push(ctx.forms[c].term(block, block, &centered, &centered));
+                    let mut w = ctx.forms[c].block_times(0, block, &centered);
+                    let w2 = gemm::matvec_transposed_with(
+                        ctx.kp,
+                        ctx.forms[c].block(block, 0),
+                        &centered,
+                    );
+                    vector::axpy(1.0, &w2, &mut w);
+                    cross_s.push(w);
+                }
+            }
             pd.push(centered);
         }
         Self { pd, diag, cross_s }
@@ -110,11 +135,18 @@ impl FactorizedMultiwayGmm {
         let kp = policy.sequential();
         // Fan out only when per-fact work can amortize the thread spawns.
         let par = policy.is_parallel() && k * d * d >= crate::factorized::PAR_MIN_GROUP_FLOPS;
+        let auto_sparse = config.sparse == SparseMode::Auto;
+        let detect = |features: &[f64]| config.sparse.detect(features);
 
         for _iter in 0..config.max_iters {
             let pre = Precomputed::from_model(&model, config.ridge);
             let forms = pre.block_forms_with(&partition, kp);
             let means_split = pre.split_means(&partition);
+            let onehot_pre = if auto_sparse {
+                OneHotFormPre::build_all(&forms, &means_split, partition.num_blocks(), kp)
+            } else {
+                Vec::new()
+            };
 
             // ---- Pass 1: E-step (Equation 19) ----
             // Per block: a sequential sweep materializes the per-dimension-tuple
@@ -138,14 +170,15 @@ impl FactorizedMultiwayGmm {
                                     key: *fk,
                                 }
                             })?;
-                            let entry = EStepEntry::build(
-                                &dim_tuple.features,
-                                i + 1,
-                                &forms,
-                                &means_split,
-                                k,
+                            let idx = detect(&dim_tuple.features);
+                            let ctx = EStepCtx {
+                                forms: &forms,
+                                means_split: &means_split,
+                                onehot_pre: &onehot_pre,
                                 kp,
-                            );
+                            };
+                            let entry =
+                                EStepEntry::build(&dim_tuple.features, idx.as_deref(), i + 1, &ctx);
                             caches[i].insert(*fk, entry);
                         }
                     }
@@ -221,12 +254,25 @@ impl FactorizedMultiwayGmm {
                 let range = partition.range(i + 1);
                 for (key, sums) in dim_gammas {
                     let dim_tuple = scan.cache().get(i, *key).expect("cached during pass 1");
-                    for c in 0..k {
-                        vector::axpy(
-                            sums[c],
-                            &dim_tuple.features,
-                            &mut mean_sums[c].as_mut_slice()[range.clone()],
-                        );
+                    match detect(&dim_tuple.features) {
+                        Some(idx) => {
+                            for c in 0..k {
+                                sparse::axpy_onehot(
+                                    sums[c],
+                                    &idx,
+                                    &mut mean_sums[c].as_mut_slice()[range.clone()],
+                                );
+                            }
+                        }
+                        None => {
+                            for c in 0..k {
+                                vector::axpy(
+                                    sums[c],
+                                    &dim_tuple.features,
+                                    &mut mean_sums[c].as_mut_slice()[range.clone()],
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -297,15 +343,36 @@ impl FactorizedMultiwayGmm {
                     cursor += k;
                 }
             }
-            // Dimension-side blocks, once per dimension tuple.
+            // Dimension-side blocks, once per dimension tuple.  One-hot tuples
+            // go through the sparse decomposition: raw-x scatters here, dense
+            // mean corrections once per (component, block) after the loop.
             for i in 0..q {
+                let d_i = partition.size(i + 1);
+                let mut acc: Vec<OneHotScatterAcc> =
+                    (0..k).map(|_| OneHotScatterAcc::new(d_s, d_i)).collect();
                 for (key, agg) in &aggs[i] {
+                    let dim_tuple = scan.cache().get(i, *key).expect("cached during pass 1");
+                    if let Some(idx) = detect(&dim_tuple.features) {
+                        for c in 0..k {
+                            acc[c].record(
+                                &mut scatter[c],
+                                i + 1,
+                                agg.gamma[c],
+                                &agg.weighted_pd_s[c],
+                                &idx,
+                            );
+                        }
+                        continue;
+                    }
                     let pd = &pd_new[i][key];
                     for c in 0..k {
                         scatter[c].add_outer(0, i + 1, 1.0, &agg.weighted_pd_s[c], &pd[c]);
                         scatter[c].add_outer(i + 1, 0, 1.0, &pd[c], &agg.weighted_pd_s[c]);
                         scatter[c].add_outer(i + 1, i + 1, agg.gamma[c], &pd[c], &pd[c]);
                     }
+                }
+                for (c, acc) in acc.iter().enumerate() {
+                    acc.finalize(&mut scatter[c], i + 1, &new_means_split[c][i + 1]);
                 }
             }
             let scatter_mats: Vec<Matrix> =

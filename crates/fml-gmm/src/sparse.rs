@@ -1,0 +1,440 @@
+//! Sparse-path machinery shared by the factorized binary and multi-way GMM
+//! trainers.
+//!
+//! The EM quantities the factorized trainers compute per dimension tuple all
+//! involve the **centered** vector `PD = x − µ`, which is dense even when `x`
+//! is one-hot.  The trick is to expand around the mean once per component and
+//! iteration, leaving only gathers/scatters on `x` itself in the per-group hot
+//! path:
+//!
+//! * quadratic term (E-step `LR` / diagonal terms):
+//!   `(x−µ)ᵀ A (x−µ) = Σ_{i,j∈x} A[i][j] − Σ_{i∈x} ((A+Aᵀ)µ)[i] + µᵀAµ`
+//! * fact-side cross vector (E-step `w`):
+//!   `(A₀ᵦ + Aᵦ₀ᵀ)(x−µ) = colsum_x(A₀ᵦ) + rowsum_x(Aᵦ₀) − (A₀ᵦ + Aᵦ₀ᵀ)µ`
+//! * scatter blocks (M-step, summed over groups `g` with weight `γ_g`):
+//!   `Σ_g γ_g (x_g−µ)(x_g−µ)ᵀ = Σ_g γ_g x_g x_gᵀ − (Σ_g γ_g x_g)µᵀ − µ(Σ_g γ_g x_g)ᵀ + (Σ_g γ_g)µµᵀ`
+//!   `Σ_g w_g (x_g−µ)ᵀ      = Σ_g w_g x_gᵀ − (Σ_g w_g)µᵀ`
+//!
+//! [`OneHotFormPre`] holds the `O(d²)` per-component constants (built **once
+//! per iteration**, not per group); [`OneHotScatterAcc`] accumulates the
+//! `x`-only scatter sums sparsely and applies the dense mean corrections
+//! **once per pass** in [`finalize`](OneHotScatterAcc::finalize).  The
+//! decomposition is exact in real arithmetic; in floating point it regroups
+//! additions, so sparse-path models agree with the dense path within the same
+//! rounding tolerances the cross-variant equivalence tests already use.
+
+use fml_linalg::block::{BlockQuadraticForm, BlockScatter};
+use fml_linalg::sparse::{self, BlockVec};
+use fml_linalg::{gemm, vector, KernelPolicy};
+
+/// Per-component, per-dimension-block constants for the one-hot decomposition
+/// of the centered E-step quantities.  `block` is the partition index of the
+/// dimension block (`≥ 1`); block `0` is the fact side.
+pub(crate) struct OneHotFormPre {
+    /// `(A_bb + A_bbᵀ) · µ_b`.
+    a_mu_sum: Vec<f64>,
+    /// `µ_bᵀ A_bb µ_b`.
+    mu_a_mu: f64,
+    /// `A_0b·µ_b + A_b0ᵀ·µ_b` — the mean part of the fact-side cross vector.
+    cross_mu: Vec<f64>,
+}
+
+impl OneHotFormPre {
+    /// Builds the constants for one component (`form` is its partitioned
+    /// `Σ⁻¹`) and one dimension block, under the given sequential policy.
+    pub fn build(form: &BlockQuadraticForm, block: usize, mu_b: &[f64], kp: KernelPolicy) -> Self {
+        let mut pre = Self::build_diag(form, block, mu_b, kp);
+        let mut cross_mu = gemm::matvec_with(kp, form.block(0, block), mu_b);
+        let w2 = gemm::matvec_transposed_with(kp, form.block(block, 0), mu_b);
+        vector::axpy(1.0, &w2, &mut cross_mu);
+        pre.cross_mu = cross_mu;
+        pre
+    }
+
+    /// Diagonal-only constants for any block — including the **fact block**
+    /// (`block == 0`, which has no fact-side cross vector; only
+    /// [`diag_term`](Self::diag_term) is valid on the result).
+    pub fn build_diag(
+        form: &BlockQuadraticForm,
+        block: usize,
+        mu_b: &[f64],
+        kp: KernelPolicy,
+    ) -> Self {
+        let a_bb = form.block(block, block);
+        let mut a_mu_sum = gemm::matvec_with(kp, a_bb, mu_b);
+        let at_mu = gemm::matvec_transposed_with(kp, a_bb, mu_b);
+        vector::axpy(1.0, &at_mu, &mut a_mu_sum);
+        let mu_a_mu = gemm::quadratic_form_with(kp, mu_b, a_bb, mu_b);
+        Self {
+            a_mu_sum,
+            mu_a_mu,
+            cross_mu: Vec::new(),
+        }
+    }
+
+    /// Builds the constants for every component and every dimension block:
+    /// `result[c][b-1]` serves component `c`, partition block `b`.
+    pub fn build_all(
+        forms: &[BlockQuadraticForm],
+        means_split: &[Vec<Vec<f64>>],
+        num_blocks: usize,
+        kp: KernelPolicy,
+    ) -> Vec<Vec<OneHotFormPre>> {
+        forms
+            .iter()
+            .enumerate()
+            .map(|(c, form)| {
+                (1..num_blocks)
+                    .map(|b| OneHotFormPre::build(form, b, &means_split[c][b], kp))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// `(x−µ)ᵀ A_bb (x−µ)` for one-hot `x` — `s²` loads plus one gather.
+    pub fn diag_term(&self, form: &BlockQuadraticForm, block: usize, idx: &[u32]) -> f64 {
+        sparse::quadratic_form_onehot_pair(idx, form.block(block, block), idx)
+            - sparse::gather_sum(&self.a_mu_sum, idx)
+            + self.mu_a_mu
+    }
+
+    /// The fact-side cross vector `A_0b·(x−µ) + A_b0ᵀ·(x−µ)` for one-hot `x` —
+    /// `s` column/row gathers plus one dense AXPY of length `d_S`.
+    pub fn cross_vector(
+        &self,
+        form: &BlockQuadraticForm,
+        block: usize,
+        idx: &[u32],
+        kp: KernelPolicy,
+    ) -> Vec<f64> {
+        let mut w = sparse::matvec_onehot_with(kp, form.block(0, block), idx);
+        let w2 = sparse::matvec_transposed_onehot_with(kp, form.block(block, 0), idx);
+        vector::axpy(1.0, &w2, &mut w);
+        vector::axpy(-1.0, &self.cross_mu, &mut w);
+        w
+    }
+}
+
+/// Sparse accumulator for one component's dimension-side scatter blocks: the
+/// per-group contributions touch only active indices; the dense mean
+/// corrections are deferred to [`finalize`](Self::finalize), applied once per
+/// pass instead of once per group.
+///
+/// Mergeable in chunk order like [`BlockScatter`] so the parallel group fan-out
+/// keeps its fixed reduction tree.
+#[derive(Debug, Clone)]
+pub(crate) struct OneHotScatterAcc {
+    /// `Σ_g γ_g x_g` over the one-hot groups (dimension-block width).
+    gx: Vec<f64>,
+    /// `Σ_g w_g` where `w_g = Σ_{facts in g} γ PD_S` (fact-block width).
+    w_total: Vec<f64>,
+    /// `Σ_g γ_g`.
+    gamma_total: f64,
+    /// Whether any group was recorded (skips the zero-valued corrections).
+    touched: bool,
+}
+
+impl OneHotScatterAcc {
+    /// Creates a zeroed accumulator for fact width `d_s` and dimension-block
+    /// width `d_b`.
+    pub fn new(d_s: usize, d_b: usize) -> Self {
+        Self {
+            gx: vec![0.0; d_b],
+            w_total: vec![0.0; d_s],
+            gamma_total: 0.0,
+            touched: false,
+        }
+    }
+
+    /// Records one join group whose dimension tuple is one-hot with active
+    /// indices `idx`: scatters the raw-`x` parts of the `(0,b)`, `(b,0)` and
+    /// `(b,b)` blocks into `scatter` and accumulates the correction sums.
+    pub fn record(
+        &mut self,
+        scatter: &mut BlockScatter,
+        block: usize,
+        group_gamma: f64,
+        weighted_pd_s: &[f64],
+        idx: &[u32],
+    ) {
+        scatter.add_outer_rep(
+            0,
+            block,
+            1.0,
+            BlockVec::Dense(weighted_pd_s),
+            BlockVec::OneHot(idx),
+        );
+        scatter.add_outer_rep(
+            block,
+            0,
+            1.0,
+            BlockVec::OneHot(idx),
+            BlockVec::Dense(weighted_pd_s),
+        );
+        scatter.add_outer_rep(
+            block,
+            block,
+            group_gamma,
+            BlockVec::OneHot(idx),
+            BlockVec::OneHot(idx),
+        );
+        sparse::axpy_onehot(group_gamma, idx, &mut self.gx);
+        vector::axpy(1.0, weighted_pd_s, &mut self.w_total);
+        self.gamma_total += group_gamma;
+        self.touched = true;
+    }
+
+    /// Merges another accumulator (parallel chunk partials, chunk order).
+    pub fn merge_from(&mut self, other: &OneHotScatterAcc) {
+        if !other.touched {
+            return;
+        }
+        vector::axpy(1.0, &other.gx, &mut self.gx);
+        vector::axpy(1.0, &other.w_total, &mut self.w_total);
+        self.gamma_total += other.gamma_total;
+        self.touched = true;
+    }
+
+    /// Applies the dense mean corrections for this pass:
+    /// `−(Σw)µᵀ` / `−µ(Σw)ᵀ` on the cross blocks and
+    /// `−(Σγx)µᵀ − µ(Σγx)ᵀ + (Σγ)µµᵀ` on the diagonal block.
+    pub fn finalize(&self, scatter: &mut BlockScatter, block: usize, mu_b: &[f64]) {
+        if !self.touched {
+            return;
+        }
+        scatter.add_outer(0, block, -1.0, &self.w_total, mu_b);
+        scatter.add_outer(block, 0, -1.0, mu_b, &self.w_total);
+        scatter.add_outer(block, block, -1.0, &self.gx, mu_b);
+        scatter.add_outer(block, block, -1.0, mu_b, &self.gx);
+        scatter.add_outer(block, block, self.gamma_total, mu_b, mu_b);
+    }
+}
+
+/// Sparse accumulator for a block's **diagonal** scatter contributions only —
+/// used for the fact block, whose per-tuple term
+/// `Σ_t γ_t (x_t−µ)(x_t−µ)ᵀ` decomposes exactly like the dimension diagonal:
+/// raw `x xᵀ` pair scatters per tuple, mean corrections once per pass.
+#[derive(Debug, Clone)]
+pub(crate) struct OneHotDiagAcc {
+    /// `Σ_t γ_t x_t` over the one-hot tuples.
+    gx: Vec<f64>,
+    /// `Σ_t γ_t`.
+    gamma_total: f64,
+    touched: bool,
+}
+
+impl OneHotDiagAcc {
+    /// Creates a zeroed accumulator for a block of width `d_b`.
+    pub fn new(d_b: usize) -> Self {
+        Self {
+            gx: vec![0.0; d_b],
+            gamma_total: 0.0,
+            touched: false,
+        }
+    }
+
+    /// Records one one-hot tuple with weight `gamma`: scatters the raw
+    /// `γ·x xᵀ` into block `(block, block)` and accumulates the corrections.
+    pub fn record(&mut self, scatter: &mut BlockScatter, block: usize, gamma: f64, idx: &[u32]) {
+        scatter.add_outer_rep(
+            block,
+            block,
+            gamma,
+            BlockVec::OneHot(idx),
+            BlockVec::OneHot(idx),
+        );
+        sparse::axpy_onehot(gamma, idx, &mut self.gx);
+        self.gamma_total += gamma;
+        self.touched = true;
+    }
+
+    /// Merges another accumulator (parallel chunk partials, chunk order).
+    pub fn merge_from(&mut self, other: &OneHotDiagAcc) {
+        if !other.touched {
+            return;
+        }
+        vector::axpy(1.0, &other.gx, &mut self.gx);
+        self.gamma_total += other.gamma_total;
+        self.touched = true;
+    }
+
+    /// Applies `−(Σγx)µᵀ − µ(Σγx)ᵀ + (Σγ)µµᵀ` on the diagonal block.
+    pub fn finalize(&self, scatter: &mut BlockScatter, block: usize, mu_b: &[f64]) {
+        if !self.touched {
+            return;
+        }
+        scatter.add_outer(block, block, -1.0, &self.gx, mu_b);
+        scatter.add_outer(block, block, -1.0, mu_b, &self.gx);
+        scatter.add_outer(block, block, self.gamma_total, mu_b, mu_b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_linalg::block::BlockPartition;
+    use fml_linalg::Matrix;
+
+    fn pseudo(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut rng = fml_linalg::testutil::TestRng::new(salt);
+        Matrix::from_vec(rows, cols, rng.vec_in(rows * cols, -1.0, 1.0))
+    }
+
+    fn densify(idx: &[u32], width: usize) -> Vec<f64> {
+        let mut v = vec![0.0; width];
+        for &i in idx {
+            v[i as usize] = 1.0;
+        }
+        v
+    }
+
+    #[test]
+    fn onehot_decomposition_matches_dense_centered_terms() {
+        let (d_s, d_r) = (3usize, 7usize);
+        let p = BlockPartition::binary(d_s, d_r);
+        // symmetrize like a covariance inverse
+        let raw = pseudo(d_s + d_r, d_s + d_r, 1);
+        let mut a = raw.clone();
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                a[(i, j)] = 0.5 * (raw[(i, j)] + raw[(j, i)]);
+            }
+        }
+        let form = BlockQuadraticForm::new_with(p, &a, KernelPolicy::Naive);
+        let mu: Vec<f64> = fml_linalg::testutil::TestRng::new(2).vec_in(d_r, -0.5, 0.5);
+        let pre = OneHotFormPre::build(&form, 1, &mu, KernelPolicy::Naive);
+
+        let idx = [1u32, 4, 6];
+        let x = densify(&idx, d_r);
+        let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
+
+        // diagonal quadratic term
+        let dense = form.term(1, 1, &pd, &pd);
+        let sparse_val = pre.diag_term(&form, 1, &idx);
+        assert!(
+            (dense - sparse_val).abs() < 1e-12,
+            "{dense} vs {sparse_val}"
+        );
+
+        // fact-side cross vector
+        let mut w_dense = gemm::matvec_with(KernelPolicy::Naive, form.block(0, 1), &pd);
+        let w2 = gemm::matvec_transposed_with(KernelPolicy::Naive, form.block(1, 0), &pd);
+        vector::axpy(1.0, &w2, &mut w_dense);
+        let w_sparse = pre.cross_vector(&form, 1, &idx, KernelPolicy::Naive);
+        for (a, b) in w_dense.iter().zip(w_sparse.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scatter_acc_matches_dense_centered_outer_products() {
+        let (d_s, d_r) = (2usize, 5usize);
+        let p = BlockPartition::binary(d_s, d_r);
+        let mu: Vec<f64> = fml_linalg::testutil::TestRng::new(7).vec_in(d_r, -0.5, 0.5);
+        let groups: Vec<(f64, Vec<f64>, Vec<u32>)> = vec![
+            (0.8, vec![0.3, -0.2], vec![0, 3]),
+            (1.7, vec![-1.0, 0.4], vec![2, 4]),
+            (0.0, vec![0.5, 0.5], vec![1, 3]),
+        ];
+
+        let mut dense = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
+        for (g, w, idx) in &groups {
+            let x = densify(idx, d_r);
+            let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
+            dense.add_outer(0, 1, 1.0, w, &pd);
+            dense.add_outer(1, 0, 1.0, &pd, w);
+            dense.add_outer(1, 1, *g, &pd, &pd);
+        }
+
+        let mut sparse_sc = BlockScatter::new_with(p, KernelPolicy::Naive);
+        let mut acc = OneHotScatterAcc::new(d_s, d_r);
+        for (g, w, idx) in &groups {
+            acc.record(&mut sparse_sc, 1, *g, w, idx);
+        }
+        acc.finalize(&mut sparse_sc, 1, &mu);
+
+        let diff = dense.matrix().max_abs_diff(sparse_sc.matrix());
+        assert!(diff < 1e-12, "scatter decomposition diverged: {diff}");
+    }
+
+    #[test]
+    fn scatter_acc_merge_preserves_totals() {
+        let (d_s, d_r) = (1usize, 3usize);
+        let p = BlockPartition::binary(d_s, d_r);
+        let mu = vec![0.1, 0.2, 0.3];
+
+        let mut whole_sc = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
+        let mut whole = OneHotScatterAcc::new(d_s, d_r);
+        whole.record(&mut whole_sc, 1, 0.5, &[1.0], &[0]);
+        whole.record(&mut whole_sc, 1, 1.5, &[-2.0], &[2]);
+        whole.finalize(&mut whole_sc, 1, &mu);
+
+        let mut sc_a = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
+        let mut a = OneHotScatterAcc::new(d_s, d_r);
+        a.record(&mut sc_a, 1, 0.5, &[1.0], &[0]);
+        let mut sc_b = BlockScatter::new_with(p, KernelPolicy::Naive);
+        let mut b = OneHotScatterAcc::new(d_s, d_r);
+        b.record(&mut sc_b, 1, 1.5, &[-2.0], &[2]);
+        sc_a.merge_from(&sc_b);
+        a.merge_from(&b);
+        a.finalize(&mut sc_a, 1, &mu);
+
+        assert!(whole_sc.matrix().max_abs_diff(sc_a.matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn fact_block_decomposition_matches_dense_centered_terms() {
+        let (d_s, d_r) = (5usize, 3usize);
+        let p = BlockPartition::binary(d_s, d_r);
+        let raw = pseudo(d_s + d_r, d_s + d_r, 9);
+        let mut a = raw.clone();
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                a[(i, j)] = 0.5 * (raw[(i, j)] + raw[(j, i)]);
+            }
+        }
+        let form = BlockQuadraticForm::new_with(p.clone(), &a, KernelPolicy::Naive);
+        let mu: Vec<f64> = fml_linalg::testutil::TestRng::new(10).vec_in(d_s, -0.5, 0.5);
+        let pre = OneHotFormPre::build_diag(&form, 0, &mu, KernelPolicy::Naive);
+
+        let tuples: Vec<(f64, Vec<u32>)> =
+            vec![(0.4, vec![0, 3]), (1.1, vec![2, 4]), (0.7, vec![1, 3])];
+
+        // E-step diagonal term per tuple
+        for (_, idx) in &tuples {
+            let x = densify(idx, d_s);
+            let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
+            let dense = form.term(0, 0, &pd, &pd);
+            let sparse_val = pre.diag_term(&form, 0, idx);
+            assert!(
+                (dense - sparse_val).abs() < 1e-12,
+                "{dense} vs {sparse_val}"
+            );
+        }
+
+        // M-step diagonal scatter with deferred corrections
+        let mut dense_sc = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
+        for (g, idx) in &tuples {
+            let x = densify(idx, d_s);
+            let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
+            dense_sc.add_outer(0, 0, *g, &pd, &pd);
+        }
+        let mut sparse_sc = BlockScatter::new_with(p, KernelPolicy::Naive);
+        let mut acc = OneHotDiagAcc::new(d_s);
+        for (g, idx) in &tuples {
+            acc.record(&mut sparse_sc, 0, *g, idx);
+        }
+        acc.finalize(&mut sparse_sc, 0, &mu);
+        let diff = dense_sc.matrix().max_abs_diff(sparse_sc.matrix());
+        assert!(diff < 1e-12, "fact diagonal decomposition diverged: {diff}");
+    }
+
+    #[test]
+    fn untouched_acc_finalize_is_a_noop() {
+        let p = BlockPartition::binary(1, 2);
+        let mut sc = BlockScatter::new_with(p, KernelPolicy::Naive);
+        let acc = OneHotScatterAcc::new(1, 2);
+        acc.finalize(&mut sc, 1, &[5.0, 5.0]);
+        assert_eq!(sc.matrix().frobenius_norm(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests for the one-hot sparse path of the factorized GMM
+//! trainers: the emulated categorical datasets must engage it **by default**
+//! ([`SparseMode::Auto`]), execute their dimension-side accumulation through
+//! the one-hot kernels (verified via the process-global kernel counter), and
+//! learn the same model as the forced-dense baseline up to the rounding
+//! tolerance of the mean decomposition.
+//!
+//! The kernel-invocation counter is process-global and this binary's tests run
+//! concurrently, so **every** test in this binary serializes on `LOCK` — a
+//! training run in another thread would otherwise bump the counter between a
+//! delta test's before/after reads.
+
+use fml_data::multiway::{DimSpec, MultiwayConfig};
+use fml_data::EmulatedDataset;
+use fml_gmm::{FactorizedGmm, GmmConfig};
+use fml_linalg::sparse::{onehot_indices, onehot_kernel_calls, SparseMode};
+use fml_linalg::KernelPolicy;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn walmart_sparse() -> fml_data::Workload {
+    EmulatedDataset::WalmartSparse
+        .generate(0.001, 11)
+        .expect("generate WalmartSparse")
+}
+
+fn config() -> GmmConfig {
+    GmmConfig {
+        k: 2,
+        max_iters: 2,
+        ..GmmConfig::default()
+    }
+}
+
+#[test]
+fn categorical_dataset_hits_sparse_path_by_default_and_matches_dense() {
+    let _guard = LOCK.lock().unwrap();
+    let w = walmart_sparse();
+
+    // Forced dense: the baseline, and it must never touch a one-hot kernel.
+    let before_dense = onehot_kernel_calls();
+    let dense = FactorizedGmm::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense))
+        .expect("dense training");
+    assert_eq!(
+        onehot_kernel_calls(),
+        before_dense,
+        "SparseMode::Dense must not invoke one-hot kernels"
+    );
+
+    // Default (Auto): the one-hot dimension blocks must go through the sparse
+    // kernels — the default config needs no opt-in.
+    assert_eq!(config().sparse, SparseMode::Auto);
+    let before_auto = onehot_kernel_calls();
+    let auto = FactorizedGmm::train(&w.db, &w.spec, &config()).expect("auto training");
+    assert!(
+        onehot_kernel_calls() > before_auto,
+        "Auto mode must route the categorical blocks through the one-hot kernels"
+    );
+
+    // Same model up to the rounding of the mean decomposition.
+    let diff = dense.model.max_param_diff(&auto.model);
+    assert!(diff < 1e-6, "sparse vs dense model diff {diff}");
+    for (a, b) in dense.log_likelihood.iter().zip(auto.log_likelihood.iter()) {
+        assert!(
+            (a - b).abs() / a.abs().max(1.0) < 1e-8,
+            "log-likelihood diverged: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn every_categorical_dimension_tuple_is_detected() {
+    let _guard = LOCK.lock().unwrap();
+    let w = walmart_sparse();
+    let spec = w.onehot[1].clone().expect("dimension block is one-hot");
+    let rel = w.spec.dimension_relations(&w.db).unwrap()[0].clone();
+    let tuples = fml_store::batch::scan_all(&rel, 32).unwrap();
+    assert!(!tuples.is_empty());
+    for t in &tuples {
+        let idx = onehot_indices(&t.features)
+            .expect("every emulated categorical tuple must auto-detect as one-hot");
+        assert_eq!(idx.len(), spec.num_columns());
+    }
+}
+
+/// Small star schema with one categorical dimension — cheap enough to train
+/// repeatedly in debug builds.
+fn categorical_multiway() -> fml_data::Workload {
+    MultiwayConfig {
+        n_s: 400,
+        d_s: 2,
+        dims: vec![DimSpec::categorical(12, 9), DimSpec::new(6, 4)],
+        k: 2,
+        noise_std: 0.6,
+        with_target: false,
+        seed: 19,
+    }
+    .generate()
+    .unwrap()
+}
+
+#[test]
+fn multiway_categorical_auto_matches_dense() {
+    let _guard = LOCK.lock().unwrap();
+    let w = categorical_multiway();
+    let dense =
+        FactorizedGmm::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense)).unwrap();
+    let auto = FactorizedGmm::train(&w.db, &w.spec, &config()).unwrap();
+    let diff = dense.model.max_param_diff(&auto.model);
+    assert!(diff < 1e-6, "multiway sparse vs dense diff {diff}");
+}
+
+#[test]
+fn sparse_path_is_stable_across_kernel_policies() {
+    let _guard = LOCK.lock().unwrap();
+    let w = categorical_multiway();
+    let reference =
+        FactorizedGmm::train(&w.db, &w.spec, &config().policy(KernelPolicy::Naive)).unwrap();
+    for p in [KernelPolicy::Blocked, KernelPolicy::BlockedParallel] {
+        let fit = FactorizedGmm::train(&w.db, &w.spec, &config().policy(p)).unwrap();
+        let diff = reference.model.max_param_diff(&fit.model);
+        assert!(diff < 1e-6, "{p}: sparse-path policy diff {diff}");
+    }
+}

@@ -19,6 +19,7 @@
 use crate::gemm;
 use crate::matrix::Matrix;
 use crate::policy::KernelPolicy;
+use crate::sparse::{self, BlockVec};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -175,6 +176,32 @@ impl BlockQuadraticForm {
         gemm::quadratic_form_with(self.policy, pd_i, &self.blocks[i][j], pd_j)
     }
 
+    /// [`term`](Self::term) dispatching on the block representation: one-hot
+    /// sides degenerate into row/column gathers of `A_{ij}`
+    /// ([`sparse::quadratic_form_onehot`] and friends), dense/dense falls back
+    /// to the dense kernel.  One-hot inputs reproduce the dense naive result
+    /// bit-for-bit (see [`crate::sparse`]).
+    pub fn term_rep(&self, i: usize, j: usize, u: BlockVec<'_>, v: BlockVec<'_>) -> f64 {
+        let a = &self.blocks[i][j];
+        match (u, v) {
+            (BlockVec::Dense(u), BlockVec::Dense(v)) => {
+                gemm::quadratic_form_with(self.policy, u, a, v)
+            }
+            (BlockVec::OneHot(idx), BlockVec::Dense(v)) => {
+                sparse::quadratic_form_onehot_with(self.policy, idx, a, v)
+            }
+            (BlockVec::Dense(u), BlockVec::OneHot(idx)) => {
+                // uᵀ A e_idx = u · (A·e_idx): gather-sum the selected columns,
+                // then one dense dot.
+                let w = sparse::matvec_onehot_with(self.policy, a, idx);
+                crate::vector::dot(u, &w)
+            }
+            (BlockVec::OneHot(ridx), BlockVec::OneHot(cidx)) => {
+                sparse::quadratic_form_onehot_pair(ridx, a, cidx)
+            }
+        }
+    }
+
     /// Pre-multiplies block `(i, j)` with `pd_j`: returns `A_{ij} · pd_j`.
     ///
     /// The factorized E-step caches, per distinct `R` tuple, the vector
@@ -277,13 +304,67 @@ impl BlockScatter {
         let c0 = self.partition.offset(j);
         // Branch-free tile update: one scaled AXPY per tile row.  The centered
         // vectors this receives are dense, so per-element zero tests cost more
-        // than they save; `gemm::ger_sparse` exists for genuinely sparse
-        // (one-hot) inputs but is not wired into any trainer yet.
+        // than they save; one-hot blocks go through `add_outer_rep`, which
+        // scatters only the active rows/columns.
         for (bi, &ui) in u.iter().enumerate() {
             let row = &mut self.acc.row_mut(r0 + bi)[c0..c0 + v.len()];
             let s = alpha * ui;
             for (dst, &vj) in row.iter_mut().zip(v.iter()) {
                 *dst += s * vj;
+            }
+        }
+    }
+
+    /// [`add_outer`](Self::add_outer) dispatching on the block representation.
+    ///
+    /// One-hot sides turn the rank-1 update into a row scatter
+    /// ([`sparse::ger_onehot`]-style), a column scatter, or — when both sides
+    /// are one-hot — `nnz_u × nnz_v` scalar adds ([`sparse::scatter_onehot_pair`]).
+    /// One-hot inputs reproduce the dense update bit-for-bit.
+    pub fn add_outer_rep(
+        &mut self,
+        i: usize,
+        j: usize,
+        alpha: f64,
+        u: BlockVec<'_>,
+        v: BlockVec<'_>,
+    ) {
+        let r0 = self.partition.offset(i);
+        let c0 = self.partition.offset(j);
+        let (di, dj) = (self.partition.size(i), self.partition.size(j));
+        match (u, v) {
+            (BlockVec::Dense(u), BlockVec::Dense(v)) => self.add_outer(i, j, alpha, u, v),
+            (BlockVec::OneHot(idx), BlockVec::Dense(v)) => {
+                assert_eq!(v.len(), dj, "add_outer_rep: bad v length");
+                sparse::check_block_indices(idx, di, "add_outer_rep u");
+                sparse::record_onehot_call();
+                for &bi in idx {
+                    let row = &mut self.acc.row_mut(r0 + bi as usize)[c0..c0 + dj];
+                    crate::vector::axpy(alpha, v, row);
+                }
+            }
+            (BlockVec::Dense(u), BlockVec::OneHot(idx)) => {
+                assert_eq!(u.len(), di, "add_outer_rep: bad u length");
+                sparse::check_block_indices(idx, dj, "add_outer_rep v");
+                sparse::record_onehot_call();
+                for (bi, &ui) in u.iter().enumerate() {
+                    let row = self.acc.row_mut(r0 + bi);
+                    let s = alpha * ui;
+                    for &bj in idx {
+                        row[c0 + bj as usize] += s;
+                    }
+                }
+            }
+            (BlockVec::OneHot(ridx), BlockVec::OneHot(cidx)) => {
+                sparse::check_block_indices(ridx, di, "add_outer_rep u");
+                sparse::check_block_indices(cidx, dj, "add_outer_rep v");
+                sparse::record_onehot_call();
+                for &bi in ridx {
+                    let row = self.acc.row_mut(r0 + bi as usize);
+                    for &bj in cidx {
+                        row[c0 + bj as usize] += alpha;
+                    }
+                }
             }
         }
     }
@@ -467,6 +548,80 @@ mod tests {
         assert_eq!(m[(0, 1)], 3.0);
         assert_eq!(m[(0, 2)], 4.0);
         assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn term_rep_matches_dense_term_for_every_representation_mix() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5, 0.2],
+            vec![1.0, 3.0, 0.1, 0.4],
+            vec![0.5, 0.1, 2.0, 0.3],
+            vec![0.2, 0.4, 0.3, 5.0],
+        ]);
+        let p = BlockPartition::binary(2, 2);
+        let q = BlockQuadraticForm::new_with(p, &m, KernelPolicy::Naive);
+        let idx = [1u32];
+        let onehot = [0.0, 1.0];
+        let dense = [0.3, -0.8];
+        // one-hot left
+        assert_eq!(
+            q.term_rep(1, 0, BlockVec::OneHot(&idx), BlockVec::Dense(&dense)),
+            q.term(1, 0, &onehot, &dense)
+        );
+        // one-hot right
+        let direct = q.term(0, 1, &dense, &onehot);
+        let rep = q.term_rep(0, 1, BlockVec::Dense(&dense), BlockVec::OneHot(&idx));
+        assert!((direct - rep).abs() < 1e-15);
+        // one-hot both: Σ A[i][j] over the selected entries
+        assert_eq!(
+            q.term_rep(1, 1, BlockVec::OneHot(&idx), BlockVec::OneHot(&idx)),
+            m[(3, 3)]
+        );
+        // dense/dense falls through to term()
+        assert_eq!(
+            q.term_rep(0, 0, BlockVec::Dense(&dense), BlockVec::Dense(&dense)),
+            q.term(0, 0, &dense, &dense)
+        );
+    }
+
+    #[test]
+    fn add_outer_rep_matches_dense_add_outer() {
+        let p = BlockPartition::binary(2, 3);
+        let idx = [0u32, 2];
+        let onehot = [1.0, 0.0, 1.0];
+        let u = [0.7, -1.2];
+        for (i, j, urep, vrep, udense, vdense) in [
+            (
+                0usize,
+                1usize,
+                BlockVec::Dense(&u[..]),
+                BlockVec::OneHot(&idx[..]),
+                &u[..],
+                &onehot[..],
+            ),
+            (
+                1,
+                0,
+                BlockVec::OneHot(&idx[..]),
+                BlockVec::Dense(&u[..]),
+                &onehot[..],
+                &u[..],
+            ),
+            (
+                1,
+                1,
+                BlockVec::OneHot(&idx[..]),
+                BlockVec::OneHot(&idx[..]),
+                &onehot[..],
+                &onehot[..],
+            ),
+        ] {
+            let mut dense = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
+            dense.add_outer(i, j, 0.9, udense, vdense);
+            let mut rep = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
+            rep.add_outer_rep(i, j, 0.9, urep, vrep);
+            assert_eq!(dense.matrix(), rep.matrix(), "block ({i},{j})");
+        }
     }
 
     #[test]

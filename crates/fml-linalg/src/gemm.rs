@@ -136,10 +136,20 @@ fn naive_matmul_acc(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 /// `C += A · B` skipping zero entries of `A` — profitable only when `A`'s rows
 /// are sparse (e.g. one-hot encoded categorical blocks), where most `aik` skip
 /// the whole inner loop.  Dense inputs should use [`matmul_acc`]: the per-entry
-/// branch costs more than it saves.  This variant preserves the seed kernel's
-/// zero-skip for future sparse callers; no trainer routes through it yet (the
-/// one-hot emulated datasets still use the dense path — see the ROADMAP item).
+/// branch costs more than it saves.  Runs under the default policy; purely
+/// one-hot blocks should prefer [`crate::sparse::spmm_onehot`], which skips the
+/// per-entry scan entirely.
 pub fn matmul_acc_sparse(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    matmul_acc_sparse_with(policy::default_policy(), a, b, c);
+}
+
+/// [`matmul_acc_sparse`] under an explicit policy.
+///
+/// All policies run the same zero-skipping row loop (the skip *is* the
+/// optimization — cache tiling would re-densify the traversal); the parallel
+/// policy fans the disjoint output rows over [`policy::par_row_bands`] with the
+/// same per-row arithmetic, so every policy produces identical bits.
+pub fn matmul_acc_sparse_with(policy: KernelPolicy, a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -155,20 +165,27 @@ pub fn matmul_acc_sparse(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         b.cols(),
         "matmul_acc_sparse: output cols mismatch"
     );
-    let n = b.cols();
-    for i in 0..a.rows() {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (k, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = b.row(k);
-            for j in 0..n {
-                crow[j] += aik * brow[j];
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // The flop estimate assumes dense inputs; genuinely sparse inputs do less
+    // work per row, which only makes staying inline more attractive.
+    let parallel = policy.is_parallel() && 2 * m * n * k >= PAR_MIN_FLOPS;
+    policy::par_row_bands(parallel, c.as_mut_slice(), n, 1, |first_row, band| {
+        for (i, crow) in band.chunks_exact_mut(n).enumerate() {
+            let arow = a.row(first_row + i);
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(kk);
+                for (dst, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *dst += aik * bv;
+                }
             }
         }
-    }
+    });
 }
 
 /// Packs the `KC×NR` panel of `B` starting at `(kc, j0)` into k-major order.
@@ -470,16 +487,32 @@ pub fn ger_with(policy: KernelPolicy, alpha: f64, x: &[f64], y: &[f64], a: &mut 
 
 /// Rank-1 update skipping zero entries of `x` — for sparse/one-hot `x` (e.g.
 /// one-hot categorical feature blocks), where the skip avoids whole-row AXPYs.
-/// Dense callers should use [`ger`].
+/// Dense callers should use [`ger`]; callers that already hold index form
+/// should use [`crate::sparse::ger_onehot`].  Runs under the default policy.
 pub fn ger_sparse(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
+    ger_sparse_with(policy::default_policy(), alpha, x, y, a);
+}
+
+/// [`ger_sparse`] under an explicit policy: the zero-skipping row loop, with
+/// the parallel policy fanning the disjoint output rows over
+/// [`policy::par_row_bands`].  Identical bits under every policy.
+pub fn ger_sparse_with(policy: KernelPolicy, alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
     assert_eq!(a.rows(), x.len(), "ger_sparse: row dimension mismatch");
     assert_eq!(a.cols(), y.len(), "ger_sparse: col dimension mismatch");
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
-        }
-        vector::axpy(alpha * xi, y, a.row_mut(i));
+    let cols = a.cols();
+    if x.is_empty() || cols == 0 {
+        return;
     }
+    let parallel = policy.is_parallel() && 2 * x.len() * cols >= PAR_MIN_FLOPS;
+    policy::par_row_bands(parallel, a.as_mut_slice(), cols, 1, |first_row, band| {
+        for (i, row) in band.chunks_exact_mut(cols).enumerate() {
+            let xi = x[first_row + i];
+            if xi == 0.0 {
+                continue;
+            }
+            vector::axpy(alpha * xi, y, row);
+        }
+    });
 }
 
 /// Outer product `x yᵀ` as a fresh matrix.
@@ -667,9 +700,35 @@ mod tests {
         let b = pseudo(9, 5, 7);
         let mut dense = Matrix::zeros(6, 5);
         matmul_acc_with(KernelPolicy::Naive, &a, &b, &mut dense);
-        let mut sparse = Matrix::zeros(6, 5);
-        matmul_acc_sparse(&a, &b, &mut sparse);
-        assert_eq!(dense, sparse);
+        for p in KernelPolicy::ALL {
+            let mut sparse = Matrix::zeros(6, 5);
+            matmul_acc_sparse_with(p, &a, &b, &mut sparse);
+            assert_eq!(dense, sparse, "{p}");
+        }
+    }
+
+    #[test]
+    fn sparse_matmul_banded_execution_is_bit_identical() {
+        // Force a real band split so the policy-routing path is exercised even
+        // below the parallel work threshold.
+        let a = pseudo(13, 9, 21);
+        let b = pseudo(9, 6, 22);
+        let mut single = Matrix::zeros(13, 6);
+        matmul_acc_sparse_with(KernelPolicy::Naive, &a, &b, &mut single);
+        let mut banded = Matrix::zeros(13, 6);
+        policy::par_row_bands_with_threads(4, banded.as_mut_slice(), 6, 1, |first_row, band| {
+            for (i, crow) in band.chunks_exact_mut(6).enumerate() {
+                for (kk, &aik) in a.row(first_row + i).iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    for (dst, &bv) in crow.iter_mut().zip(b.row(kk).iter()) {
+                        *dst += aik * bv;
+                    }
+                }
+            }
+        });
+        assert_eq!(single, banded);
     }
 
     #[test]
@@ -702,10 +761,12 @@ mod tests {
             assert_eq!(a.row(1), &[12.0, 16.0, 20.0], "{p}");
         }
 
-        let mut s = Matrix::zeros(2, 3);
-        ger_sparse(2.0, &[0.0, 2.0], &y, &mut s);
-        assert_eq!(s.row(0), &[0.0, 0.0, 0.0]);
-        assert_eq!(s.row(1), &[12.0, 16.0, 20.0]);
+        for p in KernelPolicy::ALL {
+            let mut s = Matrix::zeros(2, 3);
+            ger_sparse_with(p, 2.0, &[0.0, 2.0], &y, &mut s);
+            assert_eq!(s.row(0), &[0.0, 0.0, 0.0], "{p}");
+            assert_eq!(s.row(1), &[12.0, 16.0, 20.0], "{p}");
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   paper: partition a feature vector / covariance matrix along relation
 //!   boundaries `[d_S, d_{R_1}, …, d_{R_q}]` and evaluate quadratic forms and
 //!   scatter matrices block-by-block (Equations 7–24 of the paper).
+//! * [`sparse`] — one-hot kernels for categorical feature blocks: gathers,
+//!   scatter-adds and quadratic forms over active-index sets ([`BlockVec`]),
+//!   bit-identical to the dense naive reference under every policy.
 //! * [`sym`] — helpers for symmetric matrices (regularization, SPD checks).
 //!
 //! ## Kernel policies
@@ -52,6 +55,7 @@ pub mod cholesky;
 pub mod gemm;
 pub mod matrix;
 pub mod policy;
+pub mod sparse;
 pub mod sym;
 #[doc(hidden)]
 pub mod testutil;
@@ -61,6 +65,7 @@ pub use block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 pub use cholesky::Cholesky;
 pub use matrix::Matrix;
 pub use policy::KernelPolicy;
+pub use sparse::{BlockVec, SparseMode};
 pub use vector::Vector;
 
 /// Absolute tolerance used by the crate's own tests when comparing two floating

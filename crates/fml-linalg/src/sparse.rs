@@ -1,0 +1,608 @@
+//! One-hot / sparse kernels for categorical feature blocks.
+//!
+//! The paper's "Sparse" workloads one-hot encode categorical attributes, so a
+//! width-`d` feature block carries only `s ≪ d` nonzeros per row — and every
+//! nonzero is exactly `1.0`.  The kernels here exploit that structure directly:
+//! a one-hot row is represented as its sorted **active column indices**
+//! (`&[u32]`), and every dense multiply against such a row degenerates into a
+//! gather (read the selected rows/columns) or a scatter-add (write the selected
+//! rows/columns).  No multiplications are performed at all.
+//!
+//! ## Exactness contract
+//!
+//! Each kernel accumulates in **ascending index order**, which is exactly the
+//! order in which the naive dense kernels visit the same nonzero terms.
+//! Because the nonzero values are `1.0` (`1.0 * b == b` bitwise) and skipped
+//! terms contribute an exact `±0.0`, every kernel in this module reproduces the
+//! dense [`KernelPolicy::Naive`] reference **bit-for-bit** on one-hot inputs
+//! (the property tests in `tests/proptests.rs` assert this).  The `_with`
+//! variants accept a policy for API uniformity with [`crate::gemm`]; the
+//! parallel policy only splits **output-disjoint** row bands (via
+//! [`crate::policy::par_row_bands`]), which cannot change any output bit, and
+//! scalar reductions are far too small (`s²` terms) to be worth fanning out, so
+//! the bit-exactness guarantee holds under *every* policy — a stronger contract
+//! than the dense kernels offer.
+//!
+//! ## Representation helpers
+//!
+//! [`onehot_indices`] recognizes a dense slice that is secretly one-hot (all
+//! entries `0.0`/`1.0`, occupancy ≤ ½) and returns its index form; the trainers
+//! use it to engage the sparse path automatically ([`SparseMode::Auto`]).
+//! [`BlockVec`] is the typed per-block view (`Dense` slice vs `OneHot`
+//! indices) that [`crate::block::BlockScatter`] and
+//! [`crate::block::BlockQuadraticForm`] dispatch on.
+
+use crate::matrix::Matrix;
+use crate::policy::{self, KernelPolicy};
+use crate::vector;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a trainer decides between the dense and one-hot kernel paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SparseMode {
+    /// Detect one-hot blocks at scan time ([`onehot_indices`]) and route them
+    /// through the kernels in this module.  The default.
+    #[default]
+    Auto,
+    /// Always use the dense kernels, even for one-hot blocks.  Used as the
+    /// comparison baseline by the equivalence tests and the bench sweeps.
+    Dense,
+}
+
+impl SparseMode {
+    /// Short lowercase label (`auto` / `dense`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SparseMode::Auto => "auto",
+            SparseMode::Dense => "dense",
+        }
+    }
+
+    /// The trainers' detection gate: [`onehot_indices`] under `Auto`, always
+    /// `None` under `Dense`.  Lives here so every factorized trainer shares
+    /// one detection policy.
+    pub fn detect(self, features: &[f64]) -> Option<Vec<u32>> {
+        match self {
+            SparseMode::Auto => onehot_indices(features),
+            SparseMode::Dense => None,
+        }
+    }
+}
+
+/// Total number of one-hot kernel invocations in this process (monotonic).
+///
+/// The trainer integration tests use the delta of this counter to prove that
+/// the sparse path actually engaged (or stayed silent under
+/// [`SparseMode::Dense`]).  Monotonic and process-global, so concurrent tests
+/// can only *increase* deltas — assertions should use `>=` / `== 0` patterns
+/// inside single-test binaries.
+static ONEHOT_KERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn count_call() {
+    ONEHOT_KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one one-hot kernel invocation performed outside this module (the
+/// block-dispatch methods in [`crate::block`] call this for their one-hot arms).
+#[inline]
+pub fn record_onehot_call() {
+    count_call();
+}
+
+/// Reads the process-global one-hot kernel invocation counter.
+pub fn onehot_kernel_calls() -> u64 {
+    ONEHOT_KERNEL_CALLS.load(Ordering::Relaxed)
+}
+
+/// Maximum occupancy (`nnz / width`) at which [`onehot_indices`] still reports
+/// a slice as one-hot.  Above half occupancy the dense kernels win on memory
+/// traffic, so detection declines even for genuinely 0/1-valued data.
+pub const MAX_AUTO_OCCUPANCY_NUM: usize = 1;
+/// Denominator of the auto-detection occupancy cutoff (`nnz/width ≤ 1/2`).
+pub const MAX_AUTO_OCCUPANCY_DEN: usize = 2;
+
+/// Returns the ascending active indices of `x` when it is a one-hot block
+/// worth treating sparsely: every entry exactly `0.0` or `1.0` and occupancy
+/// at most ½.  Empty slices qualify (zero indices).  Returns `None` for
+/// anything else — including 0/1 data that is too dense to profit.
+pub fn onehot_indices(x: &[f64]) -> Option<Vec<u32>> {
+    let mut idx = Vec::new();
+    for (i, &v) in x.iter().enumerate() {
+        if v == 1.0 {
+            idx.push(i as u32);
+        } else if v != 0.0 {
+            return None;
+        }
+    }
+    if idx.len() * MAX_AUTO_OCCUPANCY_DEN > x.len() * MAX_AUTO_OCCUPANCY_NUM {
+        return None;
+    }
+    Some(idx)
+}
+
+/// A per-relation block of one feature vector, in whichever representation the
+/// data actually has.  [`crate::block::BlockScatter::add_outer_rep`] and
+/// [`crate::block::BlockQuadraticForm::term_rep`] dispatch on this.
+#[derive(Debug, Clone, Copy)]
+pub enum BlockVec<'a> {
+    /// A dense slice of block width.
+    Dense(&'a [f64]),
+    /// Sorted active indices of a one-hot block (every active value is `1.0`).
+    OneHot(&'a [u32]),
+}
+
+impl<'a> BlockVec<'a> {
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            BlockVec::Dense(x) => x.iter().filter(|&&v| v != 0.0).count(),
+            BlockVec::OneHot(idx) => idx.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gathers (products that READ selected rows/columns)
+// ---------------------------------------------------------------------------
+
+/// `Σ_{i ∈ idx} v[i]` — the dot product `x · v` for one-hot `x`.
+///
+/// # Panics
+/// Panics when any index is out of range.
+#[inline]
+pub fn gather_sum(v: &[f64], idx: &[u32]) -> f64 {
+    count_call();
+    let mut acc = 0.0;
+    for &i in idx {
+        acc += v[i as usize];
+    }
+    acc
+}
+
+/// `y = A · x` for one-hot `x`: the sum of the columns of `A` selected by
+/// `idx`, under the default policy.
+pub fn matvec_onehot(a: &Matrix, idx: &[u32]) -> Vec<f64> {
+    matvec_onehot_with(policy::default_policy(), a, idx)
+}
+
+/// [`matvec_onehot`] under an explicit policy.
+pub fn matvec_onehot_with(policy: KernelPolicy, a: &Matrix, idx: &[u32]) -> Vec<f64> {
+    let mut y = vec![0.0; a.rows()];
+    matvec_onehot_acc_with(policy, a, idx, &mut y);
+    y
+}
+
+/// `y += A · x` for one-hot `x` (column gather-sum), under an explicit policy.
+///
+/// Row-major `A` is walked row by row; each output element accumulates its
+/// row's selected entries in ascending index order, matching the naive dense
+/// GEMV term order bit-for-bit.  The parallel policy splits the (disjoint)
+/// output rows into bands.
+pub fn matvec_onehot_acc_with(policy: KernelPolicy, a: &Matrix, idx: &[u32], y: &mut [f64]) {
+    assert_eq!(
+        a.rows(),
+        y.len(),
+        "matvec_onehot: output dimension mismatch"
+    );
+    check_indices(idx, a.cols(), "matvec_onehot");
+    count_call();
+    let rows = a.rows();
+    let par = policy.is_parallel() && rows * idx.len() >= PAR_MIN_OPS;
+    policy::par_row_bands(par, y, 1, 8, |first_row, band| {
+        for (i, yi) in band.iter_mut().enumerate() {
+            let row = a.row(first_row + i);
+            let mut acc = 0.0;
+            for &j in idx {
+                acc += row[j as usize];
+            }
+            *yi += acc;
+        }
+    });
+}
+
+/// `y = Aᵀ · x` for one-hot `x`: the sum of the **rows** of `A` selected by
+/// `idx`, under the default policy.
+pub fn matvec_transposed_onehot(a: &Matrix, idx: &[u32]) -> Vec<f64> {
+    matvec_transposed_onehot_with(policy::default_policy(), a, idx)
+}
+
+/// [`matvec_transposed_onehot`] under an explicit policy.
+///
+/// Rows are added front-to-back in index order (the same order as the naive
+/// dense transposed GEMV visits its nonzero terms); the reduction is `s` AXPYs
+/// and far below any useful parallel threshold, so every policy runs the same
+/// sequential loop.
+pub fn matvec_transposed_onehot_with(_policy: KernelPolicy, a: &Matrix, idx: &[u32]) -> Vec<f64> {
+    check_indices(idx, a.rows(), "matvec_transposed_onehot");
+    count_call();
+    let mut y = vec![0.0; a.cols()];
+    for &i in idx {
+        vector::axpy(1.0, a.row(i as usize), &mut y);
+    }
+    y
+}
+
+/// One-hot × dense product `C += X · B` where row `r` of `X` is one-hot with
+/// active indices `rows_idx[r·nnz .. (r+1)·nnz]`, under the default policy.
+pub fn spmm_onehot(rows_idx: &[u32], nnz_per_row: usize, b: &Matrix, c: &mut Matrix) {
+    spmm_onehot_with(policy::default_policy(), rows_idx, nnz_per_row, b, c);
+}
+
+/// [`spmm_onehot`] under an explicit policy: each output row of `C` gathers
+/// (sums) the rows of `B` its indices select — no multiplications at all.
+///
+/// Output rows are disjoint, so the parallel policy splits them into bands;
+/// banding cannot change any bit of the result.
+///
+/// # Panics
+/// Panics when `rows_idx.len()` is not a multiple of `nnz_per_row` (unless
+/// both are zero), when the implied row count disagrees with `c.rows()`, or
+/// when any index is out of range for `b.rows()`.
+pub fn spmm_onehot_with(
+    policy: KernelPolicy,
+    rows_idx: &[u32],
+    nnz_per_row: usize,
+    b: &Matrix,
+    c: &mut Matrix,
+) {
+    let m = c.rows();
+    if nnz_per_row == 0 {
+        assert!(rows_idx.is_empty(), "spmm_onehot: indices with zero nnz");
+        return;
+    }
+    assert_eq!(
+        rows_idx.len(),
+        m * nnz_per_row,
+        "spmm_onehot: expected {m} rows of {nnz_per_row} indices, got {} indices",
+        rows_idx.len()
+    );
+    check_indices(rows_idx, b.rows(), "spmm_onehot");
+    count_call();
+    let n = b.cols();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let par = policy.is_parallel() && m * nnz_per_row * n >= PAR_MIN_OPS;
+    policy::par_row_bands(par, c.as_mut_slice(), n, 8, |first_row, band| {
+        for (r, crow) in band.chunks_exact_mut(n).enumerate() {
+            let idx = &rows_idx[(first_row + r) * nnz_per_row..(first_row + r + 1) * nnz_per_row];
+            for &k in idx {
+                // Plain adds — the active values are 1.0, so no multiply at
+                // all (bit-identical to `+= 1.0 * b`, one vector op cheaper).
+                for (dst, &bv) in crow.iter_mut().zip(b.row(k as usize).iter()) {
+                    *dst += bv;
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Scatters (rank-1 updates that WRITE selected rows/columns)
+// ---------------------------------------------------------------------------
+
+/// `A += alpha · x yᵀ` for one-hot `x`: adds `alpha · y` to the rows of `A`
+/// selected by `idx`, under the default policy.
+pub fn ger_onehot(alpha: f64, idx: &[u32], y: &[f64], a: &mut Matrix) {
+    ger_onehot_with(policy::default_policy(), alpha, idx, y, a);
+}
+
+/// [`ger_onehot`] under an explicit policy.
+///
+/// Touches `s` rows where the dense GER touches all of them; the written rows
+/// are disjoint and visited in ascending order, so the result is bit-identical
+/// to the dense naive GER on the equivalent one-hot vector.  The row set is
+/// tiny, so every policy runs the same sequential loop.
+pub fn ger_onehot_with(_policy: KernelPolicy, alpha: f64, idx: &[u32], y: &[f64], a: &mut Matrix) {
+    assert_eq!(a.cols(), y.len(), "ger_onehot: col dimension mismatch");
+    check_indices(idx, a.rows(), "ger_onehot");
+    count_call();
+    for &i in idx {
+        vector::axpy(alpha, y, a.row_mut(i as usize));
+    }
+}
+
+/// `A += alpha · x yᵀ` for one-hot `y`: adds `alpha · x[i]` to the entries of
+/// row `i` at the columns selected by `idx`, under the default policy.
+pub fn ger_onehot_cols(alpha: f64, x: &[f64], idx: &[u32], a: &mut Matrix) {
+    ger_onehot_cols_with(policy::default_policy(), alpha, x, idx, a);
+}
+
+/// [`ger_onehot_cols`] under an explicit policy: the first-layer gradient
+/// scatter of the NN trainers (`∂E/∂W += δ · xᵀ` with one-hot `x`).
+///
+/// Output rows are disjoint; the parallel policy splits them into bands.
+pub fn ger_onehot_cols_with(
+    policy: KernelPolicy,
+    alpha: f64,
+    x: &[f64],
+    idx: &[u32],
+    a: &mut Matrix,
+) {
+    assert_eq!(a.rows(), x.len(), "ger_onehot_cols: row dimension mismatch");
+    check_indices(idx, a.cols(), "ger_onehot_cols");
+    count_call();
+    let cols = a.cols();
+    if cols == 0 || x.is_empty() {
+        return;
+    }
+    let par = policy.is_parallel() && x.len() * idx.len() >= PAR_MIN_OPS;
+    policy::par_row_bands(par, a.as_mut_slice(), cols, 8, |first_row, band| {
+        for (i, row) in band.chunks_exact_mut(cols).enumerate() {
+            let s = alpha * x[first_row + i];
+            for &j in idx {
+                row[j as usize] += s;
+            }
+        }
+    });
+}
+
+/// `A[i][j] += alpha` for every `(i, j) ∈ rows_idx × cols_idx` — the outer
+/// product of two one-hot vectors, scattered directly into the accumulator.
+pub fn scatter_onehot_pair(alpha: f64, rows_idx: &[u32], cols_idx: &[u32], a: &mut Matrix) {
+    check_indices(rows_idx, a.rows(), "scatter_onehot_pair rows");
+    check_indices(cols_idx, a.cols(), "scatter_onehot_pair cols");
+    count_call();
+    for &i in rows_idx {
+        let row = a.row_mut(i as usize);
+        for &j in cols_idx {
+            row[j as usize] += alpha;
+        }
+    }
+}
+
+/// `x[i] += alpha` for every `i ∈ idx` — AXPY with a one-hot right-hand side.
+pub fn axpy_onehot(alpha: f64, idx: &[u32], x: &mut [f64]) {
+    check_indices(idx, x.len(), "axpy_onehot");
+    count_call();
+    for &i in idx {
+        x[i as usize] += alpha;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quadratic forms
+// ---------------------------------------------------------------------------
+
+/// `xᵀ A y` for one-hot `x` and dense `y`: `Σ_{i ∈ idx} A.row(i) · y`, under
+/// the default policy.
+pub fn quadratic_form_onehot(idx: &[u32], a: &Matrix, y: &[f64]) -> f64 {
+    quadratic_form_onehot_with(policy::default_policy(), idx, a, y)
+}
+
+/// [`quadratic_form_onehot`] under an explicit policy.
+///
+/// The dense naive quadratic form already skips zero entries of `x` and sums
+/// `x_i · (A.row(i)·y)` in ascending `i`; with `x_i = 1.0` this loop is that
+/// computation verbatim, so the result is bit-identical.  `s` dot products are
+/// far below any parallel threshold, so every policy runs sequentially.
+pub fn quadratic_form_onehot_with(
+    _policy: KernelPolicy,
+    idx: &[u32],
+    a: &Matrix,
+    y: &[f64],
+) -> f64 {
+    assert_eq!(a.cols(), y.len(), "quadratic_form_onehot: col mismatch");
+    check_indices(idx, a.rows(), "quadratic_form_onehot");
+    count_call();
+    let mut acc = 0.0;
+    for &i in idx {
+        acc += vector::dot(a.row(i as usize), y);
+    }
+    acc
+}
+
+/// `xᵀ A y` for one-hot `x` **and** one-hot `y`:
+/// `Σ_{i ∈ rows} Σ_{j ∈ cols} A[i][j]` — `s²` loads, zero multiplications.
+pub fn quadratic_form_onehot_pair(rows_idx: &[u32], a: &Matrix, cols_idx: &[u32]) -> f64 {
+    check_indices(rows_idx, a.rows(), "quadratic_form_onehot_pair rows");
+    check_indices(cols_idx, a.cols(), "quadratic_form_onehot_pair cols");
+    count_call();
+    let mut acc = 0.0;
+    for &i in rows_idx {
+        let row = a.row(i as usize);
+        let mut row_acc = 0.0;
+        for &j in cols_idx {
+            row_acc += row[j as usize];
+        }
+        acc += row_acc;
+    }
+    acc
+}
+
+/// Work threshold below which the parallel policy stays on one thread (same
+/// role as `gemm::PAR_MIN_FLOPS`, scaled for gather/scatter memory ops).
+const PAR_MIN_OPS: usize = 1 << 18;
+
+#[inline]
+fn check_indices(idx: &[u32], bound: usize, what: &str) {
+    for &i in idx {
+        assert!(
+            (i as usize) < bound,
+            "{what}: index {i} out of range for width {bound}"
+        );
+    }
+}
+
+/// Bounds-checks a one-hot index set against a block width (shared with the
+/// block-dispatch methods in [`crate::block`]).
+///
+/// # Panics
+/// Panics when any index is `>= bound`.
+#[inline]
+pub fn check_block_indices(idx: &[u32], bound: usize, what: &str) {
+    check_indices(idx, bound, what);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm;
+
+    fn pseudo(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut rng = crate::testutil::TestRng::new(salt);
+        Matrix::from_vec(rows, cols, rng.vec_in(rows * cols, -1.0, 1.0))
+    }
+
+    /// Dense 0/1 vector from indices.
+    fn densify(idx: &[u32], width: usize) -> Vec<f64> {
+        let mut v = vec![0.0; width];
+        for &i in idx {
+            v[i as usize] = 1.0;
+        }
+        v
+    }
+
+    #[test]
+    fn detection_accepts_onehot_and_rejects_dense() {
+        assert_eq!(
+            onehot_indices(&[0.0, 1.0, 0.0, 0.0, 1.0, 0.0]),
+            Some(vec![1, 4])
+        );
+        assert_eq!(onehot_indices(&[]), Some(vec![]));
+        assert_eq!(onehot_indices(&[0.0, 0.0]), Some(vec![]));
+        // non-0/1 value
+        assert_eq!(onehot_indices(&[0.0, 0.5]), None);
+        // above half occupancy: correct but not profitable
+        assert_eq!(onehot_indices(&[1.0, 1.0, 1.0, 0.0]), None);
+        // exactly half occupancy still qualifies
+        assert_eq!(onehot_indices(&[1.0, 0.0, 1.0, 0.0]), Some(vec![0, 2]));
+        // cardinality-1 column alone is all ones
+        assert_eq!(onehot_indices(&[1.0]), None);
+    }
+
+    #[test]
+    fn gathers_match_dense_naive_bitwise() {
+        let a = pseudo(9, 7, 1);
+        let idx = [1u32, 4, 6];
+        let x = densify(&idx, 7);
+        let xr = densify(&idx[..2], 9);
+        for p in KernelPolicy::ALL {
+            // A·x: dense naive GEMV vs column gather
+            let dense = gemm::matvec_with(KernelPolicy::Naive, &a, &x);
+            assert_eq!(matvec_onehot_with(p, &a, &idx), dense, "{p}");
+            // Aᵀ·x: dense naive transposed GEMV vs row gather
+            let dense_t = gemm::matvec_transposed_with(KernelPolicy::Naive, &a, &xr);
+            assert_eq!(
+                matvec_transposed_onehot_with(p, &a, &[1, 4]),
+                dense_t,
+                "{p}"
+            );
+        }
+        assert_eq!(gather_sum(&[1.0, 2.0, 3.0], &[0, 2]), 4.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense_naive_bitwise() {
+        let b = pseudo(9, 5, 2);
+        let rows_idx: Vec<u32> = vec![0, 3, 1, 4, 2, 8, 0, 7];
+        let nnz = 2;
+        let m = rows_idx.len() / nnz;
+        let mut x = Matrix::zeros(m, 9);
+        for (r, pair) in rows_idx.chunks_exact(nnz).enumerate() {
+            for &j in pair {
+                x[(r, j as usize)] = 1.0;
+            }
+        }
+        let mut dense = Matrix::zeros(m, 5);
+        gemm::matmul_acc_with(KernelPolicy::Naive, &x, &b, &mut dense);
+        for p in KernelPolicy::ALL {
+            let mut c = Matrix::zeros(m, 5);
+            spmm_onehot_with(p, &rows_idx, nnz, &b, &mut c);
+            assert_eq!(c, dense, "{p}");
+        }
+    }
+
+    #[test]
+    fn scatters_match_dense_naive_bitwise() {
+        let y = crate::testutil::TestRng::new(3).vec_in(6, -1.0, 1.0);
+        let idx = [2u32, 5];
+        let x_rows = densify(&idx, 8);
+        for p in KernelPolicy::ALL {
+            let mut dense = pseudo(8, 6, 4);
+            let mut sparse = dense.clone();
+            gemm::ger_with(KernelPolicy::Naive, 0.7, &x_rows, &y, &mut dense);
+            ger_onehot_with(p, 0.7, &idx, &y, &mut sparse);
+            assert_eq!(dense, sparse, "{p}");
+        }
+        // column scatter: A += alpha x yᵀ with one-hot y
+        let x = crate::testutil::TestRng::new(5).vec_in(8, -1.0, 1.0);
+        let ycols = densify(&idx, 6);
+        for p in KernelPolicy::ALL {
+            let mut dense = pseudo(8, 6, 6);
+            let mut sparse = dense.clone();
+            gemm::ger_with(KernelPolicy::Naive, -1.3, &x, &ycols, &mut dense);
+            ger_onehot_cols_with(p, -1.3, &x, &idx, &mut sparse);
+            assert_eq!(dense, sparse, "{p}");
+        }
+    }
+
+    #[test]
+    fn pair_scatter_and_axpy() {
+        let mut a = Matrix::zeros(4, 4);
+        scatter_onehot_pair(0.5, &[1, 3], &[0, 2], &mut a);
+        assert_eq!(a[(1, 0)], 0.5);
+        assert_eq!(a[(3, 2)], 0.5);
+        assert_eq!(a[(0, 0)], 0.0);
+
+        let mut v = vec![1.0; 4];
+        axpy_onehot(2.0, &[0, 3], &mut v);
+        assert_eq!(v, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn quadratic_forms_match_dense_naive_bitwise() {
+        let a = pseudo(7, 7, 8);
+        let idx = [0u32, 2, 6];
+        let x = densify(&idx, 7);
+        let y = crate::testutil::TestRng::new(9).vec_in(7, -1.0, 1.0);
+        let dense = gemm::quadratic_form_with(KernelPolicy::Naive, &x, &a, &y);
+        for p in KernelPolicy::ALL {
+            assert_eq!(quadratic_form_onehot_with(p, &idx, &a, &y), dense, "{p}");
+        }
+        let jdx = [1u32, 5];
+        let yj = densify(&jdx, 7);
+        let dense_pair = gemm::quadratic_form_with(KernelPolicy::Naive, &x, &a, &yj);
+        let sparse_pair = quadratic_form_onehot_pair(&idx, &a, &jdx);
+        assert!((dense_pair - sparse_pair).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let a = pseudo(4, 4, 10);
+        assert_eq!(matvec_onehot(&a, &[]), vec![0.0; 4]);
+        assert_eq!(matvec_transposed_onehot(&a, &[]), vec![0.0; 4]);
+        assert_eq!(quadratic_form_onehot(&[], &a, &[0.0; 4]), 0.0);
+        let mut c = Matrix::zeros(0, 4);
+        spmm_onehot(&[], 2, &a, &mut c);
+        spmm_onehot(&[], 0, &a, &mut c);
+        let mut m = pseudo(4, 4, 11);
+        let before = m.clone();
+        ger_onehot(1.0, &[], &[0.0; 4], &mut m);
+        ger_onehot_cols(1.0, &[0.0; 4], &[], &mut m);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let a = Matrix::zeros(3, 3);
+        let _ = matvec_onehot(&a, &[3]);
+    }
+
+    #[test]
+    fn kernel_counter_is_monotonic() {
+        let before = onehot_kernel_calls();
+        let _ = gather_sum(&[1.0], &[0]);
+        assert!(onehot_kernel_calls() > before);
+    }
+
+    #[test]
+    fn sparse_mode_labels() {
+        assert_eq!(SparseMode::default(), SparseMode::Auto);
+        assert_eq!(SparseMode::Auto.label(), "auto");
+        assert_eq!(SparseMode::Dense.label(), "dense");
+    }
+}

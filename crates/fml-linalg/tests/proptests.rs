@@ -19,6 +19,7 @@
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 use fml_linalg::cholesky::Cholesky;
 use fml_linalg::policy::KernelPolicy;
+use fml_linalg::sparse::{self, BlockVec};
 use fml_linalg::{approx_eq, gemm, Matrix, TEST_EPS};
 
 struct Gen(fml_linalg::testutil::TestRng);
@@ -138,13 +139,258 @@ fn ger_policies_match_naive_across_shapes() {
             let diff = reference.max_abs_diff(&a);
             assert!(diff < TEST_EPS, "case {case} {p}: {m}x{n} diff {diff}");
         }
-        // the sparse variant must agree with the dense one on any input
-        let mut sparse = seed_a.clone();
-        gemm::ger_sparse(alpha, &x, &y, &mut sparse);
+        // the zero-skipping variant must agree with the dense one on any
+        // input, under every policy
+        for p in KernelPolicy::ALL {
+            let mut sparse_a = seed_a.clone();
+            gemm::ger_sparse_with(p, alpha, &x, &y, &mut sparse_a);
+            assert!(
+                reference.max_abs_diff(&sparse_a) < TEST_EPS,
+                "case {case} {p} sparse"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_skipping_matmul_matches_naive_across_policies() {
+    let mut g = Gen::new(10);
+    for (case, (m, k, n)) in awkward_shapes(&mut g).into_iter().enumerate() {
+        // mostly-zero A so the skip path actually fires
+        let mut a = Matrix::zeros(m, k);
+        for i in 0..m {
+            for j in 0..k {
+                if g.range(0, 4) == 0 {
+                    a[(i, j)] = g.f64();
+                }
+            }
+        }
+        let b = g.matrix(k, n);
+        let seed_c = g.matrix(m, n);
+        let mut reference = seed_c.clone();
+        gemm::matmul_acc_with(KernelPolicy::Naive, &a, &b, &mut reference);
+        for p in KernelPolicy::ALL {
+            let mut c = seed_c.clone();
+            gemm::matmul_acc_sparse_with(p, &a, &b, &mut c);
+            let diff = reference.max_abs_diff(&c);
+            assert!(
+                diff < TEST_EPS * (k as f64 + 1.0),
+                "case {case} {p}: {m}x{k}x{n} diff {diff}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-hot kernels: bit-exact against the dense naive oracle under EVERY policy
+// ---------------------------------------------------------------------------
+
+/// A randomized one-hot layout: per-column cardinalities of 1–4 (so
+/// cardinality-1 "always on" columns occur regularly), possibly zero columns
+/// (the empty block).
+fn onehot_layout(g: &mut Gen) -> Vec<usize> {
+    let columns = g.range(0, 5);
+    (0..columns).map(|_| g.range(1, 5)).collect()
+}
+
+/// Draws one row over a layout: one active absolute index per column.
+fn draw_onehot_row(g: &mut Gen, cards: &[usize]) -> Vec<u32> {
+    let mut idx = Vec::with_capacity(cards.len());
+    let mut offset = 0usize;
+    for &card in cards {
+        idx.push((offset + g.range(0, card)) as u32);
+        offset += card;
+    }
+    idx
+}
+
+/// `(encoded width, active indices)` of a fresh layout and row.
+fn onehot_row(g: &mut Gen) -> (usize, Vec<u32>) {
+    let cards = onehot_layout(g);
+    let width = cards.iter().sum();
+    (width, draw_onehot_row(g, &cards))
+}
+
+fn densify(idx: &[u32], width: usize) -> Vec<f64> {
+    let mut v = vec![0.0; width];
+    for &i in idx {
+        v[i as usize] = 1.0;
+    }
+    v
+}
+
+#[test]
+fn onehot_gathers_are_bit_exact_against_naive_dense() {
+    let mut g = Gen::new(11);
+    for case in 0..64 {
+        let (width, idx) = onehot_row(&mut g);
+        let x = densify(&idx, width);
+        let cols = g.range(1, 8);
+        let a = g.matrix(width, cols);
+        let at = a.transpose();
+        for p in KernelPolicy::ALL {
+            // Aᵀ·x (row gather) vs naive dense transposed GEMV
+            let dense_t = gemm::matvec_transposed_with(KernelPolicy::Naive, &a, &x);
+            assert_eq!(
+                sparse::matvec_transposed_onehot_with(p, &a, &idx),
+                dense_t,
+                "case {case} {p} transposed"
+            );
+            // A·x (column gather) vs naive dense GEMV
+            let dense = gemm::matvec_with(KernelPolicy::Naive, &at, &x);
+            assert_eq!(
+                sparse::matvec_onehot_with(p, &at, &idx),
+                dense,
+                "case {case} {p} gemv"
+            );
+        }
+    }
+}
+
+#[test]
+fn spmm_onehot_is_bit_exact_against_naive_dense_gemm() {
+    let mut g = Gen::new(12);
+    for case in 0..48 {
+        // A shared per-column layout (like a relation's one-hot schema): every
+        // row draws one fresh index per column sub-range.  Includes zero-row
+        // blocks; zero-column widths are skipped (no block to multiply).
+        let cards = onehot_layout(&mut g);
+        let width: usize = cards.iter().sum();
+        if width == 0 {
+            continue;
+        }
+        let nnz = cards.len();
+        let rows = g.range(0, 12);
+        let mut rows_idx = Vec::with_capacity(rows * nnz);
+        let mut x = Matrix::zeros(rows, width);
+        for r in 0..rows {
+            for j in draw_onehot_row(&mut g, &cards) {
+                rows_idx.push(j);
+                x[(r, j as usize)] = 1.0;
+            }
+        }
+        let n = g.range(1, 9);
+        let b = g.matrix(width, n);
+        let seed_c = g.matrix(rows, n);
+        let mut reference = seed_c.clone();
+        gemm::matmul_acc_with(KernelPolicy::Naive, &x, &b, &mut reference);
+        for p in KernelPolicy::ALL {
+            let mut c = seed_c.clone();
+            sparse::spmm_onehot_with(p, &rows_idx, nnz, &b, &mut c);
+            assert_eq!(c, reference, "case {case} {p}: {rows}x{width}x{n}");
+        }
+    }
+}
+
+#[test]
+fn onehot_scatters_are_bit_exact_against_naive_dense_ger() {
+    let mut g = Gen::new(13);
+    for case in 0..64 {
+        let (width, idx) = onehot_row(&mut g);
+        let other = g.range(1, 8);
+        let y = g.vec(other);
+        let alpha = g.f64();
+        // row scatter
+        let seed = g.matrix(width, other);
+        let x_rows = densify(&idx, width);
+        let mut reference = seed.clone();
+        gemm::ger_with(KernelPolicy::Naive, alpha, &x_rows, &y, &mut reference);
+        for p in KernelPolicy::ALL {
+            let mut a = seed.clone();
+            sparse::ger_onehot_with(p, alpha, &idx, &y, &mut a);
+            assert_eq!(a, reference, "case {case} {p} rows");
+        }
+        // column scatter
+        let seed = g.matrix(other, width);
+        let mut reference = seed.clone();
+        gemm::ger_with(KernelPolicy::Naive, alpha, &y, &x_rows, &mut reference);
+        for p in KernelPolicy::ALL {
+            let mut a = seed.clone();
+            sparse::ger_onehot_cols_with(p, alpha, &y, &idx, &mut a);
+            assert_eq!(a, reference, "case {case} {p} cols");
+        }
+    }
+}
+
+#[test]
+fn onehot_quadratic_forms_match_naive_dense() {
+    let mut g = Gen::new(14);
+    for case in 0..64 {
+        let (width, idx) = onehot_row(&mut g);
+        if width == 0 {
+            continue;
+        }
+        let x = densify(&idx, width);
+        let a = g.matrix(width, width);
+        let y = g.vec(width);
+        let dense = gemm::quadratic_form_with(KernelPolicy::Naive, &x, &a, &y);
+        for p in KernelPolicy::ALL {
+            assert_eq!(
+                sparse::quadratic_form_onehot_with(p, &idx, &a, &y),
+                dense,
+                "case {case} {p} one-hot left"
+            );
+        }
+        // both sides one-hot
+        let (_, jdx_raw) = onehot_row(&mut g);
+        let jdx: Vec<u32> = jdx_raw
+            .into_iter()
+            .filter(|&j| (j as usize) < width)
+            .collect();
+        let yj = densify(&jdx, width);
+        let dense_pair = gemm::quadratic_form_with(KernelPolicy::Naive, &x, &a, &yj);
+        let sparse_pair = sparse::quadratic_form_onehot_pair(&idx, &a, &jdx);
         assert!(
-            reference.max_abs_diff(&sparse) < TEST_EPS,
-            "case {case} sparse"
+            approx_eq(dense_pair, sparse_pair, 1e-12),
+            "case {case} pair: {dense_pair} vs {sparse_pair}"
         );
+    }
+}
+
+#[test]
+fn block_dispatch_matches_dense_blocks_for_onehot_representations() {
+    let mut g = Gen::new(15);
+    for case in 0..48 {
+        let d_s = g.range(1, 4);
+        let (d_r, idx) = onehot_row(&mut g);
+        if d_r == 0 {
+            continue;
+        }
+        let partition = BlockPartition::binary(d_s, d_r);
+        let d = d_s + d_r;
+        let m = g.matrix(d, d);
+        let u = g.vec(d_s);
+        let x = densify(&idx, d_r);
+        let alpha = g.f64();
+
+        for p in KernelPolicy::ALL {
+            let form = BlockQuadraticForm::new_with(partition.clone(), &m, p);
+            // term_rep across representation mixes vs the dense term
+            let t_dense = form.term(0, 1, &u, &x);
+            let t_rep = form.term_rep(0, 1, BlockVec::Dense(&u), BlockVec::OneHot(&idx));
+            assert!(approx_eq(t_dense, t_rep, 1e-12), "case {case} {p} (d,o)");
+            let t_dense = form.term(1, 0, &x, &u);
+            let t_rep = form.term_rep(1, 0, BlockVec::OneHot(&idx), BlockVec::Dense(&u));
+            assert!(approx_eq(t_dense, t_rep, 1e-12), "case {case} {p} (o,d)");
+            let t_dense = form.term(1, 1, &x, &x);
+            let t_rep = form.term_rep(1, 1, BlockVec::OneHot(&idx), BlockVec::OneHot(&idx));
+            assert!(approx_eq(t_dense, t_rep, 1e-12), "case {case} {p} (o,o)");
+
+            // add_outer_rep vs dense add_outer
+            let mut dense_sc = BlockScatter::new_with(partition.clone(), p);
+            dense_sc.add_outer(0, 1, alpha, &u, &x);
+            dense_sc.add_outer(1, 0, alpha, &x, &u);
+            dense_sc.add_outer(1, 1, alpha, &x, &x);
+            let mut rep_sc = BlockScatter::new_with(partition.clone(), p);
+            rep_sc.add_outer_rep(0, 1, alpha, BlockVec::Dense(&u), BlockVec::OneHot(&idx));
+            rep_sc.add_outer_rep(1, 0, alpha, BlockVec::OneHot(&idx), BlockVec::Dense(&u));
+            rep_sc.add_outer_rep(1, 1, alpha, BlockVec::OneHot(&idx), BlockVec::OneHot(&idx));
+            assert_eq!(
+                dense_sc.matrix(),
+                rep_sc.matrix(),
+                "case {case} {p} scatter"
+            );
+        }
     }
 }
 

@@ -20,6 +20,7 @@ use crate::mlp::Mlp;
 use crate::multiway::FactorizedMultiwayNn;
 use crate::trainer::{NnConfig, NnFit};
 use fml_linalg::policy::par_chunks;
+use fml_linalg::sparse::{self};
 use fml_linalg::{gemm, vector, Matrix};
 use fml_store::factorized_scan::GroupScan;
 use fml_store::{Database, JoinSpec, StoreResult};
@@ -76,6 +77,7 @@ impl FactorizedNn {
             // the scoped-thread spawns.
             let par =
                 config.kernel_policy.is_parallel() && 4 * model.num_params() >= PAR_MIN_GROUP_FLOPS;
+            let detect = |features: &[f64]| config.sparse.detect(features);
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
                 // Join groups are independent within a block: chunks of groups
@@ -88,7 +90,13 @@ impl FactorizedNn {
                     let mut local_loss = 0.0;
                     for group in &groups[range] {
                         // Reused per dimension tuple: t_R = W¹_R·x_R + b¹.
-                        let mut t_r = gemm::matvec_with(kp, &w1_r, &group.r_tuple.features);
+                        // One-hot x_R gathers the active columns of W¹_R
+                        // instead of multiplying through the zeros.
+                        let r_idx = detect(&group.r_tuple.features);
+                        let mut t_r = match &r_idx {
+                            Some(idx) => sparse::matvec_onehot_with(kp, &w1_r, idx),
+                            None => gemm::matvec_with(kp, &w1_r, &group.r_tuple.features),
+                        };
                         vector::axpy(1.0, &b1, &mut t_r);
                         // Per-group sum of first-layer deltas (for PG_R and its
                         // bias-free outer product with x_R).
@@ -96,7 +104,11 @@ impl FactorizedNn {
 
                         for s_tuple in &group.s_tuples {
                             // ---- forward, first layer (factorized) ----
-                            let mut a1 = gemm::matvec_with(kp, &w1_s, &s_tuple.features);
+                            let s_idx = detect(&s_tuple.features);
+                            let mut a1 = match &s_idx {
+                                Some(idx) => sparse::matvec_onehot_with(kp, &w1_s, idx),
+                                None => gemm::matvec_with(kp, &w1_s, &s_tuple.features),
+                            };
                             vector::axpy(1.0, &t_r, &mut a1);
                             let mut h1 = a1.clone();
                             model.layers()[0].activation.apply_slice(&mut h1);
@@ -116,18 +128,43 @@ impl FactorizedNn {
                             let (delta1, loss) =
                                 model.backward_factorized_with(kp, &trace, y, &mut local_grads);
                             local_loss += loss;
-                            // PG_S: per fact tuple.
-                            gemm::ger_with(kp, 1.0, &delta1, &s_tuple.features, &mut local_w_s);
+                            // PG_S: per fact tuple — scatter-add into the
+                            // active columns for one-hot x_S.
+                            match &s_idx {
+                                Some(idx) => sparse::ger_onehot_cols_with(
+                                    kp,
+                                    1.0,
+                                    &delta1,
+                                    idx,
+                                    &mut local_w_s,
+                                ),
+                                None => gemm::ger_with(
+                                    kp,
+                                    1.0,
+                                    &delta1,
+                                    &s_tuple.features,
+                                    &mut local_w_s,
+                                ),
+                            }
                             vector::axpy(1.0, &delta1, &mut delta_sum);
                         }
                         // PG_R: one outer product per dimension tuple.
-                        gemm::ger_with(
-                            kp,
-                            1.0,
-                            &delta_sum,
-                            &group.r_tuple.features,
-                            &mut local_w_r,
-                        );
+                        match &r_idx {
+                            Some(idx) => sparse::ger_onehot_cols_with(
+                                kp,
+                                1.0,
+                                &delta_sum,
+                                idx,
+                                &mut local_w_r,
+                            ),
+                            None => gemm::ger_with(
+                                kp,
+                                1.0,
+                                &delta_sum,
+                                &group.r_tuple.features,
+                                &mut local_w_r,
+                            ),
+                        }
                     }
                     (local_grads, local_w_s, local_w_r, local_loss)
                 });

@@ -11,6 +11,7 @@
 use crate::materialized::ensure_has_target;
 use crate::mlp::Mlp;
 use crate::trainer::{NnConfig, NnFit};
+use fml_linalg::sparse::{self};
 use fml_linalg::{gemm, vector, Matrix};
 use fml_store::factorized_scan::StarScan;
 use fml_store::{Database, JoinSpec, StoreResult};
@@ -59,8 +60,10 @@ impl FactorizedMultiwayNn {
             let mut loss_sum = 0.0;
 
             let kp = config.kernel_policy.sequential();
+            let detect = |features: &[f64]| config.sparse.detect(features);
             let scan = StarScan::new(db, spec, config.block_pages)?;
-            // Cached per dimension tuple: the partial product W¹_{R_i}·x_{R_i}.
+            // Cached per dimension tuple: the partial product W¹_{R_i}·x_{R_i}
+            // (a column gather of W¹_{R_i} when x_{R_i} is one-hot).
             let mut partials: Vec<HashMap<u64, Vec<f64>>> =
                 (0..q).map(|_| HashMap::new()).collect();
             // Per dimension tuple: accumulated sum of first-layer deltas.
@@ -80,10 +83,11 @@ impl FactorizedMultiwayNn {
                                     key: *fk,
                                 }
                             })?;
-                            partials[i].insert(
-                                *fk,
-                                gemm::matvec_with(kp, &w1_dims[i], &dim_tuple.features),
-                            );
+                            let partial = match detect(&dim_tuple.features) {
+                                Some(idx) => sparse::matvec_onehot_with(kp, &w1_dims[i], &idx),
+                                None => gemm::matvec_with(kp, &w1_dims[i], &dim_tuple.features),
+                            };
+                            partials[i].insert(*fk, partial);
                         }
                         vector::axpy(1.0, &partials[i][fk], &mut a1);
                     }
@@ -111,12 +115,28 @@ impl FactorizedMultiwayNn {
                 }
             }
 
-            // Dimension blocks of the first-layer gradient: one outer product per
-            // distinct dimension tuple.
+            // Dimension blocks of the first-layer gradient: one outer product
+            // (a column scatter-add for one-hot tuples) per distinct
+            // dimension tuple.
             for i in 0..q {
                 for (key, delta_sum) in &delta_sums[i] {
                     let dim_tuple = scan.cache().get(i, *key).expect("seen during the epoch");
-                    gemm::ger_with(kp, 1.0, delta_sum, &dim_tuple.features, &mut grad_w_dims[i]);
+                    match detect(&dim_tuple.features) {
+                        Some(idx) => sparse::ger_onehot_cols_with(
+                            kp,
+                            1.0,
+                            delta_sum,
+                            &idx,
+                            &mut grad_w_dims[i],
+                        ),
+                        None => gemm::ger_with(
+                            kp,
+                            1.0,
+                            delta_sum,
+                            &dim_tuple.features,
+                            &mut grad_w_dims[i],
+                        ),
+                    }
                 }
             }
 

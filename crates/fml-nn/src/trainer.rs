@@ -4,7 +4,7 @@
 use crate::activation::Activation;
 use crate::mlp::Mlp;
 use fml_linalg::policy::par_chunks;
-use fml_linalg::KernelPolicy;
+use fml_linalg::{KernelPolicy, SparseMode};
 use fml_store::StoreResult;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -34,6 +34,11 @@ pub struct NnConfig {
     /// Linear-algebra kernel policy for forward/backward passes (see
     /// [`fml_linalg::policy`]).  Variants being compared should share a policy.
     pub kernel_policy: KernelPolicy,
+    /// Whether the factorized trainers detect one-hot feature blocks and run
+    /// the first layer as gathers/scatter-adds ([`fml_linalg::sparse`])
+    /// instead of dense multiplies.  `Auto` (default) engages on 0/1 blocks at
+    /// ≤ ½ occupancy; `Dense` forces the dense kernels.
+    pub sparse: SparseMode,
 }
 
 impl Default for NnConfig {
@@ -46,6 +51,7 @@ impl Default for NnConfig {
             seed: 7,
             block_pages: fml_store::DEFAULT_BLOCK_PAGES,
             kernel_policy: KernelPolicy::default(),
+            sparse: SparseMode::default(),
         }
     }
 }
@@ -80,6 +86,12 @@ impl NnConfig {
     /// Returns a copy with a different kernel policy.
     pub fn policy(mut self, kernel_policy: KernelPolicy) -> Self {
         self.kernel_policy = kernel_policy;
+        self
+    }
+
+    /// Returns a copy with a different sparse-path mode.
+    pub fn sparse_mode(mut self, sparse: SparseMode) -> Self {
+        self.sparse = sparse;
         self
     }
 }
@@ -123,7 +135,7 @@ pub trait SupervisedSource {
 /// Under a parallel [`KernelPolicy`] the per-example forward/backward work is
 /// buffered into batches of [`PAR_BATCH_EXAMPLES`] and fanned out over chunks;
 /// each chunk accumulates into a private gradient set and the partials merge in
-/// chunk order ([`LayerGradient::merge_from`]), so the epoch's gradient — and
+/// chunk order ([`crate::layer::LayerGradient::merge_from`]), so the epoch's gradient — and
 /// therefore the learned model — is deterministic for a given thread count and
 /// agrees with the sequential policies within rounding tolerances.
 pub fn train_supervised_from(

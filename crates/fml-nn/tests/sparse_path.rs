@@ -1,0 +1,95 @@
+//! Integration tests for the one-hot sparse path of the factorized NN
+//! trainers: categorical datasets must engage the gather/scatter first layer
+//! by default and learn the same network as the forced-dense baseline.
+//!
+//! The kernel-invocation counter is process-global and this binary's tests run
+//! concurrently, so **every** test in this binary serializes on `LOCK` — a
+//! training run in another thread would otherwise bump the counter between a
+//! delta test's before/after reads.
+
+use fml_data::multiway::{DimSpec, MultiwayConfig};
+use fml_data::EmulatedDataset;
+use fml_linalg::sparse::{onehot_kernel_calls, SparseMode};
+use fml_nn::{FactorizedNn, NnConfig};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn walmart_sparse() -> fml_data::Workload {
+    EmulatedDataset::WalmartSparse
+        .generate(0.001, 13)
+        .expect("generate WalmartSparse")
+}
+
+fn config() -> NnConfig {
+    NnConfig {
+        hidden: vec![8],
+        epochs: 2,
+        ..NnConfig::default()
+    }
+}
+
+#[test]
+fn categorical_dataset_hits_sparse_path_by_default_and_matches_dense() {
+    let _guard = LOCK.lock().unwrap();
+    let w = walmart_sparse();
+
+    let before_dense = onehot_kernel_calls();
+    let dense = FactorizedNn::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense))
+        .expect("dense training");
+    assert_eq!(
+        onehot_kernel_calls(),
+        before_dense,
+        "SparseMode::Dense must not invoke one-hot kernels"
+    );
+
+    assert_eq!(config().sparse, SparseMode::Auto);
+    let before_auto = onehot_kernel_calls();
+    let auto = FactorizedNn::train(&w.db, &w.spec, &config()).expect("auto training");
+    assert!(
+        onehot_kernel_calls() > before_auto,
+        "Auto mode must gather/scatter the one-hot first layer"
+    );
+
+    // The gather path performs the same multiplications (by 1.0) in the same
+    // order as the zero-skipped dense sums; only dead zero-terms differ, so
+    // the learned parameters agree to fine precision.
+    let diff = dense.model.max_param_diff(&auto.model);
+    assert!(diff < 1e-9, "sparse vs dense model diff {diff}");
+    for (a, b) in dense.loss_trace.iter().zip(auto.loss_trace.iter()) {
+        assert!((a - b).abs() < 1e-9, "loss traces diverged: {a} vs {b}");
+    }
+}
+
+#[test]
+fn multiway_categorical_auto_matches_dense() {
+    let _guard = LOCK.lock().unwrap();
+    let w = MultiwayConfig {
+        n_s: 300,
+        d_s: 2,
+        dims: vec![DimSpec::categorical(10, 12), DimSpec::new(5, 3)],
+        k: 2,
+        noise_std: 0.5,
+        with_target: true,
+        seed: 23,
+    }
+    .generate()
+    .unwrap();
+    let dense =
+        FactorizedNn::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense)).unwrap();
+    let auto = FactorizedNn::train(&w.db, &w.spec, &config()).unwrap();
+    let diff = dense.model.max_param_diff(&auto.model);
+    assert!(diff < 1e-9, "multiway sparse vs dense diff {diff}");
+}
+
+#[test]
+fn sparse_path_still_matches_materialized_oracle() {
+    // End-to-end: the auto-sparse factorized trainer against the dense
+    // materialized trainer (different algorithm, same model).
+    let _guard = LOCK.lock().unwrap();
+    let w = walmart_sparse();
+    let m = fml_nn::MaterializedNn::train(&w.db, &w.spec, &config()).unwrap();
+    let f = FactorizedNn::train(&w.db, &w.spec, &config()).unwrap();
+    let diff = m.model.max_param_diff(&f.model);
+    assert!(diff < 1e-8, "M-NN vs sparse F-NN diff {diff}");
+}

@@ -8,7 +8,7 @@
 //!
 //! * **Slotted pages & heap files** ([`page`], [`heap`]): fixed-size 8 KiB pages
 //!   holding fixed-width records, stored either on disk or in memory.
-//! * **Relations, schemas & catalog** ([`schema`], [`tuple`], [`relation`],
+//! * **Relations, schemas & catalog** ([`schema`], [`mod@tuple`], [`relation`],
 //!   [`catalog`]): typed relations with a `u64` primary key, optional foreign keys,
 //!   an optional training target, and `f64` feature columns.
 //! * **Batch scans** ([`batch`]): block-wise iteration (a "block" is a fixed number
