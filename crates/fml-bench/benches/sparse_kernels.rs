@@ -1,12 +1,15 @@
-//! Micro-benchmarks of the one-hot sparse kernels against their dense
-//! counterparts, swept over block occupancy (1%–50%) and [`KernelPolicy`].
+//! Micro-benchmarks of the sparse kernels against their dense counterparts,
+//! swept over block occupancy (1%–50%) and [`KernelPolicy`].
 //!
-//! Three kernel families are measured, each in three variants:
+//! Four kernel families are measured:
 //!
 //! * `spmm` — one-hot × dense block product: dense GEMM
 //!   ([`gemm::matmul_acc_with`]) vs the zero-skipping scan
 //!   ([`gemm::matmul_acc_sparse_with`]) vs the index-form gather
 //!   ([`sparse::spmm_onehot_with`]).
+//! * `spmm_csr` — **weighted** sparse × dense block product, swept over
+//!   occupancy with general values: dense GEMM vs zero-skip vs the CSR
+//!   kernel ([`csr::spmm_csr_with`]).
 //! * `ger` — rank-1 gradient update: dense GER vs the one-hot column scatter
 //!   ([`sparse::ger_onehot_cols_with`]).
 //! * `quadratic_form` — `xᵀAx` for one-hot `x`: dense form vs the `s²`-load
@@ -14,10 +17,12 @@
 //!
 //! The run emits **`BENCH_sparse.json`** at the workspace root with per-row
 //! `speedup_vs_dense`; CI's sparse-speedup guard asserts the `width126`
-//! one-hot block (the WalmartSparse fact layout: 15 active of 126) beats the
-//! dense GEMM by ≥ 3× under the blocked policy.  Set `FML_BENCH_SMOKE=1` for
-//! a single-shot smoke run that still exercises every kernel/variant pair.
+//! one-hot block (the WalmartSparse fact layout: 15 active of 126) AND the
+//! width-126 CSR block at ≤ 10% occupancy (12 of 126) beat the dense GEMM by
+//! ≥ 3× under the blocked policy.  Set `FML_BENCH_SMOKE=1` for a single-shot
+//! smoke run that still exercises every kernel/variant pair.
 
+use fml_linalg::csr::{self, CsrBlock};
 use fml_linalg::policy::{num_threads, KernelPolicy};
 use fml_linalg::{gemm, sparse, Matrix};
 use std::fmt::Write as _;
@@ -152,6 +157,100 @@ fn bench_spmm(results: &mut Vec<BenchResult>) {
     }
 }
 
+/// A weighted-sparse block: `rows` rows of `nnz` ascending indices over
+/// `width` columns with pseudo-random nonzero values (the general-CSR
+/// workload: TF-IDF-ish weights, not 0/1), plus its dense expansion.
+fn csr_block(rows: usize, width: usize, nnz: usize, salt: u64) -> (CsrBlock, Matrix) {
+    let mut rng = fml_linalg::testutil::TestRng::new(salt);
+    let card = width / nnz;
+    let mut values = Vec::with_capacity(rows * nnz);
+    let mut col_idx = Vec::with_capacity(rows * nnz);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    row_ptr.push(0);
+    let mut dense = Matrix::zeros(rows, width);
+    for r in 0..rows {
+        for col in 0..nnz {
+            let offset = col * card;
+            let pick = offset + rng.range(0, card);
+            let mut v = rng.f64_in(-2.0, 2.0);
+            if v == 0.0 {
+                v = 1.5;
+            }
+            col_idx.push(pick as u32);
+            values.push(v);
+            dense[(r, pick)] = v;
+        }
+        row_ptr.push(values.len());
+    }
+    (CsrBlock::new(values, col_idx, row_ptr, width), dense)
+}
+
+/// Occupancy sweep points for the CSR family — same densities as the one-hot
+/// sweep, plus the width-126 block at ≤ 10% occupancy (12 of 126 ≈ 9.5%)
+/// that the CI guard reads.
+fn csr_sweep_points() -> Vec<(usize, usize)> {
+    if smoke() {
+        return vec![(64, 4), (126, 12)];
+    }
+    vec![
+        (256, 2),   // ~1%
+        (256, 8),   // ~3%
+        (256, 32),  // 12.5%
+        (256, 128), // 50%
+        (126, 12),  // width-126 at ≤10% occupancy (the guard row)
+    ]
+}
+
+fn bench_spmm_csr(results: &mut Vec<BenchResult>) {
+    let rows = if smoke() { 64 } else { 4096 };
+    let n = 64; // hidden width scale
+    for (width, nnz) in csr_sweep_points() {
+        let (x, dense_x) = csr_block(rows, width, nnz, 7);
+        let b = pseudo_matrix(width, n, 8);
+        let mut c = Matrix::zeros(rows, n);
+        let size = format!("{rows}x{width}x{n}/width{width}");
+        let occupancy = nnz as f64 / width as f64;
+        for policy in KernelPolicy::ALL {
+            let mean_ns = measure(|| {
+                c.fill_zero();
+                gemm::matmul_acc_with(policy, &dense_x, &b, &mut c);
+            });
+            results.push(BenchResult {
+                kernel: "spmm_csr".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "dense",
+                policy: policy.label(),
+                mean_ns,
+            });
+            let mean_ns = measure(|| {
+                c.fill_zero();
+                gemm::matmul_acc_sparse_with(policy, &dense_x, &b, &mut c);
+            });
+            results.push(BenchResult {
+                kernel: "spmm_csr".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "zero_skip",
+                policy: policy.label(),
+                mean_ns,
+            });
+            let mean_ns = measure(|| {
+                c.fill_zero();
+                csr::spmm_csr_with(policy, &x, &b, &mut c);
+            });
+            results.push(BenchResult {
+                kernel: "spmm_csr".into(),
+                size: size.clone(),
+                occupancy,
+                variant: "csr",
+                policy: policy.label(),
+                mean_ns,
+            });
+        }
+    }
+}
+
 fn bench_ger(results: &mut Vec<BenchResult>) {
     let nh = if smoke() { 16 } else { 64 };
     for (width, nnz) in sweep_points() {
@@ -266,6 +365,7 @@ fn emit_json(results: &[BenchResult]) -> std::io::Result<PathBuf> {
 fn main() {
     let mut results = Vec::new();
     bench_spmm(&mut results);
+    bench_spmm_csr(&mut results);
     bench_ger(&mut results);
     bench_quadratic_form(&mut results);
 
@@ -294,15 +394,18 @@ fn main() {
         Err(e) => eprintln!("\nfailed to write BENCH_sparse.json: {e}"),
     }
 
-    // Acceptance-criterion ratio: one-hot spmm vs dense GEMM on the width-126
-    // block under the blocked policy.  Enforcement lives in CI.
-    if let Some(r) = results.iter().find(|r| {
-        r.kernel == "spmm"
-            && r.size.ends_with("width126")
-            && r.variant == "onehot"
-            && r.policy == "blocked"
-    }) {
-        let speedup = speedup_vs_dense(&results, r).unwrap_or(0.0);
-        println!("spmm width-126 one-hot speedup over dense blocked GEMM: {speedup:.2}x");
+    // Acceptance-criterion ratios: one-hot spmm (15 of 126) and weighted CSR
+    // spmm (12 of 126, ≤ 10% occupancy) vs dense GEMM on the width-126 block
+    // under the blocked policy.  Enforcement lives in CI.
+    for (kernel, variant) in [("spmm", "onehot"), ("spmm_csr", "csr")] {
+        if let Some(r) = results.iter().find(|r| {
+            r.kernel == kernel
+                && r.size.ends_with("width126")
+                && r.variant == variant
+                && r.policy == "blocked"
+        }) {
+            let speedup = speedup_vs_dense(&results, r).unwrap_or(0.0);
+            println!("{kernel} width-126 {variant} speedup over dense blocked GEMM: {speedup:.2}x");
+        }
     }
 }

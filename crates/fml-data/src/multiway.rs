@@ -13,6 +13,24 @@ use crate::workload::Workload;
 use fml_store::{Database, JoinSpec, Schema, StoreResult, Tuple};
 use rand::Rng;
 
+/// The feature representation a dimension table is generated with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DimKind {
+    /// Dense numeric features (normal draws around cluster centers).
+    #[default]
+    Dense,
+    /// One-hot encoded categorical attributes, generated directly in index
+    /// form as a [`FeatureBlock::OneHot`].
+    Categorical,
+    /// Weighted-sparse numeric features (TF-IDF-ish), generated directly in
+    /// CSR form as a [`FeatureBlock::Csr`] with about `nnz` nonzeros per row.
+    SparseNumeric {
+        /// Target nonzeros per row (must satisfy `4·nnz ≤ d` so the trainers'
+        /// ¼-occupancy auto-detection engages).
+        nnz: usize,
+    },
+}
+
 /// Size and width of one dimension table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DimSpec {
@@ -20,9 +38,8 @@ pub struct DimSpec {
     pub n: u64,
     /// Number of features `d_{R_i}`.
     pub d: usize,
-    /// Whether the features are one-hot encoded categorical attributes
-    /// (generated directly in index form as a [`FeatureBlock::OneHot`]).
-    pub categorical: bool,
+    /// How the features are represented (dense / one-hot / weighted-sparse).
+    pub kind: DimKind,
 }
 
 impl DimSpec {
@@ -31,7 +48,7 @@ impl DimSpec {
         Self {
             n,
             d,
-            categorical: false,
+            kind: DimKind::Dense,
         }
     }
 
@@ -41,13 +58,23 @@ impl DimSpec {
         Self {
             n,
             d,
-            categorical: true,
+            kind: DimKind::Categorical,
+        }
+    }
+
+    /// Creates a weighted-sparse numeric dimension spec of width `d` with
+    /// about `nnz` nonzeros per row — the general-CSR workload scenario.
+    pub fn sparse_numeric(n: u64, d: usize, nnz: usize) -> Self {
+        Self {
+            n,
+            d,
+            kind: DimKind::SparseNumeric { nnz },
         }
     }
 
     /// The one-hot layout of this dimension's feature block, if categorical.
     pub fn onehot_spec(&self) -> Option<OneHotSpec> {
-        self.categorical.then(|| OneHotSpec::auto(self.d))
+        matches!(self.kind, DimKind::Categorical).then(|| OneHotSpec::auto(self.d))
     }
 }
 
@@ -158,11 +185,25 @@ impl MultiwayConfig {
             let spec = dim.onehot_spec();
             let rel = db.create_relation(Schema::dimension(name.clone(), dim.d))?;
             let clusters: Vec<usize> = (0..dim.n as usize).map(|key| key % self.k).collect();
-            // Categorical dimensions are generated straight into index form;
-            // rows densify only at the fixed-width storage boundary below.
-            let block = match &spec {
-                Some(spec) => FeatureBlock::generate_onehot(&mut rng, spec, &clusters),
-                None => FeatureBlock::generate_dense(&mut rng, &centers, &clusters, self.noise_std),
+            // Categorical and weighted-sparse dimensions are generated
+            // straight into index/CSR form; rows densify only at the
+            // fixed-width storage boundary below.
+            let block = match dim.kind {
+                DimKind::Categorical => FeatureBlock::generate_onehot(
+                    &mut rng,
+                    spec.as_ref().expect("categorical layout"),
+                    &clusters,
+                ),
+                DimKind::SparseNumeric { nnz } => FeatureBlock::generate_sparse_numeric(
+                    &mut rng,
+                    dim.d,
+                    nnz,
+                    &clusters,
+                    self.noise_std.max(0.05),
+                ),
+                DimKind::Dense => {
+                    FeatureBlock::generate_dense(&mut rng, &centers, &clusters, self.noise_std)
+                }
             };
             {
                 let mut rel = rel.lock();
@@ -327,6 +368,33 @@ mod tests {
             assert!(t.features.iter().all(|&f| f == 0.0 || f == 1.0));
             let ones = t.features.iter().filter(|&&f| f == 1.0).count();
             assert_eq!(ones, spec.num_columns());
+        }
+    }
+
+    #[test]
+    fn sparse_numeric_dimensions_generate_weighted_rows() {
+        let mut cfg = small();
+        cfg.dims[1] = DimSpec::sparse_numeric(12, 16, 3);
+        let w = cfg.generate().unwrap();
+        // no one-hot layout metadata — these are weighted, not categorical
+        assert_eq!(w.onehot[2], None);
+        let r2 = w.db.relation("R2").unwrap();
+        for t in scan_all(&r2, 16).unwrap() {
+            assert_eq!(t.features.len(), 16);
+            let nnz = t.features.iter().filter(|&&f| f != 0.0).count();
+            assert!(nnz > 0 && nnz <= 3, "unexpected support {nnz}");
+            // weighted values: at least one nonzero that is not 1.0
+            assert!(
+                t.features.iter().any(|&f| f != 0.0 && f != 1.0),
+                "sparse-numeric rows must carry weighted values: {:?}",
+                t.features
+            );
+            // and the trainers' gate picks the CSR representation
+            let rep = fml_linalg::SparseMode::Auto.detect(&t.features);
+            assert!(
+                matches!(rep, Some(fml_linalg::SparseRep::Csr { .. })),
+                "row must detect as CSR: {rep:?}"
+            );
         }
     }
 

@@ -19,6 +19,7 @@ use crate::init::GmmInit;
 use crate::model::{GmmModel, Precomputed};
 use crate::GmmConfig;
 use fml_linalg::policy::par_chunks;
+use fml_linalg::sparse::{SparseMode, SparseRep};
 use fml_linalg::{vector, Matrix, Vector};
 use fml_store::StoreResult;
 use std::time::{Duration, Instant};
@@ -224,9 +225,34 @@ pub fn train_dense_from(
     // models stay inline even under the parallel policy.
     let kp = policy.sequential();
     let par = policy.is_parallel() && k * d * d * PAR_BATCH_TUPLES >= PAR_MIN_BATCH_FLOPS;
+    let auto_sparse = config.sparse == SparseMode::Auto;
+    // Per-tuple representation cache under `SparseMode::Auto`, filled lazily
+    // during the first E-step pass — the sources replay tuples in a
+    // deterministic order, so later passes and iterations index it by tuple
+    // position.  No extra scan is performed (the streaming cost model stays
+    // exact) and detection runs at most once per tuple.  Memory is O(total
+    // nnz), which does not change this driver's memory class: `gammas` below
+    // already retains O(n·k) responsibilities across passes.
+    let mut reps: Vec<Option<SparseRep>> = Vec::new();
+    let mut reps_ready = !auto_sparse;
 
     for _iter in 0..opts.max_iters {
         let pre = Precomputed::from_model(&model, opts.ridge);
+        // Sparse-path constants, O(k·d²) once per iteration — the per-tuple
+        // E-step on sparse rows is then pure gathers.
+        let sparse_pre: Vec<crate::sparse::SparseFormPre> = if auto_sparse {
+            (0..k)
+                .map(|c| {
+                    crate::sparse::SparseFormPre::build_flat(
+                        &pre.inverses[c],
+                        pre.means[c].as_slice(),
+                        kp,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // ---- Pass 1: E-step — responsibilities + log-likelihood ----
         gammas.clear();
@@ -235,11 +261,24 @@ pub fn train_dense_from(
         if !par {
             let mut log_dens = vec![0.0; k];
             let mut centered = vec![0.0; d];
+            let mut row = 0usize;
             source.for_each(&mut |x: &[f64]| {
+                if !reps_ready {
+                    reps.push(config.sparse.detect(x));
+                }
+                let rep = reps.get(row).and_then(Option::as_ref);
                 for (c, ld) in log_dens.iter_mut().enumerate() {
-                    vector::sub_into(x, pre.means[c].as_slice(), &mut centered);
-                    let quad =
-                        fml_linalg::gemm::quadratic_form_sym_with(kp, &centered, &pre.inverses[c]);
+                    let quad = match rep {
+                        Some(rep) => sparse_pre[c].quad_flat(&pre.inverses[c], rep),
+                        None => {
+                            vector::sub_into(x, pre.means[c].as_slice(), &mut centered);
+                            fml_linalg::gemm::quadratic_form_sym_with(
+                                kp,
+                                &centered,
+                                &pre.inverses[c],
+                            )
+                        }
+                    };
                     *ld = pre.log_norm[c] - 0.5 * quad;
                 }
                 let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
@@ -248,28 +287,47 @@ pub fn train_dense_from(
                 }
                 ll += tuple_ll;
                 gammas.extend_from_slice(&resp);
+                row += 1;
             })?;
         } else {
             // Tuples are buffered into batches; each batch fans out over
             // deterministic chunks that compute (responsibilities, Σγ,
-            // log-likelihood) locally, and the partials merge in chunk order.
+            // log-likelihood) locally, and the partials merge in chunk order
+            // (including, on the first pass, the detected representations).
+            let mut row_cursor = 0usize;
+            let fill = !reps_ready;
+            let reps_cell = &mut reps;
             let mut flush = |rows: &[f64], dim: usize| {
                 let n_rows = rows.len() / dim;
+                let base = row_cursor;
+                let reps_ref: &Vec<Option<SparseRep>> = reps_cell;
                 let parts = par_chunks(true, n_rows, 1, |range| {
                     let mut local_gammas = Vec::with_capacity(range.len() * k);
+                    let mut local_reps: Vec<Option<SparseRep>> = Vec::new();
                     let mut local_nk = vec![0.0; k];
                     let mut local_ll = 0.0;
                     let mut log_dens = vec![0.0; k];
                     let mut centered = vec![0.0; dim];
                     for r in range {
                         let x = &rows[r * dim..(r + 1) * dim];
+                        let rep = if fill {
+                            local_reps.push(config.sparse.detect(x));
+                            local_reps.last().unwrap().as_ref()
+                        } else {
+                            reps_ref.get(base + r).and_then(Option::as_ref)
+                        };
                         for (c, ld) in log_dens.iter_mut().enumerate() {
-                            vector::sub_into(x, pre.means[c].as_slice(), &mut centered);
-                            let quad = fml_linalg::gemm::quadratic_form_sym_with(
-                                kp,
-                                &centered,
-                                &pre.inverses[c],
-                            );
+                            let quad = match rep {
+                                Some(rep) => sparse_pre[c].quad_flat(&pre.inverses[c], rep),
+                                None => {
+                                    vector::sub_into(x, pre.means[c].as_slice(), &mut centered);
+                                    fml_linalg::gemm::quadratic_form_sym_with(
+                                        kp,
+                                        &centered,
+                                        &pre.inverses[c],
+                                    )
+                                }
+                            };
                             *ld = pre.log_norm[c] - 0.5 * quad;
                         }
                         let (resp, tuple_ll) = pre.finish_responsibilities(&mut log_dens);
@@ -279,18 +337,23 @@ pub fn train_dense_from(
                         local_ll += tuple_ll;
                         local_gammas.extend_from_slice(&resp);
                     }
-                    (local_gammas, local_nk, local_ll)
+                    (local_gammas, local_nk, local_ll, local_reps)
                 });
-                for (local_gammas, local_nk, local_ll) in parts {
+                for (local_gammas, local_nk, local_ll, local_reps) in parts {
                     gammas.extend_from_slice(&local_gammas);
                     vector::axpy(1.0, &local_nk, &mut nk);
                     ll += local_ll;
+                    if fill {
+                        reps_cell.extend(local_reps);
+                    }
                 }
+                row_cursor += n_rows;
             };
             let mut buffer = BatchBuffer::new(d, PAR_BATCH_TUPLES);
             source.for_each(&mut |x: &[f64]| buffer.push(x, &mut flush))?;
             buffer.finish(&mut flush);
         }
+        reps_ready = true;
 
         // ---- Pass 2: M-step — means ----
         let mut mean_sums = vec![Vector::zeros(d); k];
@@ -298,13 +361,23 @@ pub fn train_dense_from(
             let mut cursor = 0usize;
             source.for_each(&mut |x: &[f64]| {
                 let g = &gammas[cursor..cursor + k];
-                for c in 0..k {
-                    vector::axpy(g[c], x, mean_sums[c].as_mut_slice());
+                match reps.get(cursor / k).and_then(Option::as_ref) {
+                    Some(rep) => {
+                        for c in 0..k {
+                            rep.axpy_into(g[c], mean_sums[c].as_mut_slice());
+                        }
+                    }
+                    None => {
+                        for c in 0..k {
+                            vector::axpy(g[c], x, mean_sums[c].as_mut_slice());
+                        }
+                    }
                 }
                 cursor += k;
             })?;
         } else {
             let mut cursor = 0usize;
+            let reps_ref: &Vec<Option<SparseRep>> = &reps;
             let mut flush = |rows: &[f64], dim: usize| {
                 let n_rows = rows.len() / dim;
                 let base = cursor;
@@ -313,8 +386,17 @@ pub fn train_dense_from(
                     for r in range {
                         let x = &rows[r * dim..(r + 1) * dim];
                         let g = &gammas[base + r * k..base + (r + 1) * k];
-                        for c in 0..k {
-                            vector::axpy(g[c], x, local[c].as_mut_slice());
+                        match reps_ref.get(base / k + r).and_then(Option::as_ref) {
+                            Some(rep) => {
+                                for c in 0..k {
+                                    rep.axpy_into(g[c], local[c].as_mut_slice());
+                                }
+                            }
+                            None => {
+                                for c in 0..k {
+                                    vector::axpy(g[c], x, local[c].as_mut_slice());
+                                }
+                            }
                         }
                     }
                     local
@@ -333,29 +415,28 @@ pub fn train_dense_from(
         let new_means = means_from_sums(&nk, &mean_sums);
 
         // ---- Pass 3: M-step — covariances around the new means ----
+        // Sparse rows use the mean decomposition: raw γ·x xᵀ pair scatters per
+        // tuple, dense corrections `−(Σγx)µᵀ − µ(Σγx)ᵀ + (Σγ)µµᵀ` once per
+        // pass per component.
         let mut scatter = vec![Matrix::zeros(d, d); k];
+        let mut sparse_gx = vec![vec![0.0; d]; k];
+        let mut sparse_gamma = vec![0.0; k];
+        let mut any_sparse = false;
         if !par {
             let mut centered = vec![0.0; d];
             let mut cursor = 0usize;
             source.for_each(&mut |x: &[f64]| {
                 let g = &gammas[cursor..cursor + k];
-                for c in 0..k {
-                    vector::sub_into(x, new_means[c].as_slice(), &mut centered);
-                    fml_linalg::gemm::ger_with(kp, g[c], &centered, &centered, &mut scatter[c]);
-                }
-                cursor += k;
-            })?;
-        } else {
-            let mut cursor = 0usize;
-            let mut flush = |rows: &[f64], dim: usize| {
-                let n_rows = rows.len() / dim;
-                let base = cursor;
-                let parts = par_chunks(true, n_rows, 1, |range| {
-                    let mut local = vec![Matrix::zeros(dim, dim); k];
-                    let mut centered = vec![0.0; dim];
-                    for r in range {
-                        let x = &rows[r * dim..(r + 1) * dim];
-                        let g = &gammas[base + r * k..base + (r + 1) * k];
+                match reps.get(cursor / k).and_then(Option::as_ref) {
+                    Some(rep) => {
+                        any_sparse = true;
+                        for c in 0..k {
+                            rep.scatter_pair(g[c], &mut scatter[c]);
+                            rep.axpy_into(g[c], &mut sparse_gx[c]);
+                            sparse_gamma[c] += g[c];
+                        }
+                    }
+                    None => {
                         for c in 0..k {
                             vector::sub_into(x, new_means[c].as_slice(), &mut centered);
                             fml_linalg::gemm::ger_with(
@@ -363,22 +444,74 @@ pub fn train_dense_from(
                                 g[c],
                                 &centered,
                                 &centered,
-                                &mut local[c],
+                                &mut scatter[c],
                             );
                         }
                     }
-                    local
+                }
+                cursor += k;
+            })?;
+        } else {
+            let mut cursor = 0usize;
+            let reps_ref: &Vec<Option<SparseRep>> = &reps;
+            let mut flush = |rows: &[f64], dim: usize| {
+                let n_rows = rows.len() / dim;
+                let base = cursor;
+                let parts = par_chunks(true, n_rows, 1, |range| {
+                    let mut local = vec![Matrix::zeros(dim, dim); k];
+                    let mut local_gx = vec![vec![0.0; dim]; k];
+                    let mut local_gamma = vec![0.0; k];
+                    let mut local_any = false;
+                    let mut centered = vec![0.0; dim];
+                    for r in range {
+                        let x = &rows[r * dim..(r + 1) * dim];
+                        let g = &gammas[base + r * k..base + (r + 1) * k];
+                        match reps_ref.get(base / k + r).and_then(Option::as_ref) {
+                            Some(rep) => {
+                                local_any = true;
+                                for c in 0..k {
+                                    rep.scatter_pair(g[c], &mut local[c]);
+                                    rep.axpy_into(g[c], &mut local_gx[c]);
+                                    local_gamma[c] += g[c];
+                                }
+                            }
+                            None => {
+                                for c in 0..k {
+                                    vector::sub_into(x, new_means[c].as_slice(), &mut centered);
+                                    fml_linalg::gemm::ger_with(
+                                        kp,
+                                        g[c],
+                                        &centered,
+                                        &centered,
+                                        &mut local[c],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    (local, local_gx, local_gamma, local_any)
                 });
-                for local in parts {
+                for (local, local_gx, local_gamma, local_any) in parts {
                     for c in 0..k {
                         scatter[c].add_assign(&local[c]);
+                        vector::axpy(1.0, &local_gx[c], &mut sparse_gx[c]);
+                        sparse_gamma[c] += local_gamma[c];
                     }
+                    any_sparse |= local_any;
                 }
                 cursor += n_rows * k;
             };
             let mut buffer = BatchBuffer::new(d, PAR_BATCH_TUPLES);
             source.for_each(&mut |x: &[f64]| buffer.push(x, &mut flush))?;
             buffer.finish(&mut flush);
+        }
+        if any_sparse {
+            for c in 0..k {
+                let mu = new_means[c].as_slice();
+                fml_linalg::gemm::ger_with(kp, -1.0, &sparse_gx[c], mu, &mut scatter[c]);
+                fml_linalg::gemm::ger_with(kp, -1.0, mu, &sparse_gx[c], &mut scatter[c]);
+                fml_linalg::gemm::ger_with(kp, sparse_gamma[c], mu, mu, &mut scatter[c]);
+            }
         }
 
         model = finalize_m_step(&nk, mean_sums, scatter, n, opts.ridge);

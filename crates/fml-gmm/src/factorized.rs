@@ -19,17 +19,25 @@
 //!
 //! The decomposition is exact — no approximation — so the resulting model matches
 //! `M-GMM` / `S-GMM` up to floating-point rounding.
+//!
+//! **Sparse detection is cached.**  Under [`SparseMode::Auto`] a single prepass
+//! scans the join once and records each tuple's representation
+//! ([`SparseRep`]: one-hot, weighted CSR, or dense) in scan order; every EM
+//! iteration and pass then reads the cached form instead of rescanning the
+//! immutable feature data (detection runs at most **once per tuple** per
+//! training run — the regression tests pin this with
+//! [`fml_linalg::sparse::detect_calls`]).
 
 use crate::em::{converged, finalize_m_step, means_from_sums, GmmFit};
 use crate::init::GmmInit;
 use crate::model::Precomputed;
 use crate::multiway::FactorizedMultiwayGmm;
-use crate::sparse::{OneHotDiagAcc, OneHotFormPre, OneHotScatterAcc};
+use crate::sparse::{SparseDiagAcc, SparseFormPre, SparseScatterAcc};
 use crate::GmmConfig;
 use fml_linalg::block::{BlockPartition, BlockScatter};
 use fml_linalg::policy::par_chunks;
-use fml_linalg::sparse::SparseMode;
-use fml_linalg::{gemm, sparse, vector, Matrix, Vector};
+use fml_linalg::sparse::{SparseMode, SparseRep};
+use fml_linalg::{gemm, vector, Matrix, Vector};
 use fml_store::factorized_scan::GroupScan;
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::time::Instant;
@@ -37,6 +45,13 @@ use std::time::Instant;
 /// Minimum per-tuple work (≈ `k·d²` flops) below which the parallel policy
 /// processes join groups inline instead of fanning out.
 pub(crate) const PAR_MIN_GROUP_FLOPS: usize = 1 << 12;
+
+/// Looks up a cached per-tuple representation; empty caches (the forced-dense
+/// mode) read as dense.
+#[inline]
+pub(crate) fn cached_rep(cache: &[Option<SparseRep>], i: usize) -> Option<&SparseRep> {
+    cache.get(i).and_then(Option::as_ref)
+}
 
 /// The factorized training strategy (the paper's proposal).
 pub struct FactorizedGmm;
@@ -77,28 +92,36 @@ impl FactorizedGmm {
         let kp = policy.sequential();
         let par = policy.is_parallel() && k * d * d >= PAR_MIN_GROUP_FLOPS;
         let auto_sparse = config.sparse == SparseMode::Auto;
-        // Detects a one-hot feature block (0/1 entries, ≤ ½ occupancy).
-        let detect = |features: &[f64]| config.sparse.detect(features);
+
+        // ---- Per-tuple representation caches ----
+        // Filled lazily during the first E-step pass (no extra scan — F-GMM
+        // reads exactly the same pages as S-GMM).  The EM passes re-read the
+        // same immutable tuples in the same deterministic scan order, so the
+        // caches are indexed by group / fact scan position and reused by every
+        // later pass and iteration: detection runs at most once per tuple.
+        let mut group_reps: Vec<Option<SparseRep>> = Vec::new();
+        let mut fact_reps: Vec<Option<SparseRep>> = Vec::new();
+        let mut reps_ready = !auto_sparse;
 
         for _iter in 0..config.max_iters {
             let pre = Precomputed::from_model(&model, config.ridge);
             let forms = pre.block_forms_with(&partition, kp);
             let means_split = pre.split_means(&partition);
-            // One-hot decomposition constants: O(k·d²) once per iteration, so
+            // Sparse decomposition constants: O(k·d²) once per iteration, so
             // the per-group hot path below runs pure gathers on the sparse path.
-            let onehot_pre = if auto_sparse {
-                OneHotFormPre::build_all(&forms, &means_split, partition.num_blocks(), kp)
+            let sparse_pre = if auto_sparse {
+                SparseFormPre::build_all(&forms, &means_split, partition.num_blocks(), kp)
             } else {
                 Vec::new()
             };
             // Fact-block diagonal constants: the per-fact UL term uses the
-            // same decomposition when the fact features are one-hot too
+            // same decomposition when the fact features are sparse too
             // (e.g. WalmartSparse, where d_S = 126 is one-hot).
-            let fact_pre: Vec<OneHotFormPre> = if auto_sparse {
+            let fact_pre: Vec<SparseFormPre> = if auto_sparse {
                 forms
                     .iter()
                     .enumerate()
-                    .map(|(c, form)| OneHotFormPre::build_diag(form, 0, &means_split[c][0], kp))
+                    .map(|(c, form)| SparseFormPre::build_diag(form, 0, &means_split[c][0], kp))
                     .collect()
             } else {
                 Vec::new()
@@ -111,27 +134,50 @@ impl FactorizedGmm {
             gammas.clear();
             let mut nk = vec![0.0; k];
             let mut ll = 0.0;
+            let mut group_cursor = 0usize;
+            let mut fact_cursor = 0usize;
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
                 let groups = block?;
+                // Per-group fact offsets into the (global) fact scan order, so
+                // chunks can read the representation caches independently.
+                let fact_offsets: Vec<usize> = groups
+                    .iter()
+                    .scan(fact_cursor, |acc, g| {
+                        let o = *acc;
+                        *acc += g.s_tuples.len();
+                        Some(o)
+                    })
+                    .collect();
+                let group_base = group_cursor;
+                let fill = !reps_ready;
+                let (group_reps_ref, fact_reps_ref) = (&group_reps, &fact_reps);
                 let parts = par_chunks(par, groups.len(), 1, |range| {
                     let mut local_gammas = Vec::new();
+                    let mut local_group_reps: Vec<Option<SparseRep>> = Vec::new();
+                    let mut local_fact_reps: Vec<Option<SparseRep>> = Vec::new();
                     let mut local_nk = vec![0.0; k];
                     let mut local_ll = 0.0;
                     let mut log_dens = vec![0.0; k];
                     let mut pd_s = vec![0.0; d_s];
-                    for group in &groups[range] {
+                    for gi in range {
+                        let group = &groups[gi];
                         // Reused per dimension tuple: LR term and the combined
                         // cross-term vector w = I_SR·PD_R + I_RSᵀ·PD_R.  For
-                        // one-hot dimension tuples both come from the mean
+                        // sparse dimension tuples both come from the mean
                         // decomposition — gathers only, zero dense multiplies.
-                        let r_idx = detect(&group.r_tuple.features);
+                        let r_rep = if fill {
+                            local_group_reps.push(config.sparse.detect(&group.r_tuple.features));
+                            local_group_reps.last().unwrap().as_ref()
+                        } else {
+                            cached_rep(group_reps_ref, group_base + gi)
+                        };
                         let mut lr_terms = vec![0.0; k];
                         let mut cross_w: Vec<Vec<f64>> = Vec::with_capacity(k);
                         for c in 0..k {
-                            if let Some(idx) = &r_idx {
-                                lr_terms[c] = onehot_pre[c][0].diag_term(&forms[c], 1, idx);
-                                cross_w.push(onehot_pre[c][0].cross_vector(&forms[c], 1, idx, kp));
+                            if let Some(rep) = r_rep {
+                                lr_terms[c] = sparse_pre[c][0].diag_term(&forms[c], 1, rep);
+                                cross_w.push(sparse_pre[c][0].cross_vector(&forms[c], 1, rep, kp));
                                 continue;
                             }
                             let pd_r: Vec<f64> = group
@@ -149,12 +195,17 @@ impl FactorizedGmm {
                         }
                         // Per-group constant for the sparse fact path
                         // (µ_Sᵀ·w, so pd_Sᵀ·w becomes gather(w) − µᵀw per
-                        // fact), computed lazily on the group's first one-hot
+                        // fact), computed lazily on the group's first sparse
                         // fact so fully-dense groups never pay for it.
                         let mut mu_dot_w: Option<Vec<f64>> = None;
-                        for s_tuple in &group.s_tuples {
-                            let s_idx = detect(&s_tuple.features);
-                            if s_idx.is_some() && mu_dot_w.is_none() {
+                        for (fi, s_tuple) in group.s_tuples.iter().enumerate() {
+                            let s_rep = if fill {
+                                local_fact_reps.push(config.sparse.detect(&s_tuple.features));
+                                local_fact_reps.last().unwrap().as_ref()
+                            } else {
+                                cached_rep(fact_reps_ref, fact_offsets[gi] + fi)
+                            };
+                            if s_rep.is_some() && mu_dot_w.is_none() {
                                 mu_dot_w = Some(
                                     cross_w
                                         .iter()
@@ -164,10 +215,10 @@ impl FactorizedGmm {
                                 );
                             }
                             for c in 0..k {
-                                let quad = match &s_idx {
-                                    Some(idx) => {
-                                        fact_pre[c].diag_term(&forms[c], 0, idx)
-                                            + (sparse::gather_sum(&cross_w[c], idx)
+                                let quad = match s_rep {
+                                    Some(rep) => {
+                                        fact_pre[c].diag_term(&forms[c], 0, rep)
+                                            + (rep.gather_dot(&cross_w[c])
                                                 - mu_dot_w.as_ref().expect("computed above")[c])
                                             + lr_terms[c]
                                     }
@@ -192,47 +243,58 @@ impl FactorizedGmm {
                             local_gammas.extend_from_slice(&resp);
                         }
                     }
-                    (local_gammas, local_nk, local_ll)
+                    (
+                        local_gammas,
+                        local_nk,
+                        local_ll,
+                        local_group_reps,
+                        local_fact_reps,
+                    )
                 });
-                for (local_gammas, local_nk, local_ll) in parts {
+                for (local_gammas, local_nk, local_ll, local_group_reps, local_fact_reps) in parts {
                     gammas.extend_from_slice(&local_gammas);
                     vector::axpy(1.0, &local_nk, &mut nk);
                     ll += local_ll;
+                    if fill {
+                        group_reps.extend(local_group_reps);
+                        fact_reps.extend(local_fact_reps);
+                    }
                 }
+                group_cursor += groups.len();
+                fact_cursor += groups.iter().map(|g| g.s_tuples.len()).sum::<usize>();
             }
+            reps_ready = true;
 
             // ---- Pass 2: M-step, means (Equation 13) ----
             let mut mean_sums = vec![Vector::zeros(d); k];
-            let mut cursor = 0usize;
+            let mut group_cursor = 0usize;
+            let mut fact_cursor = 0usize;
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
                 let groups = block?;
                 // Per-group cursor offsets into the responsibility stream, so
                 // chunks can be processed independently.
-                let offsets: Vec<usize> = groups
+                let fact_offsets: Vec<usize> = groups
                     .iter()
-                    .scan(cursor, |acc, g| {
+                    .scan(fact_cursor, |acc, g| {
                         let o = *acc;
-                        *acc += g.s_tuples.len() * k;
+                        *acc += g.s_tuples.len();
                         Some(o)
                     })
                     .collect();
+                let group_base = group_cursor;
                 let parts = par_chunks(par, groups.len(), 1, |range| {
                     let mut local = vec![Vector::zeros(d); k];
                     for gi in range {
                         let group = &groups[gi];
-                        let mut cur = offsets[gi];
+                        let mut cur = fact_offsets[gi] * k;
                         let mut group_gamma = vec![0.0; k];
-                        for s_tuple in &group.s_tuples {
+                        for (fi, s_tuple) in group.s_tuples.iter().enumerate() {
                             let g = &gammas[cur..cur + k];
-                            match detect(&s_tuple.features) {
-                                Some(idx) => {
+                            match cached_rep(&fact_reps, fact_offsets[gi] + fi) {
+                                Some(rep) => {
                                     for c in 0..k {
-                                        sparse::axpy_onehot(
-                                            g[c],
-                                            &idx,
-                                            &mut local[c].as_mut_slice()[..d_s],
-                                        );
+                                        rep.axpy_into(g[c], &mut local[c].as_mut_slice()[..d_s]);
                                         group_gamma[c] += g[c];
                                     }
                                 }
@@ -250,13 +312,12 @@ impl FactorizedGmm {
                             cur += k;
                         }
                         // Dimension part: one scatter-add per active index
-                        // for one-hot tuples, one AXPY otherwise.
-                        match detect(&group.r_tuple.features) {
-                            Some(idx) => {
+                        // for sparse tuples, one AXPY otherwise.
+                        match cached_rep(&group_reps, group_base + gi) {
+                            Some(rep) => {
                                 for c in 0..k {
-                                    sparse::axpy_onehot(
+                                    rep.axpy_into(
                                         group_gamma[c],
-                                        &idx,
                                         &mut local[c].as_mut_slice()[d_s..],
                                     );
                                 }
@@ -279,7 +340,8 @@ impl FactorizedGmm {
                         mean_sums[c].axpy(1.0, &local[c]);
                     }
                 }
-                cursor += groups.iter().map(|g| g.s_tuples.len() * k).sum::<usize>();
+                group_cursor += groups.len();
+                fact_cursor += groups.iter().map(|g| g.s_tuples.len()).sum::<usize>();
             }
             let new_means = means_from_sums(&nk, &mean_sums);
             let new_means_split: Vec<Vec<Vec<f64>>> = new_means
@@ -295,60 +357,62 @@ impl FactorizedGmm {
 
             // ---- Pass 3: M-step, covariances (Equations 14–18) ----
             // Chunks of groups accumulate into private BlockScatter grids which
-            // are merged in chunk order (`BlockScatter::merge_from`).  One-hot
+            // are merged in chunk order (`BlockScatter::merge_from`).  Sparse
             // dimension tuples contribute through the sparse decomposition:
             // raw-x scatters per group, dense mean corrections once per pass.
             let mut scatter: Vec<BlockScatter> = (0..k)
                 .map(|_| BlockScatter::new_with(partition.clone(), kp))
                 .collect();
-            let mut sparse_acc: Vec<OneHotScatterAcc> = (0..k)
-                .map(|_| OneHotScatterAcc::new(d_s, d - d_s))
+            let mut sparse_acc: Vec<SparseScatterAcc> = (0..k)
+                .map(|_| SparseScatterAcc::new(d_s, d - d_s))
                 .collect();
-            let mut fact_acc: Vec<OneHotDiagAcc> =
-                (0..k).map(|_| OneHotDiagAcc::new(d_s)).collect();
-            let mut cursor = 0usize;
+            let mut fact_acc: Vec<SparseDiagAcc> =
+                (0..k).map(|_| SparseDiagAcc::new(d_s)).collect();
+            let mut group_cursor = 0usize;
+            let mut fact_cursor = 0usize;
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
                 let groups = block?;
-                let offsets: Vec<usize> = groups
+                let fact_offsets: Vec<usize> = groups
                     .iter()
-                    .scan(cursor, |acc, g| {
+                    .scan(fact_cursor, |acc, g| {
                         let o = *acc;
-                        *acc += g.s_tuples.len() * k;
+                        *acc += g.s_tuples.len();
                         Some(o)
                     })
                     .collect();
+                let group_base = group_cursor;
                 let parts = par_chunks(par, groups.len(), 1, |range| {
                     let mut local: Vec<BlockScatter> = (0..k)
                         .map(|_| BlockScatter::new_with(partition.clone(), kp))
                         .collect();
-                    let mut local_acc: Vec<OneHotScatterAcc> = (0..k)
-                        .map(|_| OneHotScatterAcc::new(d_s, d - d_s))
+                    let mut local_acc: Vec<SparseScatterAcc> = (0..k)
+                        .map(|_| SparseScatterAcc::new(d_s, d - d_s))
                         .collect();
-                    let mut local_fact: Vec<OneHotDiagAcc> =
-                        (0..k).map(|_| OneHotDiagAcc::new(d_s)).collect();
+                    let mut local_fact: Vec<SparseDiagAcc> =
+                        (0..k).map(|_| SparseDiagAcc::new(d_s)).collect();
                     let mut pd_s = vec![0.0; d_s];
                     for gi in range {
                         let group = &groups[gi];
-                        let mut cur = offsets[gi];
+                        let mut cur = fact_offsets[gi] * k;
                         let mut group_gamma = vec![0.0; k];
                         let mut weighted_pd_s = vec![vec![0.0; d_s]; k];
-                        // Raw sums over the group's *one-hot* facts, folded
+                        // Raw sums over the group's *sparse* facts, folded
                         // into `weighted_pd_s` once per group below
                         // (Σ γ(x−µ) = Σ γx − (Σ γ)µ).
                         let mut wg_sparse = vec![vec![0.0; d_s]; k];
                         let mut wg_gamma = vec![0.0; k];
                         let mut any_sparse_fact = false;
-                        for s_tuple in &group.s_tuples {
+                        for (fi, s_tuple) in group.s_tuples.iter().enumerate() {
                             let g = &gammas[cur..cur + k];
-                            match detect(&s_tuple.features) {
-                                Some(idx) => {
+                            match cached_rep(&fact_reps, fact_offsets[gi] + fi) {
+                                Some(rep) => {
                                     // UL block: raw γ·x xᵀ pair scatter; the
                                     // mean corrections apply once per pass.
                                     any_sparse_fact = true;
                                     for c in 0..k {
-                                        local_fact[c].record(&mut local[c], 0, g[c], &idx);
-                                        sparse::axpy_onehot(g[c], &idx, &mut wg_sparse[c]);
+                                        local_fact[c].record(&mut local[c], 0, g[c], rep);
+                                        rep.axpy_into(g[c], &mut wg_sparse[c]);
                                         wg_gamma[c] += g[c];
                                         group_gamma[c] += g[c];
                                     }
@@ -379,7 +443,7 @@ impl FactorizedGmm {
                                 );
                             }
                         }
-                        if let Some(idx) = detect(&group.r_tuple.features) {
+                        if let Some(rep) = cached_rep(&group_reps, group_base + gi) {
                             // UR / LL / LR blocks: sparse raw-x scatters; the
                             // mean corrections are applied once after the pass.
                             for c in 0..k {
@@ -388,7 +452,7 @@ impl FactorizedGmm {
                                     1,
                                     group_gamma[c],
                                     &weighted_pd_s[c],
-                                    &idx,
+                                    rep,
                                 );
                             }
                             continue;
@@ -418,7 +482,8 @@ impl FactorizedGmm {
                         fact_acc[c].merge_from(&local_fact[c]);
                     }
                 }
-                cursor += groups.iter().map(|g| g.s_tuples.len() * k).sum::<usize>();
+                group_cursor += groups.len();
+                fact_cursor += groups.iter().map(|g| g.s_tuples.len()).sum::<usize>();
             }
             for (c, acc) in sparse_acc.iter().enumerate() {
                 acc.finalize(&mut scatter[c], 1, &new_means_split[c][1]);

@@ -65,12 +65,17 @@ pub struct GmmConfig {
     /// [`fml_linalg::policy`]).  All variants of one comparison should share a
     /// policy: results across policies agree only within rounding tolerances.
     pub kernel_policy: KernelPolicy,
-    /// Whether the factorized trainers detect one-hot dimension blocks and
-    /// route them through the sparse kernels ([`fml_linalg::sparse`]).  The
-    /// default `Auto` engages on 0/1 blocks at ≤ ½ occupancy; `Dense` forces
-    /// the dense path (the comparison baseline).  Sparse-path models agree
-    /// with the dense path within rounding tolerances (the centered
-    /// decomposition regroups additions), not bit-for-bit.
+    /// Whether the trainers detect sparse feature blocks and route them
+    /// through the sparse kernels ([`fml_linalg::sparse`] for one-hot,
+    /// [`fml_linalg::csr`] for weighted CSR).  The default `Auto` engages on
+    /// 0/1 blocks at ≤ ½ occupancy and on weighted-sparse blocks at ≤ ¼
+    /// occupancy; `Dense` forces the dense path (the comparison baseline).
+    /// The factorized trainers detect per base-relation block; the
+    /// materialized/streaming trainers detect the denormalized rows.
+    /// Detection is cached per tuple (at most one scan per tuple per training
+    /// run).  Sparse-path models agree with the dense path within rounding
+    /// tolerances (the centered decomposition regroups additions), not
+    /// bit-for-bit.
     pub sparse: SparseMode,
 }
 

@@ -18,11 +18,11 @@
 use crate::em::{converged, finalize_m_step, means_from_sums, GmmFit};
 use crate::init::GmmInit;
 use crate::model::Precomputed;
-use crate::sparse::{OneHotFormPre, OneHotScatterAcc};
+use crate::sparse::{SparseFormPre, SparseScatterAcc};
 use crate::GmmConfig;
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 use fml_linalg::policy::par_chunks;
-use fml_linalg::sparse::{self, SparseMode};
+use fml_linalg::sparse::{SparseMode, SparseRep};
 use fml_linalg::{gemm, vector, KernelPolicy, Matrix, Vector};
 use fml_store::factorized_scan::StarScan;
 use fml_store::{Database, JoinSpec, StoreResult};
@@ -43,23 +43,23 @@ struct EStepEntry {
 }
 
 /// Per-iteration context the E-step cache construction reads: the partitioned
-/// covariance inverses, split means and (when auto-sparse) the one-hot
+/// covariance inverses, split means and (when auto-sparse) the sparse
 /// decomposition constants.
 struct EStepCtx<'a> {
     forms: &'a [BlockQuadraticForm],
     means_split: &'a [Vec<Vec<f64>>],
-    onehot_pre: &'a [Vec<OneHotFormPre>],
+    sparse_pre: &'a [Vec<SparseFormPre>],
     kp: KernelPolicy,
 }
 
 impl EStepEntry {
-    /// Builds the cache for one distinct dimension tuple.  One-hot tuples
-    /// (`idx` given) compute the diagonal and fact-cross quantities through
+    /// Builds the cache for one distinct dimension tuple.  Sparse tuples
+    /// (`rep` given) compute the diagonal and fact-cross quantities through
     /// the mean decomposition (gathers only); the centered vector is still
     /// materialized because the cross terms between *distinct* dimension
     /// blocks evaluate densely (sparse cross-dimension terms are a ROADMAP
     /// follow-up).
-    fn build(features: &[f64], idx: Option<&[u32]>, block: usize, ctx: &EStepCtx<'_>) -> Self {
+    fn build(features: &[f64], rep: Option<&SparseRep>, block: usize, ctx: &EStepCtx<'_>) -> Self {
         let k = ctx.forms.len();
         let mut pd = Vec::with_capacity(k);
         let mut diag = Vec::with_capacity(k);
@@ -70,11 +70,11 @@ impl EStepEntry {
                 .zip(ctx.means_split[c][block].iter())
                 .map(|(x, m)| x - m)
                 .collect();
-            match idx {
-                Some(idx) => {
-                    let pre = &ctx.onehot_pre[c][block - 1];
-                    diag.push(pre.diag_term(&ctx.forms[c], block, idx));
-                    cross_s.push(pre.cross_vector(&ctx.forms[c], block, idx, ctx.kp));
+            match rep {
+                Some(rep) => {
+                    let pre = &ctx.sparse_pre[c][block - 1];
+                    diag.push(pre.diag_term(&ctx.forms[c], block, rep));
+                    cross_s.push(pre.cross_vector(&ctx.forms[c], block, rep, ctx.kp));
                 }
                 None => {
                     diag.push(ctx.forms[c].term(block, block, &centered, &centered));
@@ -136,14 +136,20 @@ impl FactorizedMultiwayGmm {
         // Fan out only when per-fact work can amortize the thread spawns.
         let par = policy.is_parallel() && k * d * d >= crate::factorized::PAR_MIN_GROUP_FLOPS;
         let auto_sparse = config.sparse == SparseMode::Auto;
-        let detect = |features: &[f64]| config.sparse.detect(features);
+        // Per-dimension detection caches, keyed by FK and **hoisted out of the
+        // EM loop**: the dimension tuples are immutable, so detection runs at
+        // most once per distinct tuple for the whole training run (the E-step
+        // fills the cache on first encounter; the M-step passes and every
+        // later iteration reuse it).
+        let mut dim_reps: Vec<HashMap<u64, Option<SparseRep>>> =
+            (0..q).map(|_| HashMap::new()).collect();
 
         for _iter in 0..config.max_iters {
             let pre = Precomputed::from_model(&model, config.ridge);
             let forms = pre.block_forms_with(&partition, kp);
             let means_split = pre.split_means(&partition);
-            let onehot_pre = if auto_sparse {
-                OneHotFormPre::build_all(&forms, &means_split, partition.num_blocks(), kp)
+            let sparse_pre = if auto_sparse {
+                SparseFormPre::build_all(&forms, &means_split, partition.num_blocks(), kp)
             } else {
                 Vec::new()
             };
@@ -170,15 +176,19 @@ impl FactorizedMultiwayGmm {
                                     key: *fk,
                                 }
                             })?;
-                            let idx = detect(&dim_tuple.features);
+                            // Detection persists across iterations; only the
+                            // first encounter of a tuple ever scans it.
+                            let rep = dim_reps[i]
+                                .entry(*fk)
+                                .or_insert_with(|| config.sparse.detect(&dim_tuple.features));
                             let ctx = EStepCtx {
                                 forms: &forms,
                                 means_split: &means_split,
-                                onehot_pre: &onehot_pre,
+                                sparse_pre: &sparse_pre,
                                 kp,
                             };
                             let entry =
-                                EStepEntry::build(&dim_tuple.features, idx.as_deref(), i + 1, &ctx);
+                                EStepEntry::build(&dim_tuple.features, rep.as_ref(), i + 1, &ctx);
                             caches[i].insert(*fk, entry);
                         }
                     }
@@ -253,18 +263,18 @@ impl FactorizedMultiwayGmm {
             for (i, dim_gammas) in gamma_by_dim.iter().enumerate() {
                 let range = partition.range(i + 1);
                 for (key, sums) in dim_gammas {
-                    let dim_tuple = scan.cache().get(i, *key).expect("cached during pass 1");
-                    match detect(&dim_tuple.features) {
-                        Some(idx) => {
+                    match dim_reps[i].get(key).expect("detected during pass 1") {
+                        Some(rep) => {
                             for c in 0..k {
-                                sparse::axpy_onehot(
+                                rep.axpy_into(
                                     sums[c],
-                                    &idx,
                                     &mut mean_sums[c].as_mut_slice()[range.clone()],
                                 );
                             }
                         }
                         None => {
+                            let dim_tuple =
+                                scan.cache().get(i, *key).expect("cached during pass 1");
                             for c in 0..k {
                                 vector::axpy(
                                     sums[c],
@@ -343,23 +353,22 @@ impl FactorizedMultiwayGmm {
                     cursor += k;
                 }
             }
-            // Dimension-side blocks, once per dimension tuple.  One-hot tuples
+            // Dimension-side blocks, once per dimension tuple.  Sparse tuples
             // go through the sparse decomposition: raw-x scatters here, dense
             // mean corrections once per (component, block) after the loop.
             for i in 0..q {
                 let d_i = partition.size(i + 1);
-                let mut acc: Vec<OneHotScatterAcc> =
-                    (0..k).map(|_| OneHotScatterAcc::new(d_s, d_i)).collect();
+                let mut acc: Vec<SparseScatterAcc> =
+                    (0..k).map(|_| SparseScatterAcc::new(d_s, d_i)).collect();
                 for (key, agg) in &aggs[i] {
-                    let dim_tuple = scan.cache().get(i, *key).expect("cached during pass 1");
-                    if let Some(idx) = detect(&dim_tuple.features) {
+                    if let Some(rep) = dim_reps[i].get(key).expect("detected during pass 1") {
                         for c in 0..k {
                             acc[c].record(
                                 &mut scatter[c],
                                 i + 1,
                                 agg.gamma[c],
                                 &agg.weighted_pd_s[c],
-                                &idx,
+                                rep,
                             );
                         }
                         continue;

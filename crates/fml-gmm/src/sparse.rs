@@ -1,36 +1,38 @@
 //! Sparse-path machinery shared by the factorized binary and multi-way GMM
-//! trainers.
+//! trainers, generalized over both sparse representations ([`SparseRep`]):
+//! one-hot index sets and weighted CSR rows.
 //!
 //! The EM quantities the factorized trainers compute per dimension tuple all
 //! involve the **centered** vector `PD = x − µ`, which is dense even when `x`
-//! is one-hot.  The trick is to expand around the mean once per component and
+//! is sparse.  The trick is to expand around the mean once per component and
 //! iteration, leaving only gathers/scatters on `x` itself in the per-group hot
 //! path:
 //!
 //! * quadratic term (E-step `LR` / diagonal terms):
-//!   `(x−µ)ᵀ A (x−µ) = Σ_{i,j∈x} A[i][j] − Σ_{i∈x} ((A+Aᵀ)µ)[i] + µᵀAµ`
+//!   `(x−µ)ᵀ A (x−µ) = xᵀAx − Σ_i x_i·((A+Aᵀ)µ)_i + µᵀAµ`
+//!   (for one-hot `x` the raw form degenerates to `Σ_{i,j∈x} A[i][j]`)
 //! * fact-side cross vector (E-step `w`):
-//!   `(A₀ᵦ + Aᵦ₀ᵀ)(x−µ) = colsum_x(A₀ᵦ) + rowsum_x(Aᵦ₀) − (A₀ᵦ + Aᵦ₀ᵀ)µ`
+//!   `(A₀ᵦ + Aᵦ₀ᵀ)(x−µ) = A₀ᵦ·x + Aᵦ₀ᵀ·x − (A₀ᵦ + Aᵦ₀ᵀ)µ`
 //! * scatter blocks (M-step, summed over groups `g` with weight `γ_g`):
 //!   `Σ_g γ_g (x_g−µ)(x_g−µ)ᵀ = Σ_g γ_g x_g x_gᵀ − (Σ_g γ_g x_g)µᵀ − µ(Σ_g γ_g x_g)ᵀ + (Σ_g γ_g)µµᵀ`
 //!   `Σ_g w_g (x_g−µ)ᵀ      = Σ_g w_g x_gᵀ − (Σ_g w_g)µᵀ`
 //!
-//! [`OneHotFormPre`] holds the `O(d²)` per-component constants (built **once
-//! per iteration**, not per group); [`OneHotScatterAcc`] accumulates the
+//! [`SparseFormPre`] holds the `O(d²)` per-component constants (built **once
+//! per iteration**, not per group); [`SparseScatterAcc`] accumulates the
 //! `x`-only scatter sums sparsely and applies the dense mean corrections
-//! **once per pass** in [`finalize`](OneHotScatterAcc::finalize).  The
+//! **once per pass** in [`finalize`](SparseScatterAcc::finalize).  The
 //! decomposition is exact in real arithmetic; in floating point it regroups
 //! additions, so sparse-path models agree with the dense path within the same
 //! rounding tolerances the cross-variant equivalence tests already use.
 
 use fml_linalg::block::{BlockQuadraticForm, BlockScatter};
-use fml_linalg::sparse::{self, BlockVec};
-use fml_linalg::{gemm, vector, KernelPolicy};
+use fml_linalg::sparse::SparseRep;
+use fml_linalg::{gemm, vector, KernelPolicy, Matrix};
 
-/// Per-component, per-dimension-block constants for the one-hot decomposition
+/// Per-component, per-dimension-block constants for the sparse decomposition
 /// of the centered E-step quantities.  `block` is the partition index of the
 /// dimension block (`≥ 1`); block `0` is the fact side.
-pub(crate) struct OneHotFormPre {
+pub(crate) struct SparseFormPre {
     /// `(A_bb + A_bbᵀ) · µ_b`.
     a_mu_sum: Vec<f64>,
     /// `µ_bᵀ A_bb µ_b`.
@@ -39,7 +41,7 @@ pub(crate) struct OneHotFormPre {
     cross_mu: Vec<f64>,
 }
 
-impl OneHotFormPre {
+impl SparseFormPre {
     /// Builds the constants for one component (`form` is its partitioned
     /// `Σ⁻¹`) and one dimension block, under the given sequential policy.
     pub fn build(form: &BlockQuadraticForm, block: usize, mu_b: &[f64], kp: KernelPolicy) -> Self {
@@ -60,11 +62,22 @@ impl OneHotFormPre {
         mu_b: &[f64],
         kp: KernelPolicy,
     ) -> Self {
-        let a_bb = form.block(block, block);
-        let mut a_mu_sum = gemm::matvec_with(kp, a_bb, mu_b);
-        let at_mu = gemm::matvec_transposed_with(kp, a_bb, mu_b);
+        Self::build_flat(form.block(block, block), mu_b, kp)
+    }
+
+    /// Diagonal constants computed directly from a flat (unpartitioned)
+    /// matrix — the dense-pass trainers' "block" is the whole feature space,
+    /// so `M-GMM`/`S-GMM` share this exact expansion with the factorized
+    /// trainers (pair it with [`quad_flat`](Self::quad_flat)).
+    ///
+    /// `(A + Aᵀ)·µ` is formed from two GEMVs rather than `2·(A·µ)` on
+    /// purpose: the expansion is then exact for *any* square `A`, without
+    /// assuming the Cholesky-derived inverse is bitwise symmetric.
+    pub fn build_flat(a: &Matrix, mu: &[f64], kp: KernelPolicy) -> Self {
+        let mut a_mu_sum = gemm::matvec_with(kp, a, mu);
+        let at_mu = gemm::matvec_transposed_with(kp, a, mu);
         vector::axpy(1.0, &at_mu, &mut a_mu_sum);
-        let mu_a_mu = gemm::quadratic_form_with(kp, mu_b, a_bb, mu_b);
+        let mu_a_mu = gemm::quadratic_form_with(kp, mu, a, mu);
         Self {
             a_mu_sum,
             mu_a_mu,
@@ -79,36 +92,40 @@ impl OneHotFormPre {
         means_split: &[Vec<Vec<f64>>],
         num_blocks: usize,
         kp: KernelPolicy,
-    ) -> Vec<Vec<OneHotFormPre>> {
+    ) -> Vec<Vec<SparseFormPre>> {
         forms
             .iter()
             .enumerate()
             .map(|(c, form)| {
                 (1..num_blocks)
-                    .map(|b| OneHotFormPre::build(form, b, &means_split[c][b], kp))
+                    .map(|b| SparseFormPre::build(form, b, &means_split[c][b], kp))
                     .collect()
             })
             .collect()
     }
 
-    /// `(x−µ)ᵀ A_bb (x−µ)` for one-hot `x` — `s²` loads plus one gather.
-    pub fn diag_term(&self, form: &BlockQuadraticForm, block: usize, idx: &[u32]) -> f64 {
-        sparse::quadratic_form_onehot_pair(idx, form.block(block, block), idx)
-            - sparse::gather_sum(&self.a_mu_sum, idx)
-            + self.mu_a_mu
+    /// `(x−µ)ᵀ A_bb (x−µ)` for sparse `x` — `nnz²` loads/multiply-adds plus
+    /// one gather.
+    pub fn diag_term(&self, form: &BlockQuadraticForm, block: usize, rep: &SparseRep) -> f64 {
+        self.quad_flat(form.block(block, block), rep)
     }
 
-    /// The fact-side cross vector `A_0b·(x−µ) + A_b0ᵀ·(x−µ)` for one-hot `x` —
-    /// `s` column/row gathers plus one dense AXPY of length `d_S`.
+    /// `(x−µ)ᵀ A (x−µ)` against a flat matrix (see [`Self::build_flat`]).
+    pub fn quad_flat(&self, a: &Matrix, rep: &SparseRep) -> f64 {
+        rep.quadratic_form_pair(a) - rep.gather_dot(&self.a_mu_sum) + self.mu_a_mu
+    }
+
+    /// The fact-side cross vector `A_0b·(x−µ) + A_b0ᵀ·(x−µ)` for sparse `x` —
+    /// `nnz` column/row gathers plus one dense AXPY of length `d_S`.
     pub fn cross_vector(
         &self,
         form: &BlockQuadraticForm,
         block: usize,
-        idx: &[u32],
+        rep: &SparseRep,
         kp: KernelPolicy,
     ) -> Vec<f64> {
-        let mut w = sparse::matvec_onehot_with(kp, form.block(0, block), idx);
-        let w2 = sparse::matvec_transposed_onehot_with(kp, form.block(block, 0), idx);
+        let mut w = rep.matvec(kp, form.block(0, block));
+        let w2 = rep.matvec_transposed(kp, form.block(block, 0));
         vector::axpy(1.0, &w2, &mut w);
         vector::axpy(-1.0, &self.cross_mu, &mut w);
         w
@@ -123,8 +140,8 @@ impl OneHotFormPre {
 /// Mergeable in chunk order like [`BlockScatter`] so the parallel group fan-out
 /// keeps its fixed reduction tree.
 #[derive(Debug, Clone)]
-pub(crate) struct OneHotScatterAcc {
-    /// `Σ_g γ_g x_g` over the one-hot groups (dimension-block width).
+pub(crate) struct SparseScatterAcc {
+    /// `Σ_g γ_g x_g` over the sparse groups (dimension-block width).
     gx: Vec<f64>,
     /// `Σ_g w_g` where `w_g = Σ_{facts in g} γ PD_S` (fact-block width).
     w_total: Vec<f64>,
@@ -134,7 +151,7 @@ pub(crate) struct OneHotScatterAcc {
     touched: bool,
 }
 
-impl OneHotScatterAcc {
+impl SparseScatterAcc {
     /// Creates a zeroed accumulator for fact width `d_s` and dimension-block
     /// width `d_b`.
     pub fn new(d_s: usize, d_b: usize) -> Self {
@@ -146,46 +163,42 @@ impl OneHotScatterAcc {
         }
     }
 
-    /// Records one join group whose dimension tuple is one-hot with active
-    /// indices `idx`: scatters the raw-`x` parts of the `(0,b)`, `(b,0)` and
-    /// `(b,b)` blocks into `scatter` and accumulates the correction sums.
+    /// Records one join group whose dimension tuple is sparse with
+    /// representation `rep`: scatters the raw-`x` parts of the `(0,b)`,
+    /// `(b,0)` and `(b,b)` blocks into `scatter` and accumulates the
+    /// correction sums.
     pub fn record(
         &mut self,
         scatter: &mut BlockScatter,
         block: usize,
         group_gamma: f64,
         weighted_pd_s: &[f64],
-        idx: &[u32],
+        rep: &SparseRep,
     ) {
+        let bv = rep.as_block_vec();
         scatter.add_outer_rep(
             0,
             block,
             1.0,
-            BlockVec::Dense(weighted_pd_s),
-            BlockVec::OneHot(idx),
+            fml_linalg::BlockVec::Dense(weighted_pd_s),
+            bv,
         );
         scatter.add_outer_rep(
             block,
             0,
             1.0,
-            BlockVec::OneHot(idx),
-            BlockVec::Dense(weighted_pd_s),
+            bv,
+            fml_linalg::BlockVec::Dense(weighted_pd_s),
         );
-        scatter.add_outer_rep(
-            block,
-            block,
-            group_gamma,
-            BlockVec::OneHot(idx),
-            BlockVec::OneHot(idx),
-        );
-        sparse::axpy_onehot(group_gamma, idx, &mut self.gx);
+        scatter.add_outer_rep(block, block, group_gamma, bv, bv);
+        rep.axpy_into(group_gamma, &mut self.gx);
         vector::axpy(1.0, weighted_pd_s, &mut self.w_total);
         self.gamma_total += group_gamma;
         self.touched = true;
     }
 
     /// Merges another accumulator (parallel chunk partials, chunk order).
-    pub fn merge_from(&mut self, other: &OneHotScatterAcc) {
+    pub fn merge_from(&mut self, other: &SparseScatterAcc) {
         if !other.touched {
             return;
         }
@@ -215,15 +228,15 @@ impl OneHotScatterAcc {
 /// `Σ_t γ_t (x_t−µ)(x_t−µ)ᵀ` decomposes exactly like the dimension diagonal:
 /// raw `x xᵀ` pair scatters per tuple, mean corrections once per pass.
 #[derive(Debug, Clone)]
-pub(crate) struct OneHotDiagAcc {
-    /// `Σ_t γ_t x_t` over the one-hot tuples.
+pub(crate) struct SparseDiagAcc {
+    /// `Σ_t γ_t x_t` over the sparse tuples.
     gx: Vec<f64>,
     /// `Σ_t γ_t`.
     gamma_total: f64,
     touched: bool,
 }
 
-impl OneHotDiagAcc {
+impl SparseDiagAcc {
     /// Creates a zeroed accumulator for a block of width `d_b`.
     pub fn new(d_b: usize) -> Self {
         Self {
@@ -233,23 +246,24 @@ impl OneHotDiagAcc {
         }
     }
 
-    /// Records one one-hot tuple with weight `gamma`: scatters the raw
+    /// Records one sparse tuple with weight `gamma`: scatters the raw
     /// `γ·x xᵀ` into block `(block, block)` and accumulates the corrections.
-    pub fn record(&mut self, scatter: &mut BlockScatter, block: usize, gamma: f64, idx: &[u32]) {
-        scatter.add_outer_rep(
-            block,
-            block,
-            gamma,
-            BlockVec::OneHot(idx),
-            BlockVec::OneHot(idx),
-        );
-        sparse::axpy_onehot(gamma, idx, &mut self.gx);
+    pub fn record(
+        &mut self,
+        scatter: &mut BlockScatter,
+        block: usize,
+        gamma: f64,
+        rep: &SparseRep,
+    ) {
+        let bv = rep.as_block_vec();
+        scatter.add_outer_rep(block, block, gamma, bv, bv);
+        rep.axpy_into(gamma, &mut self.gx);
         self.gamma_total += gamma;
         self.touched = true;
     }
 
     /// Merges another accumulator (parallel chunk partials, chunk order).
-    pub fn merge_from(&mut self, other: &OneHotDiagAcc) {
+    pub fn merge_from(&mut self, other: &SparseDiagAcc) {
         if !other.touched {
             return;
         }
@@ -280,66 +294,96 @@ mod tests {
         Matrix::from_vec(rows, cols, rng.vec_in(rows * cols, -1.0, 1.0))
     }
 
-    fn densify(idx: &[u32], width: usize) -> Vec<f64> {
+    fn densify(rep: &SparseRep, width: usize) -> Vec<f64> {
         let mut v = vec![0.0; width];
-        for &i in idx {
-            v[i as usize] = 1.0;
+        match rep {
+            SparseRep::OneHot(idx) => {
+                for &i in idx {
+                    v[i as usize] = 1.0;
+                }
+            }
+            SparseRep::Csr { idx, vals } => {
+                for (&i, &w) in idx.iter().zip(vals.iter()) {
+                    v[i as usize] = w;
+                }
+            }
         }
         v
     }
 
-    #[test]
-    fn onehot_decomposition_matches_dense_centered_terms() {
-        let (d_s, d_r) = (3usize, 7usize);
-        let p = BlockPartition::binary(d_s, d_r);
-        // symmetrize like a covariance inverse
-        let raw = pseudo(d_s + d_r, d_s + d_r, 1);
+    fn onehot(idx: &[u32]) -> SparseRep {
+        SparseRep::OneHot(idx.to_vec())
+    }
+
+    fn csr(idx: &[u32], vals: &[f64]) -> SparseRep {
+        SparseRep::Csr {
+            idx: idx.to_vec(),
+            vals: vals.to_vec(),
+        }
+    }
+
+    fn symmetrize(raw: &Matrix) -> Matrix {
         let mut a = raw.clone();
         for i in 0..a.rows() {
             for j in 0..a.cols() {
                 a[(i, j)] = 0.5 * (raw[(i, j)] + raw[(j, i)]);
             }
         }
+        a
+    }
+
+    #[test]
+    fn sparse_decomposition_matches_dense_centered_terms() {
+        let (d_s, d_r) = (3usize, 8usize);
+        let p = BlockPartition::binary(d_s, d_r);
+        let a = symmetrize(&pseudo(d_s + d_r, d_s + d_r, 1));
         let form = BlockQuadraticForm::new_with(p, &a, KernelPolicy::Naive);
         let mu: Vec<f64> = fml_linalg::testutil::TestRng::new(2).vec_in(d_r, -0.5, 0.5);
-        let pre = OneHotFormPre::build(&form, 1, &mu, KernelPolicy::Naive);
+        let pre = SparseFormPre::build(&form, 1, &mu, KernelPolicy::Naive);
 
-        let idx = [1u32, 4, 6];
-        let x = densify(&idx, d_r);
-        let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
+        for rep in [
+            onehot(&[1, 4, 6]),
+            csr(&[0, 3, 7], &[1.5, -0.75, 2.25]),
+            csr(&[2], &[-3.0]),
+            csr(&[], &[]),
+        ] {
+            let x = densify(&rep, d_r);
+            let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
 
-        // diagonal quadratic term
-        let dense = form.term(1, 1, &pd, &pd);
-        let sparse_val = pre.diag_term(&form, 1, &idx);
-        assert!(
-            (dense - sparse_val).abs() < 1e-12,
-            "{dense} vs {sparse_val}"
-        );
+            // diagonal quadratic term
+            let dense = form.term(1, 1, &pd, &pd);
+            let sparse_val = pre.diag_term(&form, 1, &rep);
+            assert!(
+                (dense - sparse_val).abs() < 1e-12,
+                "{rep:?}: {dense} vs {sparse_val}"
+            );
 
-        // fact-side cross vector
-        let mut w_dense = gemm::matvec_with(KernelPolicy::Naive, form.block(0, 1), &pd);
-        let w2 = gemm::matvec_transposed_with(KernelPolicy::Naive, form.block(1, 0), &pd);
-        vector::axpy(1.0, &w2, &mut w_dense);
-        let w_sparse = pre.cross_vector(&form, 1, &idx, KernelPolicy::Naive);
-        for (a, b) in w_dense.iter().zip(w_sparse.iter()) {
-            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+            // fact-side cross vector
+            let mut w_dense = gemm::matvec_with(KernelPolicy::Naive, form.block(0, 1), &pd);
+            let w2 = gemm::matvec_transposed_with(KernelPolicy::Naive, form.block(1, 0), &pd);
+            vector::axpy(1.0, &w2, &mut w_dense);
+            let w_sparse = pre.cross_vector(&form, 1, &rep, KernelPolicy::Naive);
+            for (a, b) in w_dense.iter().zip(w_sparse.iter()) {
+                assert!((a - b).abs() < 1e-12, "{rep:?}: {a} vs {b}");
+            }
         }
     }
 
     #[test]
     fn scatter_acc_matches_dense_centered_outer_products() {
-        let (d_s, d_r) = (2usize, 5usize);
+        let (d_s, d_r) = (2usize, 8usize);
         let p = BlockPartition::binary(d_s, d_r);
         let mu: Vec<f64> = fml_linalg::testutil::TestRng::new(7).vec_in(d_r, -0.5, 0.5);
-        let groups: Vec<(f64, Vec<f64>, Vec<u32>)> = vec![
-            (0.8, vec![0.3, -0.2], vec![0, 3]),
-            (1.7, vec![-1.0, 0.4], vec![2, 4]),
-            (0.0, vec![0.5, 0.5], vec![1, 3]),
+        let groups: Vec<(f64, Vec<f64>, SparseRep)> = vec![
+            (0.8, vec![0.3, -0.2], onehot(&[0, 3])),
+            (1.7, vec![-1.0, 0.4], csr(&[2, 5], &[2.0, -0.5])),
+            (0.0, vec![0.5, 0.5], csr(&[1], &[1.25])),
+            (0.6, vec![0.1, 0.9], csr(&[], &[])),
         ];
 
         let mut dense = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
-        for (g, w, idx) in &groups {
-            let x = densify(idx, d_r);
+        for (g, w, rep) in &groups {
+            let x = densify(rep, d_r);
             let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
             dense.add_outer(0, 1, 1.0, w, &pd);
             dense.add_outer(1, 0, 1.0, &pd, w);
@@ -347,9 +391,9 @@ mod tests {
         }
 
         let mut sparse_sc = BlockScatter::new_with(p, KernelPolicy::Naive);
-        let mut acc = OneHotScatterAcc::new(d_s, d_r);
-        for (g, w, idx) in &groups {
-            acc.record(&mut sparse_sc, 1, *g, w, idx);
+        let mut acc = SparseScatterAcc::new(d_s, d_r);
+        for (g, w, rep) in &groups {
+            acc.record(&mut sparse_sc, 1, *g, w, rep);
         }
         acc.finalize(&mut sparse_sc, 1, &mu);
 
@@ -359,22 +403,22 @@ mod tests {
 
     #[test]
     fn scatter_acc_merge_preserves_totals() {
-        let (d_s, d_r) = (1usize, 3usize);
+        let (d_s, d_r) = (1usize, 4usize);
         let p = BlockPartition::binary(d_s, d_r);
-        let mu = vec![0.1, 0.2, 0.3];
+        let mu = vec![0.1, 0.2, 0.3, -0.1];
 
         let mut whole_sc = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
-        let mut whole = OneHotScatterAcc::new(d_s, d_r);
-        whole.record(&mut whole_sc, 1, 0.5, &[1.0], &[0]);
-        whole.record(&mut whole_sc, 1, 1.5, &[-2.0], &[2]);
+        let mut whole = SparseScatterAcc::new(d_s, d_r);
+        whole.record(&mut whole_sc, 1, 0.5, &[1.0], &onehot(&[0]));
+        whole.record(&mut whole_sc, 1, 1.5, &[-2.0], &csr(&[2], &[0.75]));
         whole.finalize(&mut whole_sc, 1, &mu);
 
         let mut sc_a = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
-        let mut a = OneHotScatterAcc::new(d_s, d_r);
-        a.record(&mut sc_a, 1, 0.5, &[1.0], &[0]);
+        let mut a = SparseScatterAcc::new(d_s, d_r);
+        a.record(&mut sc_a, 1, 0.5, &[1.0], &onehot(&[0]));
         let mut sc_b = BlockScatter::new_with(p, KernelPolicy::Naive);
-        let mut b = OneHotScatterAcc::new(d_s, d_r);
-        b.record(&mut sc_b, 1, 1.5, &[-2.0], &[2]);
+        let mut b = SparseScatterAcc::new(d_s, d_r);
+        b.record(&mut sc_b, 1, 1.5, &[-2.0], &csr(&[2], &[0.75]));
         sc_a.merge_from(&sc_b);
         a.merge_from(&b);
         a.finalize(&mut sc_a, 1, &mu);
@@ -384,45 +428,42 @@ mod tests {
 
     #[test]
     fn fact_block_decomposition_matches_dense_centered_terms() {
-        let (d_s, d_r) = (5usize, 3usize);
+        let (d_s, d_r) = (8usize, 3usize);
         let p = BlockPartition::binary(d_s, d_r);
-        let raw = pseudo(d_s + d_r, d_s + d_r, 9);
-        let mut a = raw.clone();
-        for i in 0..a.rows() {
-            for j in 0..a.cols() {
-                a[(i, j)] = 0.5 * (raw[(i, j)] + raw[(j, i)]);
-            }
-        }
+        let a = symmetrize(&pseudo(d_s + d_r, d_s + d_r, 9));
         let form = BlockQuadraticForm::new_with(p.clone(), &a, KernelPolicy::Naive);
         let mu: Vec<f64> = fml_linalg::testutil::TestRng::new(10).vec_in(d_s, -0.5, 0.5);
-        let pre = OneHotFormPre::build_diag(&form, 0, &mu, KernelPolicy::Naive);
+        let pre = SparseFormPre::build_diag(&form, 0, &mu, KernelPolicy::Naive);
 
-        let tuples: Vec<(f64, Vec<u32>)> =
-            vec![(0.4, vec![0, 3]), (1.1, vec![2, 4]), (0.7, vec![1, 3])];
+        let tuples: Vec<(f64, SparseRep)> = vec![
+            (0.4, onehot(&[0, 3])),
+            (1.1, csr(&[2, 4], &[1.25, -2.0])),
+            (0.7, csr(&[1], &[0.5])),
+        ];
 
         // E-step diagonal term per tuple
-        for (_, idx) in &tuples {
-            let x = densify(idx, d_s);
+        for (_, rep) in &tuples {
+            let x = densify(rep, d_s);
             let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
             let dense = form.term(0, 0, &pd, &pd);
-            let sparse_val = pre.diag_term(&form, 0, idx);
+            let sparse_val = pre.diag_term(&form, 0, rep);
             assert!(
                 (dense - sparse_val).abs() < 1e-12,
-                "{dense} vs {sparse_val}"
+                "{rep:?}: {dense} vs {sparse_val}"
             );
         }
 
         // M-step diagonal scatter with deferred corrections
         let mut dense_sc = BlockScatter::new_with(p.clone(), KernelPolicy::Naive);
-        for (g, idx) in &tuples {
-            let x = densify(idx, d_s);
+        for (g, rep) in &tuples {
+            let x = densify(rep, d_s);
             let pd: Vec<f64> = x.iter().zip(mu.iter()).map(|(a, b)| a - b).collect();
             dense_sc.add_outer(0, 0, *g, &pd, &pd);
         }
         let mut sparse_sc = BlockScatter::new_with(p, KernelPolicy::Naive);
-        let mut acc = OneHotDiagAcc::new(d_s);
-        for (g, idx) in &tuples {
-            acc.record(&mut sparse_sc, 0, *g, idx);
+        let mut acc = SparseDiagAcc::new(d_s);
+        for (g, rep) in &tuples {
+            acc.record(&mut sparse_sc, 0, *g, rep);
         }
         acc.finalize(&mut sparse_sc, 0, &mu);
         let diff = dense_sc.matrix().max_abs_diff(sparse_sc.matrix());
@@ -433,7 +474,7 @@ mod tests {
     fn untouched_acc_finalize_is_a_noop() {
         let p = BlockPartition::binary(1, 2);
         let mut sc = BlockScatter::new_with(p, KernelPolicy::Naive);
-        let acc = OneHotScatterAcc::new(1, 2);
+        let acc = SparseScatterAcc::new(1, 2);
         acc.finalize(&mut sc, 1, &[5.0, 5.0]);
         assert_eq!(sc.matrix().frobenius_norm(), 0.0);
     }

@@ -12,8 +12,9 @@
 
 use fml_data::multiway::{DimSpec, MultiwayConfig};
 use fml_data::EmulatedDataset;
-use fml_gmm::{FactorizedGmm, GmmConfig};
-use fml_linalg::sparse::{onehot_indices, onehot_kernel_calls, SparseMode};
+use fml_gmm::{FactorizedGmm, GmmConfig, MaterializedGmm, StreamingGmm};
+use fml_linalg::csr::csr_kernel_calls;
+use fml_linalg::sparse::{detect_calls, onehot_indices, onehot_kernel_calls, SparseMode};
 use fml_linalg::KernelPolicy;
 use std::sync::Mutex;
 
@@ -122,4 +123,161 @@ fn sparse_path_is_stable_across_kernel_policies() {
         let diff = reference.model.max_param_diff(&fit.model);
         assert!(diff < 1e-6, "{p}: sparse-path policy diff {diff}");
     }
+}
+
+/// Binary star with a weighted-sparse (general CSR) dimension block.
+fn sparse_numeric_binary() -> fml_data::Workload {
+    MultiwayConfig {
+        n_s: 400,
+        d_s: 2,
+        dims: vec![DimSpec::sparse_numeric(12, 16, 3)],
+        k: 2,
+        noise_std: 0.6,
+        with_target: false,
+        seed: 37,
+    }
+    .generate()
+    .unwrap()
+}
+
+#[test]
+fn weighted_sparse_blocks_hit_the_csr_path_and_match_dense() {
+    let _guard = LOCK.lock().unwrap();
+    let w = sparse_numeric_binary();
+
+    // Forced dense: must never touch a CSR kernel.
+    let before_dense = csr_kernel_calls();
+    let dense = FactorizedGmm::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense))
+        .expect("dense training");
+    assert_eq!(
+        csr_kernel_calls(),
+        before_dense,
+        "SparseMode::Dense must not invoke CSR kernels"
+    );
+
+    // Default (Auto): the weighted-sparse dimension block must go through the
+    // CSR kernels — detection generalizes past 0/1 values.
+    let before_auto = csr_kernel_calls();
+    let auto = FactorizedGmm::train(&w.db, &w.spec, &config()).expect("auto training");
+    assert!(
+        csr_kernel_calls() > before_auto,
+        "Auto mode must route weighted-sparse blocks through the CSR kernels"
+    );
+
+    let diff = dense.model.max_param_diff(&auto.model);
+    assert!(diff < 1e-6, "CSR vs dense model diff {diff}");
+    for (a, b) in dense.log_likelihood.iter().zip(auto.log_likelihood.iter()) {
+        assert!(
+            (a - b).abs() / a.abs().max(1.0) < 1e-8,
+            "log-likelihood diverged: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn multiway_weighted_sparse_auto_matches_dense() {
+    let _guard = LOCK.lock().unwrap();
+    let w = MultiwayConfig {
+        n_s: 300,
+        d_s: 2,
+        dims: vec![DimSpec::sparse_numeric(10, 16, 3), DimSpec::new(5, 3)],
+        k: 2,
+        noise_std: 0.6,
+        with_target: false,
+        seed: 41,
+    }
+    .generate()
+    .unwrap();
+    let dense =
+        FactorizedGmm::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense)).unwrap();
+    let auto = FactorizedGmm::train(&w.db, &w.spec, &config()).unwrap();
+    let diff = dense.model.max_param_diff(&auto.model);
+    assert!(diff < 1e-6, "multiway CSR vs dense diff {diff}");
+}
+
+#[test]
+fn detection_runs_at_most_once_per_tuple_across_iterations() {
+    let _guard = LOCK.lock().unwrap();
+    let w = walmart_sparse();
+    let n_s = w.n_fact().unwrap();
+    let n_r = w.n_dim(0).unwrap();
+
+    // Binary factorized trainer, several EM iterations: every pass of every
+    // iteration re-reads the same immutable tuples, but detection must run at
+    // most once per tuple (the caches are filled during the first E-step).
+    let iters = 3;
+    let before = detect_calls();
+    let _ = FactorizedGmm::train(
+        &w.db,
+        &w.spec,
+        &GmmConfig {
+            k: 2,
+            max_iters: iters,
+            ..GmmConfig::default()
+        },
+    )
+    .unwrap();
+    let delta = detect_calls() - before;
+    // One detection per fact tuple plus one per join group (each dimension
+    // tuple heads exactly one group per full scan).
+    assert!(
+        delta <= n_s + n_r,
+        "detection ran {delta} times for {n_s} facts / {n_r} dims over {iters} iterations \
+         — per-iteration rescan regression"
+    );
+    // Sanity: it DID run (Auto mode detects).
+    assert!(delta >= n_s, "detection must cover every fact tuple once");
+
+    // Multiway: dimension-tuple detection is cached across iterations too.
+    let w = categorical_multiway();
+    let n_r: u64 = (0..2).map(|i| w.n_dim(i).unwrap()).sum();
+    let before = detect_calls();
+    let _ = FactorizedGmm::train(
+        &w.db,
+        &w.spec,
+        &GmmConfig {
+            k: 2,
+            max_iters: 3,
+            ..GmmConfig::default()
+        },
+    )
+    .unwrap();
+    let delta = detect_calls() - before;
+    assert!(
+        delta <= n_r,
+        "multiway detection ran {delta} times for {n_r} dimension tuples"
+    );
+}
+
+#[test]
+fn streaming_and_materialized_honor_sparse_mode() {
+    // The dense-pass trainers share one driver; both must engage the sparse
+    // kernels on sparse denormalized rows under Auto (they used to silently
+    // run dense regardless of `SparseMode`) and match the forced-dense model.
+    let _guard = LOCK.lock().unwrap();
+    let w = walmart_sparse();
+    let cfg = config();
+
+    let before_dense = onehot_kernel_calls() + csr_kernel_calls();
+    let s_dense = StreamingGmm::train(&w.db, &w.spec, &cfg.clone().sparse_mode(SparseMode::Dense))
+        .expect("dense streaming");
+    assert_eq!(
+        onehot_kernel_calls() + csr_kernel_calls(),
+        before_dense,
+        "SparseMode::Dense must keep the streaming trainer fully dense"
+    );
+
+    let before_auto = onehot_kernel_calls() + csr_kernel_calls();
+    let s_auto = StreamingGmm::train(&w.db, &w.spec, &cfg).expect("auto streaming");
+    assert!(
+        onehot_kernel_calls() + csr_kernel_calls() > before_auto,
+        "Auto mode must route the streaming trainer's sparse rows through the sparse kernels"
+    );
+    let diff = s_dense.model.max_param_diff(&s_auto.model);
+    assert!(diff < 1e-6, "streaming sparse vs dense diff {diff}");
+
+    // Materialized shares the driver: same behavior, same model.
+    let m_auto = MaterializedGmm::train(&w.db, &w.spec, &cfg).expect("auto materialized");
+    let diff = m_auto.model.max_param_diff(&s_auto.model);
+    assert!(diff < 1e-8, "M vs S sparse-path diff {diff}");
 }

@@ -16,6 +16,7 @@
 //! be cached per distinct `R` tuple), and [`BlockScatter`] assembles a full `d×d`
 //! matrix from per-block outer-product contributions.
 
+use crate::csr;
 use crate::gemm;
 use crate::matrix::Matrix;
 use crate::policy::KernelPolicy;
@@ -178,9 +179,10 @@ impl BlockQuadraticForm {
 
     /// [`term`](Self::term) dispatching on the block representation: one-hot
     /// sides degenerate into row/column gathers of `A_{ij}`
-    /// ([`sparse::quadratic_form_onehot`] and friends), dense/dense falls back
-    /// to the dense kernel.  One-hot inputs reproduce the dense naive result
-    /// bit-for-bit (see [`crate::sparse`]).
+    /// ([`sparse::quadratic_form_onehot`] and friends), CSR sides into their
+    /// weighted counterparts ([`csr::quadratic_form_csr`] etc.), dense/dense
+    /// falls back to the dense kernel.  Sparse inputs reproduce the dense
+    /// naive result bit-for-bit (see [`crate::sparse`] and [`crate::csr`]).
     pub fn term_rep(&self, i: usize, j: usize, u: BlockVec<'_>, v: BlockVec<'_>) -> f64 {
         let a = &self.blocks[i][j];
         match (u, v) {
@@ -190,14 +192,55 @@ impl BlockQuadraticForm {
             (BlockVec::OneHot(idx), BlockVec::Dense(v)) => {
                 sparse::quadratic_form_onehot_with(self.policy, idx, a, v)
             }
+            (BlockVec::Csr { idx, vals }, BlockVec::Dense(v)) => {
+                csr::quadratic_form_csr_with(self.policy, idx, vals, a, v)
+            }
             (BlockVec::Dense(u), BlockVec::OneHot(idx)) => {
                 // uᵀ A e_idx = u · (A·e_idx): gather-sum the selected columns,
                 // then one dense dot.
                 let w = sparse::matvec_onehot_with(self.policy, a, idx);
                 crate::vector::dot(u, &w)
             }
+            (BlockVec::Dense(u), BlockVec::Csr { idx, vals }) => {
+                let w = csr::matvec_csr_with(self.policy, a, idx, vals);
+                crate::vector::dot(u, &w)
+            }
             (BlockVec::OneHot(ridx), BlockVec::OneHot(cidx)) => {
                 sparse::quadratic_form_onehot_pair(ridx, a, cidx)
+            }
+            (BlockVec::Csr { idx, vals }, BlockVec::Csr { idx: ci, vals: cv }) => {
+                csr::quadratic_form_csr_pair(idx, vals, a, ci, cv)
+            }
+            // Mixed one-hot/CSR pairs: one generic weighted pair loop shared
+            // by both orientations, treating one-hot values as 1.0
+            // (`1.0·x` and `x·1.0` are bitwise no-ops, so this is an exact
+            // generalization of the specialized pair kernels above).
+            (u, v) => {
+                let (ridx, rvals) = match u {
+                    BlockVec::OneHot(idx) => (idx, None),
+                    BlockVec::Csr { idx, vals } => (idx, Some(vals)),
+                    BlockVec::Dense(_) => unreachable!("dense pairs handled above"),
+                };
+                let (cidx, cvals) = match v {
+                    BlockVec::OneHot(idx) => (idx, None),
+                    BlockVec::Csr { idx, vals } => (idx, Some(vals)),
+                    BlockVec::Dense(_) => unreachable!("dense pairs handled above"),
+                };
+                sparse::check_block_indices(ridx, a.rows(), "term_rep u");
+                sparse::check_block_indices(cidx, a.cols(), "term_rep v");
+                sparse::record_onehot_call();
+                csr::record_csr_call();
+                let mut acc = 0.0;
+                for (t, &i) in ridx.iter().enumerate() {
+                    let row = a.row(i as usize);
+                    let mut inner = 0.0;
+                    for (u, &j) in cidx.iter().enumerate() {
+                        let term = row[j as usize];
+                        inner += cvals.map_or(term, |v| term * v[u]);
+                    }
+                    acc += rvals.map_or(inner, |v| v[t] * inner);
+                }
+                acc
             }
         }
     }
@@ -320,7 +363,10 @@ impl BlockScatter {
     /// One-hot sides turn the rank-1 update into a row scatter
     /// ([`sparse::ger_onehot`]-style), a column scatter, or — when both sides
     /// are one-hot — `nnz_u × nnz_v` scalar adds ([`sparse::scatter_onehot_pair`]).
-    /// One-hot inputs reproduce the dense update bit-for-bit.
+    /// CSR sides do the same with the weighted values multiplied through
+    /// ([`csr::ger_csr`]-style), using the dense GER's scaling order
+    /// (`alpha·u_i` first, then times `v_j`).  Sparse inputs reproduce the
+    /// dense update bit-for-bit.
     pub fn add_outer_rep(
         &mut self,
         i: usize,
@@ -343,6 +389,15 @@ impl BlockScatter {
                     crate::vector::axpy(alpha, v, row);
                 }
             }
+            (BlockVec::Csr { idx, vals }, BlockVec::Dense(v)) => {
+                assert_eq!(v.len(), dj, "add_outer_rep: bad v length");
+                sparse::check_block_indices(idx, di, "add_outer_rep u");
+                csr::record_csr_call();
+                for (&bi, &ui) in idx.iter().zip(vals.iter()) {
+                    let row = &mut self.acc.row_mut(r0 + bi as usize)[c0..c0 + dj];
+                    crate::vector::axpy(alpha * ui, v, row);
+                }
+            }
             (BlockVec::Dense(u), BlockVec::OneHot(idx)) => {
                 assert_eq!(u.len(), di, "add_outer_rep: bad u length");
                 sparse::check_block_indices(idx, dj, "add_outer_rep v");
@@ -355,6 +410,18 @@ impl BlockScatter {
                     }
                 }
             }
+            (BlockVec::Dense(u), BlockVec::Csr { idx, vals }) => {
+                assert_eq!(u.len(), di, "add_outer_rep: bad u length");
+                sparse::check_block_indices(idx, dj, "add_outer_rep v");
+                csr::record_csr_call();
+                for (bi, &ui) in u.iter().enumerate() {
+                    let row = self.acc.row_mut(r0 + bi);
+                    let s = alpha * ui;
+                    for (&bj, &vj) in idx.iter().zip(vals.iter()) {
+                        row[c0 + bj as usize] += s * vj;
+                    }
+                }
+            }
             (BlockVec::OneHot(ridx), BlockVec::OneHot(cidx)) => {
                 sparse::check_block_indices(ridx, di, "add_outer_rep u");
                 sparse::check_block_indices(cidx, dj, "add_outer_rep v");
@@ -363,6 +430,32 @@ impl BlockScatter {
                     let row = self.acc.row_mut(r0 + bi as usize);
                     for &bj in cidx {
                         row[c0 + bj as usize] += alpha;
+                    }
+                }
+            }
+            (u, v) => {
+                // Remaining sparse×sparse mixes (CSR on either or both sides):
+                // one generic weighted pair scatter, treating one-hot values
+                // as 1.0 (`alpha·1.0` and `s·1.0` are bitwise no-ops, so the
+                // specialized arms above remain exact shortcuts of this loop).
+                let (ridx, rvals) = match u {
+                    BlockVec::OneHot(idx) => (idx, None),
+                    BlockVec::Csr { idx, vals } => (idx, Some(vals)),
+                    BlockVec::Dense(_) => unreachable!("dense pairs handled above"),
+                };
+                let (cidx, cvals) = match v {
+                    BlockVec::OneHot(idx) => (idx, None),
+                    BlockVec::Csr { idx, vals } => (idx, Some(vals)),
+                    BlockVec::Dense(_) => unreachable!("dense pairs handled above"),
+                };
+                sparse::check_block_indices(ridx, di, "add_outer_rep u");
+                sparse::check_block_indices(cidx, dj, "add_outer_rep v");
+                csr::record_csr_call();
+                for (t, &bi) in ridx.iter().enumerate() {
+                    let row = self.acc.row_mut(r0 + bi as usize);
+                    let s = alpha * rvals.map_or(1.0, |v| v[t]);
+                    for (uu, &bj) in cidx.iter().enumerate() {
+                        row[c0 + bj as usize] += s * cvals.map_or(1.0, |v| v[uu]);
                     }
                 }
             }

@@ -16,6 +16,9 @@
 //! * [`sparse`] — one-hot kernels for categorical feature blocks: gathers,
 //!   scatter-adds and quadratic forms over active-index sets ([`BlockVec`]),
 //!   bit-identical to the dense naive reference under every policy.
+//! * [`csr`] — general weighted-sparse kernels ([`CsrBlock`], `spmm_csr`,
+//!   CSR gathers/scatters/quadratic forms) for near-sparse numeric blocks;
+//!   same exactness contract as [`sparse`], with the multiplications kept.
 //! * [`sym`] — helpers for symmetric matrices (regularization, SPD checks).
 //!
 //! ## Kernel policies
@@ -52,6 +55,7 @@
 
 pub mod block;
 pub mod cholesky;
+pub mod csr;
 pub mod gemm;
 pub mod matrix;
 pub mod policy;
@@ -63,9 +67,10 @@ pub mod vector;
 
 pub use block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 pub use cholesky::Cholesky;
+pub use csr::CsrBlock;
 pub use matrix::Matrix;
 pub use policy::KernelPolicy;
-pub use sparse::{BlockVec, SparseMode};
+pub use sparse::{BlockVec, SparseMode, SparseRep};
 pub use vector::Vector;
 
 /// Absolute tolerance used by the crate's own tests when comparing two floating

@@ -128,19 +128,78 @@ fn policy_from_u8(v: u8) -> KernelPolicy {
     }
 }
 
+/// Resolves the initial default policy from a raw `FML_KERNEL_POLICY` value.
+///
+/// Returns the chosen policy and, when the raw value was present but invalid,
+/// a warning describing the rejection and the fallback — invalid overrides
+/// must never be silently swallowed (a typo like `blokced` would otherwise
+/// benchmark the wrong kernels without any indication).
+fn resolve_policy_env(raw: Option<&str>) -> (KernelPolicy, Option<String>) {
+    match raw {
+        None => (KernelPolicy::Blocked, None),
+        Some(s) => match s.parse::<KernelPolicy>() {
+            Ok(p) => (p, None),
+            Err(e) => (
+                KernelPolicy::Blocked,
+                Some(format!(
+                    "FML_KERNEL_POLICY: {e}; falling back to the default policy `blocked`"
+                )),
+            ),
+        },
+    }
+}
+
+/// Resolves the worker-thread count from a raw `FML_THREADS` value, falling
+/// back to `available` (the machine's available parallelism).
+///
+/// Returns the chosen count and a warning when the raw value was present but
+/// rejected — unparsable strings and the meaningless `0` both fall back.
+fn resolve_threads_env(raw: Option<&str>, available: usize) -> (usize, Option<String>) {
+    match raw {
+        None => (available, None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) => (
+                available,
+                Some(format!(
+                    "FML_THREADS: thread count must be >= 1, got 0; \
+                     falling back to available parallelism ({available})"
+                )),
+            ),
+            Ok(n) => (n, None),
+            Err(_) => (
+                available,
+                Some(format!(
+                    "FML_THREADS: invalid thread count {s:?}; \
+                     falling back to available parallelism ({available})"
+                )),
+            ),
+        },
+    }
+}
+
+/// Prints an environment-override warning exactly once per guard flag.
+fn warn_once(guard: &std::sync::atomic::AtomicBool, msg: &str) {
+    if !guard.swap(true, Ordering::Relaxed) {
+        eprintln!("warning: {msg}");
+    }
+}
+
 /// The process-wide default policy used by the non-`_with` kernel entry points.
 ///
 /// Initialized on first use from `FML_KERNEL_POLICY` (falling back to
-/// `Blocked`); changeable at runtime with [`set_default_policy`].
+/// `Blocked`, with a one-time warning naming any rejected value); changeable
+/// at runtime with [`set_default_policy`].
 pub fn default_policy() -> KernelPolicy {
     let v = DEFAULT_POLICY.load(Ordering::Relaxed);
     if v != POLICY_UNSET {
         return policy_from_u8(v);
     }
-    let initial = std::env::var("FML_KERNEL_POLICY")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(KernelPolicy::Blocked);
+    static POLICY_WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    let raw = std::env::var("FML_KERNEL_POLICY").ok();
+    let (initial, warning) = resolve_policy_env(raw.as_deref());
+    if let Some(msg) = warning {
+        warn_once(&POLICY_WARNED, &msg);
+    }
     // Racing initializations agree (env is stable), so a relaxed store is fine.
     DEFAULT_POLICY.store(policy_to_u8(initial), Ordering::Relaxed);
     initial
@@ -152,19 +211,23 @@ pub fn set_default_policy(policy: KernelPolicy) {
 }
 
 /// Number of worker threads the `BlockedParallel` policy fans out to:
-/// `FML_THREADS` if set, otherwise the machine's available parallelism.
+/// `FML_THREADS` if set and valid, otherwise the machine's available
+/// parallelism.  Invalid values (unparsable, or `0`) emit a one-time warning
+/// naming the rejected value and the fallback.
 pub fn num_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        std::env::var("FML_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        static THREADS_WARNED: std::sync::atomic::AtomicBool =
+            std::sync::atomic::AtomicBool::new(false);
+        let raw = std::env::var("FML_THREADS").ok();
+        let (threads, warning) = resolve_threads_env(raw.as_deref(), available);
+        if let Some(msg) = warning {
+            warn_once(&THREADS_WARNED, &msg);
+        }
+        threads
     })
 }
 
@@ -318,6 +381,90 @@ mod tests {
         assert_eq!(default_policy(), KernelPolicy::Naive);
         set_default_policy(before);
         assert_eq!(default_policy(), before);
+    }
+
+    #[test]
+    fn policy_env_resolution_warns_on_invalid_values() {
+        // valid values parse with no warning
+        assert_eq!(
+            resolve_policy_env(Some("naive")),
+            (KernelPolicy::Naive, None)
+        );
+        assert_eq!(
+            resolve_policy_env(Some("parallel")),
+            (KernelPolicy::BlockedParallel, None)
+        );
+        // unset falls back silently
+        assert_eq!(resolve_policy_env(None), (KernelPolicy::Blocked, None));
+        // a typo falls back to blocked WITH a warning naming the value
+        let (p, warning) = resolve_policy_env(Some("blokced"));
+        assert_eq!(p, KernelPolicy::Blocked);
+        let msg = warning.expect("invalid policy must warn");
+        assert!(
+            msg.contains("blokced"),
+            "warning must name the value: {msg}"
+        );
+        assert!(
+            msg.contains("blocked"),
+            "warning must name the fallback: {msg}"
+        );
+    }
+
+    #[test]
+    fn threads_env_resolution_warns_on_invalid_values() {
+        assert_eq!(resolve_threads_env(None, 8), (8, None));
+        assert_eq!(resolve_threads_env(Some("3"), 8), (3, None));
+        // zero is meaningless and must warn
+        let (n, warning) = resolve_threads_env(Some("0"), 8);
+        assert_eq!(n, 8);
+        assert!(warning.expect("zero must warn").contains("0"));
+        // unparsable strings must warn and name the value
+        let (n, warning) = resolve_threads_env(Some("four"), 2);
+        assert_eq!(n, 2);
+        let msg = warning.expect("garbage must warn");
+        assert!(msg.contains("four"), "warning must name the value: {msg}");
+        assert!(msg.contains("2"), "warning must name the fallback: {msg}");
+    }
+
+    /// Property test over randomized shapes: the ranges tile `0..n` exactly
+    /// once in order, every range but the last ends on an `align` multiple,
+    /// and the count never exceeds `max_chunks` (nor 1 when `n` fits).
+    #[test]
+    fn chunk_ranges_invariants_hold_across_randomized_shapes() {
+        let mut rng = crate::testutil::TestRng::new(42);
+        for case in 0..500 {
+            let n = rng.range(0, 5000);
+            let max_chunks = rng.range(1, 33);
+            let align = rng.range(1, 65);
+            let ranges = chunk_ranges(n, max_chunks, align);
+            // tiles 0..n exactly: contiguous, in order, non-empty
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "case {case}: gap/overlap at {}", r.start);
+                assert!(r.end > r.start, "case {case}: empty range");
+                next = r.end;
+            }
+            assert_eq!(next, n, "case {case}: ranges must cover 0..{n}");
+            // n == 0 produces no ranges at all
+            if n == 0 {
+                assert!(ranges.is_empty(), "case {case}");
+            }
+            // all but the last range end on an align multiple
+            for r in ranges.iter().rev().skip(1) {
+                assert_eq!(
+                    r.end % align,
+                    0,
+                    "case {case}: range end {} not a multiple of {align}",
+                    r.end
+                );
+            }
+            // never more than max_chunks ranges
+            assert!(
+                ranges.len() <= max_chunks,
+                "case {case}: {} ranges exceeds max_chunks {max_chunks}",
+                ranges.len()
+            );
+        }
     }
 
     #[test]

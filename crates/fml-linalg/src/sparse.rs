@@ -32,22 +32,131 @@
 //! indices) that [`crate::block::BlockScatter`] and
 //! [`crate::block::BlockQuadraticForm`] dispatch on.
 
+use crate::csr;
 use crate::matrix::Matrix;
 use crate::policy::{self, KernelPolicy};
 use crate::vector;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// How a trainer decides between the dense and one-hot kernel paths.
+/// How a trainer decides between the dense and sparse kernel paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum SparseMode {
-    /// Detect one-hot blocks at scan time ([`onehot_indices`]) and route them
-    /// through the kernels in this module.  The default.
+    /// Detect sparse blocks at scan time — one-hot first
+    /// ([`onehot_indices`], 0/1 values at ≤ ½ occupancy), weighted CSR second
+    /// ([`csr::csr_indices`], any values at ≤ ¼ occupancy) — and route them
+    /// through the sparse kernels.  The default.
     #[default]
     Auto,
-    /// Always use the dense kernels, even for one-hot blocks.  Used as the
+    /// Always use the dense kernels, even for sparse blocks.  Used as the
     /// comparison baseline by the equivalence tests and the bench sweeps.
     Dense,
+}
+
+/// Number of [`SparseMode::detect`] invocations in this process (monotonic).
+///
+/// The trainers cache detection per tuple; the regression tests use the delta
+/// of this counter to prove that an EM iteration / epoch does **not** rescan
+/// immutable data (detection runs at most once per tuple, not once per pass).
+static DETECT_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-global detection-invocation counter.
+pub fn detect_calls() -> u64 {
+    DETECT_CALLS.load(Ordering::Relaxed)
+}
+
+/// An owned sparse representation of one feature row, as produced by
+/// [`SparseMode::detect`] and cached per tuple by the trainers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseRep {
+    /// Ascending active indices; every active value is exactly `1.0`.
+    OneHot(Vec<u32>),
+    /// Ascending nonzero indices with their (arbitrary) values.
+    Csr {
+        /// Ascending column indices of the nonzeros.
+        idx: Vec<u32>,
+        /// The nonzero values, matching `idx`.
+        vals: Vec<f64>,
+    },
+}
+
+impl SparseRep {
+    /// Borrows the representation as a [`BlockVec`] for the block-dispatch
+    /// methods in [`crate::block`].
+    pub fn as_block_vec(&self) -> BlockVec<'_> {
+        match self {
+            SparseRep::OneHot(idx) => BlockVec::OneHot(idx),
+            SparseRep::Csr { idx, vals } => BlockVec::Csr { idx, vals },
+        }
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            SparseRep::OneHot(idx) => idx.len(),
+            SparseRep::Csr { idx, .. } => idx.len(),
+        }
+    }
+
+    /// `x · v` for this sparse `x` and a dense `v` — a gather-sum for one-hot
+    /// rows, a weighted gather for CSR rows.
+    pub fn gather_dot(&self, v: &[f64]) -> f64 {
+        match self {
+            SparseRep::OneHot(idx) => gather_sum(v, idx),
+            SparseRep::Csr { idx, vals } => csr::gather_dot(v, idx, vals),
+        }
+    }
+
+    /// `out[i] += alpha · x[i]` over the nonzeros of this sparse `x`.
+    pub fn axpy_into(&self, alpha: f64, out: &mut [f64]) {
+        match self {
+            SparseRep::OneHot(idx) => axpy_onehot(alpha, idx, out),
+            SparseRep::Csr { idx, vals } => csr::axpy_csr(alpha, idx, vals, out),
+        }
+    }
+
+    /// `A · x` for this sparse `x` (a column gather for one-hot rows).
+    pub fn matvec(&self, kp: KernelPolicy, a: &Matrix) -> Vec<f64> {
+        match self {
+            SparseRep::OneHot(idx) => matvec_onehot_with(kp, a, idx),
+            SparseRep::Csr { idx, vals } => csr::matvec_csr_with(kp, a, idx, vals),
+        }
+    }
+
+    /// `Aᵀ · x` for this sparse `x` (a row gather for one-hot rows).
+    pub fn matvec_transposed(&self, kp: KernelPolicy, a: &Matrix) -> Vec<f64> {
+        match self {
+            SparseRep::OneHot(idx) => matvec_transposed_onehot_with(kp, a, idx),
+            SparseRep::Csr { idx, vals } => csr::matvec_transposed_csr_with(kp, a, idx, vals),
+        }
+    }
+
+    /// `A += alpha · delta xᵀ` for this sparse `x` — the NN first-layer
+    /// gradient column scatter.
+    pub fn ger_cols(&self, kp: KernelPolicy, alpha: f64, delta: &[f64], a: &mut Matrix) {
+        match self {
+            SparseRep::OneHot(idx) => ger_onehot_cols_with(kp, alpha, delta, idx, a),
+            SparseRep::Csr { idx, vals } => csr::ger_csr_cols_with(kp, alpha, delta, idx, vals, a),
+        }
+    }
+
+    /// `xᵀ A x` for this sparse `x` — the raw (uncentered) diagonal quadratic
+    /// form used by the mean decomposition.
+    pub fn quadratic_form_pair(&self, a: &Matrix) -> f64 {
+        match self {
+            SparseRep::OneHot(idx) => quadratic_form_onehot_pair(idx, a, idx),
+            SparseRep::Csr { idx, vals } => csr::quadratic_form_csr_pair(idx, vals, a, idx, vals),
+        }
+    }
+
+    /// `A += alpha · x xᵀ` over the nonzero index pairs of this sparse `x` —
+    /// the raw scatter of the M-step mean decomposition.
+    pub fn scatter_pair(&self, alpha: f64, a: &mut Matrix) {
+        match self {
+            SparseRep::OneHot(idx) => scatter_onehot_pair(alpha, idx, idx, a),
+            SparseRep::Csr { idx, vals } => csr::scatter_csr_pair(alpha, idx, vals, idx, vals, a),
+        }
+    }
 }
 
 impl SparseMode {
@@ -59,12 +168,21 @@ impl SparseMode {
         }
     }
 
-    /// The trainers' detection gate: [`onehot_indices`] under `Auto`, always
-    /// `None` under `Dense`.  Lives here so every factorized trainer shares
-    /// one detection policy.
-    pub fn detect(self, features: &[f64]) -> Option<Vec<u32>> {
+    /// The trainers' detection gate: under `Auto`, tries [`onehot_indices`]
+    /// first (multiply-free kernels, ≤ ½ occupancy) and falls back to
+    /// [`csr::csr_indices`] (weighted kernels, ≤ ¼ occupancy); always `None`
+    /// under `Dense`.  Lives here so every trainer shares one detection
+    /// policy.  Each call bumps [`detect_calls`] — callers are expected to
+    /// cache the result per tuple rather than re-detect per pass.
+    pub fn detect(self, features: &[f64]) -> Option<SparseRep> {
         match self {
-            SparseMode::Auto => onehot_indices(features),
+            SparseMode::Auto => {
+                DETECT_CALLS.fetch_add(1, Ordering::Relaxed);
+                if let Some(idx) = onehot_indices(features) {
+                    return Some(SparseRep::OneHot(idx));
+                }
+                csr::csr_indices(features).map(|(idx, vals)| SparseRep::Csr { idx, vals })
+            }
             SparseMode::Dense => None,
         }
     }
@@ -131,6 +249,13 @@ pub enum BlockVec<'a> {
     Dense(&'a [f64]),
     /// Sorted active indices of a one-hot block (every active value is `1.0`).
     OneHot(&'a [u32]),
+    /// Sorted nonzero indices of a weighted-sparse block with their values.
+    Csr {
+        /// Ascending column indices of the nonzeros.
+        idx: &'a [u32],
+        /// The nonzero values, matching `idx`.
+        vals: &'a [f64],
+    },
 }
 
 impl<'a> BlockVec<'a> {
@@ -139,6 +264,7 @@ impl<'a> BlockVec<'a> {
         match self {
             BlockVec::Dense(x) => x.iter().filter(|&&v| v != 0.0).count(),
             BlockVec::OneHot(idx) => idx.len(),
+            BlockVec::Csr { idx, .. } => idx.len(),
         }
     }
 }
@@ -604,5 +730,61 @@ mod tests {
         assert_eq!(SparseMode::default(), SparseMode::Auto);
         assert_eq!(SparseMode::Auto.label(), "auto");
         assert_eq!(SparseMode::Dense.label(), "dense");
+    }
+
+    #[test]
+    fn detect_prefers_onehot_then_csr_then_dense() {
+        let before = detect_calls();
+        // 0/1 at ≤ ½ occupancy → one-hot
+        assert_eq!(
+            SparseMode::Auto.detect(&[0.0, 1.0, 0.0, 0.0]),
+            Some(SparseRep::OneHot(vec![1]))
+        );
+        // weighted nonzeros at ≤ ¼ occupancy → CSR
+        assert_eq!(
+            SparseMode::Auto.detect(&[0.0, 0.0, 2.5, 0.0, 0.0, 0.0, -1.0, 0.0]),
+            Some(SparseRep::Csr {
+                idx: vec![2, 6],
+                vals: vec![2.5, -1.0],
+            })
+        );
+        // weighted but too dense → dense path
+        assert_eq!(SparseMode::Auto.detect(&[1.5, 2.5, 0.0, 0.0]), None);
+        // Auto detection must bump the process-global counter (≥, not ==:
+        // other tests in this binary may detect concurrently)
+        assert!(
+            detect_calls() >= before + 3,
+            "Auto detection must bump the counter"
+        );
+        // Dense mode never detects (and takes the non-counting arm)
+        assert_eq!(SparseMode::Dense.detect(&[0.0, 1.0]), None);
+    }
+
+    #[test]
+    fn sparse_rep_helpers_dispatch_to_the_right_kernels() {
+        let onehot = SparseRep::OneHot(vec![0, 2]);
+        let csr = SparseRep::Csr {
+            idx: vec![0, 2],
+            vals: vec![2.0, -1.0],
+        };
+        assert_eq!(onehot.nnz(), 2);
+        assert_eq!(csr.nnz(), 2);
+        let v = [1.0, 10.0, 3.0];
+        assert_eq!(onehot.gather_dot(&v), 4.0);
+        assert_eq!(csr.gather_dot(&v), -1.0);
+        let mut out = vec![0.0; 3];
+        onehot.axpy_into(2.0, &mut out);
+        assert_eq!(out, vec![2.0, 0.0, 2.0]);
+        let mut out = vec![0.0; 3];
+        csr.axpy_into(2.0, &mut out);
+        assert_eq!(out, vec![4.0, 0.0, -2.0]);
+        // quadratic form pair: xᵀ A x against the densified oracle
+        let a = pseudo(3, 3, 21);
+        let x_one = densify(&[0, 2], 3);
+        let dense = crate::gemm::quadratic_form_with(KernelPolicy::Naive, &x_one, &a, &x_one);
+        assert_eq!(onehot.quadratic_form_pair(&a), dense);
+        let x_csr = [2.0, 0.0, -1.0];
+        let dense = crate::gemm::quadratic_form_with(KernelPolicy::Naive, &x_csr, &a, &x_csr);
+        assert_eq!(csr.quadratic_form_pair(&a), dense);
     }
 }

@@ -18,6 +18,7 @@
 
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 use fml_linalg::cholesky::Cholesky;
+use fml_linalg::csr::{self, CsrBlock};
 use fml_linalg::policy::KernelPolicy;
 use fml_linalg::sparse::{self, BlockVec};
 use fml_linalg::{approx_eq, gemm, Matrix, TEST_EPS};
@@ -389,6 +390,266 @@ fn block_dispatch_matches_dense_blocks_for_onehot_representations() {
                 dense_sc.matrix(),
                 rep_sc.matrix(),
                 "case {case} {p} scatter"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// General CSR kernels: equal to the dense naive oracle under EVERY policy
+// (same multiplications in the same ascending order; skipped terms are exact
+// zeros).  Cases deliberately include empty rows, all-zero blocks and
+// single-element blocks.
+// ---------------------------------------------------------------------------
+
+/// Draws a sparse row over `width` columns: ascending indices, ~25% of the
+/// positions nonzero, values in `[-5, 5)` (never exactly 0 for kept entries).
+fn draw_csr_row(g: &mut Gen, width: usize) -> (Vec<u32>, Vec<f64>) {
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for j in 0..width {
+        if g.range(0, 4) == 0 {
+            let mut v = g.f64();
+            if v == 0.0 {
+                v = 1.0;
+            }
+            idx.push(j as u32);
+            vals.push(v);
+        }
+    }
+    (idx, vals)
+}
+
+fn densify_csr(idx: &[u32], vals: &[f64], width: usize) -> Vec<f64> {
+    let mut v = vec![0.0; width];
+    for (&i, &w) in idx.iter().zip(vals.iter()) {
+        v[i as usize] = w;
+    }
+    v
+}
+
+/// Edge-shape sparse rows every CSR property sweep must include: the empty
+/// row, the all-zero width-`w` row, and a single-element block.
+fn csr_edge_rows(g: &mut Gen) -> Vec<(usize, Vec<u32>, Vec<f64>)> {
+    let mut rows = vec![
+        (0, vec![], vec![]),                  // zero-width block
+        (7, vec![], vec![]),                  // all-zero row
+        (1, vec![0u32], vec![2.5]),           // single-element block, occupied
+        (1, vec![], vec![]),                  // single-element block, empty
+        (9, vec![3u32, 8], vec![-1.25, 0.5]), // fixed awkward row
+    ];
+    for _ in 0..12 {
+        let width = g.range(1, 24);
+        let (idx, vals) = draw_csr_row(g, width);
+        rows.push((width, idx, vals));
+    }
+    rows
+}
+
+#[test]
+fn csr_gathers_are_exact_against_naive_dense() {
+    let mut g = Gen::new(21);
+    for (case, (width, idx, vals)) in csr_edge_rows(&mut g).into_iter().enumerate() {
+        let x = densify_csr(&idx, &vals, width);
+        let cols = g.range(1, 8);
+        let a = g.matrix(width, cols);
+        let at = a.transpose();
+        for p in KernelPolicy::ALL {
+            let dense_t = gemm::matvec_transposed_with(KernelPolicy::Naive, &a, &x);
+            assert_eq!(
+                csr::matvec_transposed_csr_with(p, &a, &idx, &vals),
+                dense_t,
+                "case {case} {p} transposed"
+            );
+            let dense = gemm::matvec_with(KernelPolicy::Naive, &at, &x);
+            assert_eq!(
+                csr::matvec_csr_with(p, &at, &idx, &vals),
+                dense,
+                "case {case} {p} gemv"
+            );
+        }
+    }
+}
+
+#[test]
+fn spmm_csr_is_exact_against_naive_dense_gemm() {
+    let mut g = Gen::new(22);
+    for case in 0..48 {
+        let width = g.range(1, 20);
+        let rows = g.range(0, 12); // includes zero-row blocks
+        let mut values = Vec::new();
+        let mut col_idx = Vec::new();
+        let mut row_ptr = vec![0usize];
+        let mut x = Matrix::zeros(rows, width);
+        for r in 0..rows {
+            // every few rows stay completely empty
+            if g.range(0, 4) != 0 {
+                let (idx, vals) = draw_csr_row(&mut g, width);
+                for (&j, &v) in idx.iter().zip(vals.iter()) {
+                    x[(r, j as usize)] = v;
+                }
+                col_idx.extend_from_slice(&idx);
+                values.extend_from_slice(&vals);
+            }
+            row_ptr.push(values.len());
+        }
+        let block = CsrBlock::new(values, col_idx, row_ptr, width);
+        assert_eq!(block.to_matrix(), x, "case {case}: round trip");
+        let n = g.range(1, 9);
+        let b = g.matrix(width, n);
+        let seed_c = g.matrix(rows, n);
+        let mut reference = seed_c.clone();
+        gemm::matmul_acc_with(KernelPolicy::Naive, &x, &b, &mut reference);
+        for p in KernelPolicy::ALL {
+            let mut c = seed_c.clone();
+            csr::spmm_csr_with(p, &block, &b, &mut c);
+            assert_eq!(c, reference, "case {case} {p}: {rows}x{width}x{n}");
+        }
+    }
+}
+
+#[test]
+fn csr_scatters_are_exact_against_naive_dense_ger() {
+    let mut g = Gen::new(23);
+    for (case, (width, idx, vals)) in csr_edge_rows(&mut g).into_iter().enumerate() {
+        let other = g.range(1, 8);
+        let y = g.vec(other);
+        let alpha = g.f64();
+        let x = densify_csr(&idx, &vals, width);
+        // row scatter
+        let seed = g.matrix(width, other);
+        let mut reference = seed.clone();
+        gemm::ger_with(KernelPolicy::Naive, alpha, &x, &y, &mut reference);
+        for p in KernelPolicy::ALL {
+            let mut a = seed.clone();
+            csr::ger_csr_with(p, alpha, &idx, &vals, &y, &mut a);
+            assert_eq!(a, reference, "case {case} {p} rows");
+        }
+        // column scatter
+        let seed = g.matrix(other, width);
+        let mut reference = seed.clone();
+        gemm::ger_with(KernelPolicy::Naive, alpha, &y, &x, &mut reference);
+        for p in KernelPolicy::ALL {
+            let mut a = seed.clone();
+            csr::ger_csr_cols_with(p, alpha, &y, &idx, &vals, &mut a);
+            assert_eq!(a, reference, "case {case} {p} cols");
+        }
+    }
+}
+
+#[test]
+fn csr_quadratic_forms_are_exact_against_naive_dense() {
+    let mut g = Gen::new(24);
+    for (case, (width, idx, vals)) in csr_edge_rows(&mut g).into_iter().enumerate() {
+        if width == 0 {
+            continue;
+        }
+        let x = densify_csr(&idx, &vals, width);
+        let a = g.matrix(width, width);
+        let y = g.vec(width);
+        let dense = gemm::quadratic_form_with(KernelPolicy::Naive, &x, &a, &y);
+        for p in KernelPolicy::ALL {
+            assert_eq!(
+                csr::quadratic_form_csr_with(p, &idx, &vals, &a, &y),
+                dense,
+                "case {case} {p} csr left"
+            );
+        }
+        // both sides sparse
+        let (jdx, jvals) = draw_csr_row(&mut g, width);
+        let yj = densify_csr(&jdx, &jvals, width);
+        let dense_pair = gemm::quadratic_form_with(KernelPolicy::Naive, &x, &a, &yj);
+        assert_eq!(
+            csr::quadratic_form_csr_pair(&idx, &vals, &a, &jdx, &jvals),
+            dense_pair,
+            "case {case} pair"
+        );
+    }
+}
+
+#[test]
+fn block_dispatch_matches_dense_blocks_for_csr_representations() {
+    let mut g = Gen::new(25);
+    for case in 0..48 {
+        let d_s = g.range(1, 4);
+        let d_r = g.range(1, 12);
+        let (idx, vals) = draw_csr_row(&mut g, d_r);
+        let partition = BlockPartition::binary(d_s, d_r);
+        let d = d_s + d_r;
+        let m = g.matrix(d, d);
+        let u = g.vec(d_s);
+        let x = densify_csr(&idx, &vals, d_r);
+        let alpha = g.f64();
+        let rep = BlockVec::Csr {
+            idx: &idx,
+            vals: &vals,
+        };
+
+        for p in KernelPolicy::ALL {
+            let form = BlockQuadraticForm::new_with(partition.clone(), &m, p);
+            let t_dense = form.term(0, 1, &u, &x);
+            let t_rep = form.term_rep(0, 1, BlockVec::Dense(&u), rep);
+            assert!(approx_eq(t_dense, t_rep, 1e-12), "case {case} {p} (d,c)");
+            let t_dense = form.term(1, 0, &x, &u);
+            let t_rep = form.term_rep(1, 0, rep, BlockVec::Dense(&u));
+            assert!(approx_eq(t_dense, t_rep, 1e-12), "case {case} {p} (c,d)");
+            let t_dense = form.term(1, 1, &x, &x);
+            let t_rep = form.term_rep(1, 1, rep, rep);
+            assert!(approx_eq(t_dense, t_rep, 1e-12), "case {case} {p} (c,c)");
+
+            let mut dense_sc = BlockScatter::new_with(partition.clone(), p);
+            dense_sc.add_outer(0, 1, alpha, &u, &x);
+            dense_sc.add_outer(1, 0, alpha, &x, &u);
+            dense_sc.add_outer(1, 1, alpha, &x, &x);
+            let mut rep_sc = BlockScatter::new_with(partition.clone(), p);
+            rep_sc.add_outer_rep(0, 1, alpha, BlockVec::Dense(&u), rep);
+            rep_sc.add_outer_rep(1, 0, alpha, rep, BlockVec::Dense(&u));
+            rep_sc.add_outer_rep(1, 1, alpha, rep, rep);
+            assert_eq!(
+                dense_sc.matrix(),
+                rep_sc.matrix(),
+                "case {case} {p} scatter"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_dispatch_handles_mixed_onehot_csr_pairs() {
+    let mut g = Gen::new(26);
+    for case in 0..32 {
+        let d = g.range(2, 10);
+        let (cidx, cvals) = draw_csr_row(&mut g, d);
+        let oidx: Vec<u32> = (0..d as u32).filter(|_| g.range(0, 3) == 0).collect();
+        let xo = densify(&oidx, d);
+        let xc = densify_csr(&cidx, &cvals, d);
+        let partition = BlockPartition::binary(d, d);
+        let m = g.matrix(2 * d, 2 * d);
+        let alpha = g.f64();
+        let onehot = BlockVec::OneHot(&oidx);
+        let csr_rep = BlockVec::Csr {
+            idx: &cidx,
+            vals: &cvals,
+        };
+        for p in KernelPolicy::ALL {
+            let form = BlockQuadraticForm::new_with(partition.clone(), &m, p);
+            let t_dense = form.term(0, 1, &xo, &xc);
+            let t_rep = form.term_rep(0, 1, onehot, csr_rep);
+            assert!(approx_eq(t_dense, t_rep, 1e-12), "case {case} {p} (o,c)");
+            let t_dense = form.term(1, 0, &xc, &xo);
+            let t_rep = form.term_rep(1, 0, csr_rep, onehot);
+            assert!(approx_eq(t_dense, t_rep, 1e-12), "case {case} {p} (c,o)");
+
+            let mut dense_sc = BlockScatter::new_with(partition.clone(), p);
+            dense_sc.add_outer(0, 1, alpha, &xo, &xc);
+            dense_sc.add_outer(1, 0, alpha, &xc, &xo);
+            let mut rep_sc = BlockScatter::new_with(partition.clone(), p);
+            rep_sc.add_outer_rep(0, 1, alpha, onehot, csr_rep);
+            rep_sc.add_outer_rep(1, 0, alpha, csr_rep, onehot);
+            assert_eq!(
+                dense_sc.matrix(),
+                rep_sc.matrix(),
+                "case {case} {p} mixed scatter"
             );
         }
     }

@@ -20,11 +20,18 @@ use crate::mlp::Mlp;
 use crate::multiway::FactorizedMultiwayNn;
 use crate::trainer::{NnConfig, NnFit};
 use fml_linalg::policy::par_chunks;
-use fml_linalg::sparse::{self};
+use fml_linalg::sparse::SparseRep;
 use fml_linalg::{gemm, vector, Matrix};
 use fml_store::factorized_scan::GroupScan;
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::time::Instant;
+
+/// Looks up a cached per-tuple representation; empty caches (the forced-dense
+/// mode) read as dense.
+#[inline]
+fn cached_rep(cache: &[Option<SparseRep>], i: usize) -> Option<&SparseRep> {
+    cache.get(i).and_then(Option::as_ref)
+}
 
 /// Minimum per-example work (≈ `4·|θ|` flops) below which the parallel policy
 /// processes join groups inline instead of fanning out (mirrors the GMM
@@ -57,6 +64,15 @@ impl FactorizedNn {
         let mut model = Mlp::new(d, &config.hidden, config.activation, config.seed);
         let mut loss_trace = Vec::with_capacity(config.epochs);
 
+        // Per-tuple representation caches (one-hot / weighted CSR / dense),
+        // filled lazily during the first epoch's scan and indexed by group /
+        // fact scan position — detection runs at most once per tuple for the
+        // whole training run instead of once per epoch.
+        let auto_sparse = config.sparse == fml_linalg::SparseMode::Auto;
+        let mut group_reps: Vec<Option<SparseRep>> = Vec::new();
+        let mut fact_reps: Vec<Option<SparseRep>> = Vec::new();
+        let mut reps_ready = !auto_sparse;
+
         for _epoch in 0..config.epochs {
             // Weights are constant within an epoch (full-batch update at the end),
             // so the column split of W¹ is hoisted out of the scan.
@@ -77,24 +93,44 @@ impl FactorizedNn {
             // the scoped-thread spawns.
             let par =
                 config.kernel_policy.is_parallel() && 4 * model.num_params() >= PAR_MIN_GROUP_FLOPS;
-            let detect = |features: &[f64]| config.sparse.detect(features);
+            let mut group_cursor = 0usize;
+            let mut fact_cursor = 0usize;
             let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
             for block in scan {
                 // Join groups are independent within a block: chunks of groups
                 // accumulate private gradients that merge in chunk order.
                 let groups = block?;
+                let fact_offsets: Vec<usize> = groups
+                    .iter()
+                    .scan(fact_cursor, |acc, g| {
+                        let o = *acc;
+                        *acc += g.s_tuples.len();
+                        Some(o)
+                    })
+                    .collect();
+                let group_base = group_cursor;
+                let fill = !reps_ready;
+                let (group_reps_ref, fact_reps_ref) = (&group_reps, &fact_reps);
                 let parts = par_chunks(par, groups.len(), 1, |range| {
                     let mut local_grads = model.zero_grads();
                     let mut local_w_s = Matrix::zeros(nh, d_s);
                     let mut local_w_r = Matrix::zeros(nh, d_r);
+                    let mut local_group_reps: Vec<Option<SparseRep>> = Vec::new();
+                    let mut local_fact_reps: Vec<Option<SparseRep>> = Vec::new();
                     let mut local_loss = 0.0;
-                    for group in &groups[range] {
+                    for gi in range {
+                        let group = &groups[gi];
                         // Reused per dimension tuple: t_R = W¹_R·x_R + b¹.
-                        // One-hot x_R gathers the active columns of W¹_R
+                        // Sparse x_R gathers the active columns of W¹_R
                         // instead of multiplying through the zeros.
-                        let r_idx = detect(&group.r_tuple.features);
-                        let mut t_r = match &r_idx {
-                            Some(idx) => sparse::matvec_onehot_with(kp, &w1_r, idx),
+                        let r_rep = if fill {
+                            local_group_reps.push(config.sparse.detect(&group.r_tuple.features));
+                            local_group_reps.last().unwrap().as_ref()
+                        } else {
+                            cached_rep(group_reps_ref, group_base + gi)
+                        };
+                        let mut t_r = match r_rep {
+                            Some(rep) => rep.matvec(kp, &w1_r),
                             None => gemm::matvec_with(kp, &w1_r, &group.r_tuple.features),
                         };
                         vector::axpy(1.0, &b1, &mut t_r);
@@ -102,11 +138,16 @@ impl FactorizedNn {
                         // bias-free outer product with x_R).
                         let mut delta_sum = vec![0.0; nh];
 
-                        for s_tuple in &group.s_tuples {
+                        for (fi, s_tuple) in group.s_tuples.iter().enumerate() {
                             // ---- forward, first layer (factorized) ----
-                            let s_idx = detect(&s_tuple.features);
-                            let mut a1 = match &s_idx {
-                                Some(idx) => sparse::matvec_onehot_with(kp, &w1_s, idx),
+                            let s_rep = if fill {
+                                local_fact_reps.push(config.sparse.detect(&s_tuple.features));
+                                local_fact_reps.last().unwrap().as_ref()
+                            } else {
+                                cached_rep(fact_reps_ref, fact_offsets[gi] + fi)
+                            };
+                            let mut a1 = match s_rep {
+                                Some(rep) => rep.matvec(kp, &w1_s),
                                 None => gemm::matvec_with(kp, &w1_s, &s_tuple.features),
                             };
                             vector::axpy(1.0, &t_r, &mut a1);
@@ -129,15 +170,9 @@ impl FactorizedNn {
                                 model.backward_factorized_with(kp, &trace, y, &mut local_grads);
                             local_loss += loss;
                             // PG_S: per fact tuple — scatter-add into the
-                            // active columns for one-hot x_S.
-                            match &s_idx {
-                                Some(idx) => sparse::ger_onehot_cols_with(
-                                    kp,
-                                    1.0,
-                                    &delta1,
-                                    idx,
-                                    &mut local_w_s,
-                                ),
+                            // active columns for sparse x_S.
+                            match s_rep {
+                                Some(rep) => rep.ger_cols(kp, 1.0, &delta1, &mut local_w_s),
                                 None => gemm::ger_with(
                                     kp,
                                     1.0,
@@ -149,14 +184,8 @@ impl FactorizedNn {
                             vector::axpy(1.0, &delta1, &mut delta_sum);
                         }
                         // PG_R: one outer product per dimension tuple.
-                        match &r_idx {
-                            Some(idx) => sparse::ger_onehot_cols_with(
-                                kp,
-                                1.0,
-                                &delta_sum,
-                                idx,
-                                &mut local_w_r,
-                            ),
+                        match r_rep {
+                            Some(rep) => rep.ger_cols(kp, 1.0, &delta_sum, &mut local_w_r),
                             None => gemm::ger_with(
                                 kp,
                                 1.0,
@@ -166,17 +195,39 @@ impl FactorizedNn {
                             ),
                         }
                     }
-                    (local_grads, local_w_s, local_w_r, local_loss)
+                    (
+                        local_grads,
+                        local_w_s,
+                        local_w_r,
+                        local_loss,
+                        local_group_reps,
+                        local_fact_reps,
+                    )
                 });
-                for (local_grads, local_w_s, local_w_r, local_loss) in parts {
+                for (
+                    local_grads,
+                    local_w_s,
+                    local_w_r,
+                    local_loss,
+                    local_group_reps,
+                    local_fact_reps,
+                ) in parts
+                {
                     for (dst, src) in grads.iter_mut().zip(local_grads.iter()) {
                         dst.merge_from(src);
                     }
                     grad_w_s.add_assign(&local_w_s);
                     grad_w_r.add_assign(&local_w_r);
                     loss_sum += local_loss;
+                    if fill {
+                        group_reps.extend(local_group_reps);
+                        fact_reps.extend(local_fact_reps);
+                    }
                 }
+                group_cursor += groups.len();
+                fact_cursor += groups.iter().map(|g| g.s_tuples.len()).sum::<usize>();
             }
+            reps_ready = true;
 
             // Assemble the first layer's weight gradient from its two blocks.
             for i in 0..nh {

@@ -3,7 +3,7 @@
 use crate::activation::Activation;
 use crate::layer::{DenseLayer, LayerGradient};
 use crate::loss::output_gradient;
-use fml_linalg::{gemm, vector, KernelPolicy};
+use fml_linalg::{gemm, vector, KernelPolicy, SparseRep};
 use serde::{Deserialize, Serialize};
 
 /// A feed-forward network with dense layers.  The output layer uses the identity
@@ -215,6 +215,42 @@ impl Mlp {
     ) -> f64 {
         let trace = self.forward_trace_with(kp, x);
         self.backward_into_with(kp, x, &trace, target, grads)
+    }
+
+    /// [`Self::accumulate_example_with`] for a **sparse** input row: the first
+    /// layer runs as a gather forward (`a¹ = W¹·x + b¹` reads only the active
+    /// columns) and a column scatter-add backward (`∂E/∂W¹ += δ¹·xᵀ` writes
+    /// only the active columns); layers ≥ 2 are dense as usual.  The
+    /// dense-pass trainers (`M-NN` / `S-NN`) use this to honor
+    /// [`fml_linalg::SparseMode::Auto`] on sparse denormalized rows.
+    ///
+    /// The gathers perform the dense kernels' nonzero multiplications in the
+    /// same order, so the accumulated gradient matches the dense path to the
+    /// usual rounding tolerances.
+    pub fn accumulate_sparse_example_with(
+        &self,
+        kp: KernelPolicy,
+        rep: &SparseRep,
+        target: f64,
+        grads: &mut [LayerGradient],
+    ) -> f64 {
+        let first = &self.layers[0];
+        let mut a1 = rep.matvec(kp, &first.weights);
+        vector::axpy(1.0, &first.bias, &mut a1);
+        let mut h1 = a1.clone();
+        first.activation.apply_slice(&mut h1);
+        let mut trace_layers = Vec::with_capacity(self.layers.len());
+        trace_layers.push((a1, h1));
+        for layer in &self.layers[1..] {
+            let (a, h) = layer.forward_with(kp, &trace_layers.last().unwrap().1);
+            trace_layers.push((a, h));
+        }
+        let trace = ForwardTrace {
+            layers: trace_layers,
+        };
+        let (delta1, loss) = self.backward_factorized_with(kp, &trace, target, grads);
+        rep.ger_cols(kp, 1.0, &delta1, &mut grads[0].d_weights);
+        loss
     }
 
     /// Creates zeroed gradient accumulators matching the network's layers.

@@ -11,7 +11,7 @@
 use crate::materialized::ensure_has_target;
 use crate::mlp::Mlp;
 use crate::trainer::{NnConfig, NnFit};
-use fml_linalg::sparse::{self};
+use fml_linalg::sparse::SparseRep;
 use fml_linalg::{gemm, vector, Matrix};
 use fml_store::factorized_scan::StarScan;
 use fml_store::{Database, JoinSpec, StoreResult};
@@ -44,6 +44,12 @@ impl FactorizedMultiwayNn {
         let mut model = Mlp::new(d, &config.hidden, config.activation, config.seed);
         let mut loss_trace = Vec::with_capacity(config.epochs);
 
+        // Per-dimension detection caches, keyed by FK and hoisted out of the
+        // epoch loop: dimension tuples are immutable, so detection runs at
+        // most once per distinct tuple for the whole training run.
+        let mut dim_reps: Vec<HashMap<u64, Option<SparseRep>>> =
+            (0..q).map(|_| HashMap::new()).collect();
+
         for _epoch in 0..config.epochs {
             let nh = model.layers()[0].out_dim();
             let w1 = &model.layers()[0].weights;
@@ -60,7 +66,6 @@ impl FactorizedMultiwayNn {
             let mut loss_sum = 0.0;
 
             let kp = config.kernel_policy.sequential();
-            let detect = |features: &[f64]| config.sparse.detect(features);
             let scan = StarScan::new(db, spec, config.block_pages)?;
             // Cached per dimension tuple: the partial product W¹_{R_i}·x_{R_i}
             // (a column gather of W¹_{R_i} when x_{R_i} is one-hot).
@@ -83,8 +88,13 @@ impl FactorizedMultiwayNn {
                                     key: *fk,
                                 }
                             })?;
-                            let partial = match detect(&dim_tuple.features) {
-                                Some(idx) => sparse::matvec_onehot_with(kp, &w1_dims[i], &idx),
+                            // Detection persists across epochs; only the
+                            // first encounter of a tuple ever scans it.
+                            let rep = dim_reps[i]
+                                .entry(*fk)
+                                .or_insert_with(|| config.sparse.detect(&dim_tuple.features));
+                            let partial = match rep {
+                                Some(rep) => rep.matvec(kp, &w1_dims[i]),
                                 None => gemm::matvec_with(kp, &w1_dims[i], &dim_tuple.features),
                             };
                             partials[i].insert(*fk, partial);
@@ -120,22 +130,19 @@ impl FactorizedMultiwayNn {
             // dimension tuple.
             for i in 0..q {
                 for (key, delta_sum) in &delta_sums[i] {
-                    let dim_tuple = scan.cache().get(i, *key).expect("seen during the epoch");
-                    match detect(&dim_tuple.features) {
-                        Some(idx) => sparse::ger_onehot_cols_with(
-                            kp,
-                            1.0,
-                            delta_sum,
-                            &idx,
-                            &mut grad_w_dims[i],
-                        ),
-                        None => gemm::ger_with(
-                            kp,
-                            1.0,
-                            delta_sum,
-                            &dim_tuple.features,
-                            &mut grad_w_dims[i],
-                        ),
+                    match dim_reps[i].get(key).expect("detected during the epoch") {
+                        Some(rep) => rep.ger_cols(kp, 1.0, delta_sum, &mut grad_w_dims[i]),
+                        None => {
+                            let dim_tuple =
+                                scan.cache().get(i, *key).expect("seen during the epoch");
+                            gemm::ger_with(
+                                kp,
+                                1.0,
+                                delta_sum,
+                                &dim_tuple.features,
+                                &mut grad_w_dims[i],
+                            )
+                        }
                     }
                 }
             }

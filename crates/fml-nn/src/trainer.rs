@@ -4,7 +4,7 @@
 use crate::activation::Activation;
 use crate::mlp::Mlp;
 use fml_linalg::policy::par_chunks;
-use fml_linalg::{KernelPolicy, SparseMode};
+use fml_linalg::{KernelPolicy, SparseMode, SparseRep};
 use fml_store::StoreResult;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -34,10 +34,14 @@ pub struct NnConfig {
     /// Linear-algebra kernel policy for forward/backward passes (see
     /// [`fml_linalg::policy`]).  Variants being compared should share a policy.
     pub kernel_policy: KernelPolicy,
-    /// Whether the factorized trainers detect one-hot feature blocks and run
-    /// the first layer as gathers/scatter-adds ([`fml_linalg::sparse`])
-    /// instead of dense multiplies.  `Auto` (default) engages on 0/1 blocks at
-    /// ≤ ½ occupancy; `Dense` forces the dense kernels.
+    /// Whether the trainers detect sparse feature blocks and run the first
+    /// layer as gathers/scatter-adds ([`fml_linalg::sparse`] for one-hot,
+    /// [`fml_linalg::csr`] for weighted CSR) instead of dense multiplies.
+    /// `Auto` (default) engages on 0/1 blocks at ≤ ½ occupancy and on
+    /// weighted-sparse blocks at ≤ ¼ occupancy; `Dense` forces the dense
+    /// kernels.  The factorized trainers detect per base-relation block; the
+    /// materialized/streaming trainers detect the denormalized rows.
+    /// Detection is cached per tuple (at most one scan per tuple per run).
     pub sparse: SparseMode,
 }
 
@@ -160,32 +164,73 @@ pub fn train_supervised_from(
     let par = config.kernel_policy.is_parallel()
         && 4 * model.num_params() * PAR_BATCH_EXAMPLES >= PAR_MIN_BATCH_FLOPS;
     let dim = source.dim();
+    // Per-example representation cache under `SparseMode::Auto`, filled lazily
+    // during the first epoch (the source replays examples in a deterministic
+    // order) — sparse denormalized rows run the first layer as gathers /
+    // scatter-adds, and detection runs at most once per example.  Memory is
+    // O(total nnz) — the sparse rows' nonzeros, strictly smaller than one
+    // dense copy of the dataset.
+    let auto_sparse = config.sparse == SparseMode::Auto;
+    let mut reps: Vec<Option<SparseRep>> = Vec::new();
+    let mut reps_ready = !auto_sparse;
     for _epoch in 0..config.epochs {
         let mut grads = model.zero_grads();
         let mut loss_sum = 0.0;
         if !par {
+            let mut row = 0usize;
             source.for_each(&mut |x: &[f64], y: f64| {
-                loss_sum += model.accumulate_example_with(kp, x, y, &mut grads);
+                if !reps_ready {
+                    reps.push(config.sparse.detect(x));
+                }
+                loss_sum += match reps.get(row).and_then(Option::as_ref) {
+                    Some(rep) => model.accumulate_sparse_example_with(kp, rep, y, &mut grads),
+                    None => model.accumulate_example_with(kp, x, y, &mut grads),
+                };
+                row += 1;
             })?;
         } else {
             let mut xs: Vec<f64> = Vec::with_capacity(dim * PAR_BATCH_EXAMPLES);
             let mut ys: Vec<f64> = Vec::with_capacity(PAR_BATCH_EXAMPLES);
+            let mut row_cursor = 0usize;
+            let fill = !reps_ready;
+            let reps_cell = &mut reps;
             let mut flush = |xs: &[f64], ys: &[f64]| {
+                let base = row_cursor;
+                let reps_ref: &Vec<Option<SparseRep>> = reps_cell;
                 let parts = par_chunks(true, ys.len(), 1, |range| {
                     let mut local_grads = model.zero_grads();
+                    let mut local_reps: Vec<Option<SparseRep>> = Vec::new();
                     let mut local_loss = 0.0;
                     for r in range {
                         let x = &xs[r * dim..(r + 1) * dim];
-                        local_loss += model.accumulate_example_with(kp, x, ys[r], &mut local_grads);
+                        let rep = if fill {
+                            local_reps.push(config.sparse.detect(x));
+                            local_reps.last().unwrap().as_ref()
+                        } else {
+                            reps_ref.get(base + r).and_then(Option::as_ref)
+                        };
+                        local_loss += match rep {
+                            Some(rep) => model.accumulate_sparse_example_with(
+                                kp,
+                                rep,
+                                ys[r],
+                                &mut local_grads,
+                            ),
+                            None => model.accumulate_example_with(kp, x, ys[r], &mut local_grads),
+                        };
                     }
-                    (local_grads, local_loss)
+                    (local_grads, local_loss, local_reps)
                 });
-                for (local_grads, local_loss) in parts {
+                for (local_grads, local_loss, local_reps) in parts {
                     for (dst, src) in grads.iter_mut().zip(local_grads.iter()) {
                         dst.merge_from(src);
                     }
                     loss_sum += local_loss;
+                    if fill {
+                        reps_cell.extend(local_reps);
+                    }
                 }
+                row_cursor += ys.len();
             };
             source.for_each(&mut |x: &[f64], y: f64| {
                 xs.extend_from_slice(x);
@@ -200,6 +245,7 @@ pub fn train_supervised_from(
                 flush(&xs, &ys);
             }
         }
+        reps_ready = true;
         model.apply_grads(&grads, config.learning_rate, n as f64);
         loss_trace.push(loss_sum / n as f64);
     }
