@@ -9,8 +9,9 @@
 
 use fml_data::multiway::{DimSpec, MultiwayConfig};
 use fml_data::EmulatedDataset;
-use fml_linalg::sparse::{onehot_kernel_calls, SparseMode};
-use fml_nn::{FactorizedNn, NnConfig};
+use fml_linalg::csr::csr_kernel_calls;
+use fml_linalg::sparse::{detect_calls, onehot_kernel_calls, SparseMode};
+use fml_nn::{FactorizedNn, NnConfig, StreamingNn};
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -92,4 +93,104 @@ fn sparse_path_still_matches_materialized_oracle() {
     let f = FactorizedNn::train(&w.db, &w.spec, &config()).unwrap();
     let diff = m.model.max_param_diff(&f.model);
     assert!(diff < 1e-8, "M-NN vs sparse F-NN diff {diff}");
+}
+
+#[test]
+fn weighted_sparse_blocks_hit_the_csr_path_and_match_dense() {
+    let _guard = LOCK.lock().unwrap();
+    let w = MultiwayConfig {
+        n_s: 300,
+        d_s: 2,
+        dims: vec![DimSpec::sparse_numeric(10, 16, 3)],
+        k: 2,
+        noise_std: 0.5,
+        with_target: true,
+        seed: 31,
+    }
+    .generate()
+    .unwrap();
+
+    let before_dense = csr_kernel_calls();
+    let dense = FactorizedNn::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense))
+        .expect("dense training");
+    assert_eq!(
+        csr_kernel_calls(),
+        before_dense,
+        "SparseMode::Dense must not invoke CSR kernels"
+    );
+
+    let before_auto = csr_kernel_calls();
+    let auto = FactorizedNn::train(&w.db, &w.spec, &config()).expect("auto training");
+    assert!(
+        csr_kernel_calls() > before_auto,
+        "Auto mode must gather/scatter the weighted-sparse first layer"
+    );
+
+    // The CSR gathers perform the dense kernels' nonzero multiplications in
+    // the same order, so the learned parameters agree to fine precision.
+    let diff = dense.model.max_param_diff(&auto.model);
+    assert!(diff < 1e-9, "CSR vs dense model diff {diff}");
+    for (a, b) in dense.loss_trace.iter().zip(auto.loss_trace.iter()) {
+        assert!((a - b).abs() < 1e-9, "loss traces diverged: {a} vs {b}");
+    }
+}
+
+#[test]
+fn detection_runs_at_most_once_per_tuple_across_epochs() {
+    let _guard = LOCK.lock().unwrap();
+    let w = walmart_sparse();
+    let n_s = w.n_fact().unwrap();
+    let n_r = w.n_dim(0).unwrap();
+    let epochs = 3;
+    let before = detect_calls();
+    let _ = FactorizedNn::train(
+        &w.db,
+        &w.spec,
+        &NnConfig {
+            hidden: vec![6],
+            epochs,
+            ..NnConfig::default()
+        },
+    )
+    .unwrap();
+    let delta = detect_calls() - before;
+    // One detection per fact tuple plus one per join group (each dimension
+    // tuple heads exactly one group per scan).
+    assert!(
+        delta <= n_s + n_r,
+        "detection ran {delta} times for {n_s} facts / {n_r} dims over {epochs} epochs \
+         — per-epoch rescan regression"
+    );
+    assert!(delta >= n_s, "detection must cover every fact tuple once");
+}
+
+#[test]
+fn streaming_honors_sparse_mode() {
+    // The streaming trainer used to ignore `SparseMode` and always run dense;
+    // it now routes sparse denormalized rows through the gather/scatter first
+    // layer under Auto and matches the forced-dense model.
+    let _guard = LOCK.lock().unwrap();
+    let w = walmart_sparse();
+    let cfg = config();
+
+    let before_dense = onehot_kernel_calls() + csr_kernel_calls();
+    let s_dense = StreamingNn::train(&w.db, &w.spec, &cfg.clone().sparse_mode(SparseMode::Dense))
+        .expect("dense streaming");
+    assert_eq!(
+        onehot_kernel_calls() + csr_kernel_calls(),
+        before_dense,
+        "SparseMode::Dense must keep the streaming trainer fully dense"
+    );
+
+    let before_auto = onehot_kernel_calls() + csr_kernel_calls();
+    let s_auto = StreamingNn::train(&w.db, &w.spec, &cfg).expect("auto streaming");
+    assert!(
+        onehot_kernel_calls() + csr_kernel_calls() > before_auto,
+        "Auto mode must route the streaming trainer's sparse rows through the sparse kernels"
+    );
+    let diff = s_dense.model.max_param_diff(&s_auto.model);
+    assert!(diff < 1e-9, "streaming sparse vs dense diff {diff}");
+    for (a, b) in s_dense.loss_trace.iter().zip(s_auto.loss_trace.iter()) {
+        assert!((a - b).abs() < 1e-9, "loss traces diverged: {a} vs {b}");
+    }
 }
