@@ -2,9 +2,8 @@
 //! strategies around the analytic BlockSize crossover.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fml_core::{Algorithm, GmmTrainer};
+use fml_core::prelude::*;
 use fml_data::SyntheticConfig;
-use fml_gmm::GmmConfig;
 
 fn ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_io_crossover");
@@ -28,7 +27,6 @@ fn ablation(c: &mut Criterion) {
             let config = GmmConfig {
                 k: 3,
                 max_iters: 2,
-                block_pages,
                 ..GmmConfig::default()
             };
             group.bench_with_input(
@@ -36,8 +34,10 @@ fn ablation(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        GmmTrainer::new(alg, config.clone())
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .exec(ExecPolicy::new().block_pages(block_pages))
+                            .fit(Gmm::new(config.clone()).algorithm(alg))
                             .unwrap()
                     })
                 },

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_bench::{bench_gmm_config, binary_vary_dr, binary_vary_k, binary_vary_rr, emulated};
-use fml_core::{Algorithm, GmmTrainer};
+use fml_core::prelude::*;
 use fml_data::EmulatedDataset;
 use fml_linalg::{KernelPolicy, SparseMode};
 
@@ -26,8 +26,9 @@ fn fig3(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        GmmTrainer::new(alg, bench_gmm_config(5))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Gmm::new(bench_gmm_config(5)).algorithm(alg))
                             .unwrap()
                     })
                 },
@@ -44,8 +45,9 @@ fn fig3(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        GmmTrainer::new(alg, bench_gmm_config(5))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Gmm::new(bench_gmm_config(5)).algorithm(alg))
                             .unwrap()
                     })
                 },
@@ -62,8 +64,9 @@ fn fig3(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        GmmTrainer::new(alg, bench_gmm_config(k))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Gmm::new(bench_gmm_config(k)).algorithm(alg))
                             .unwrap()
                     })
                 },
@@ -79,8 +82,10 @@ fn fig3(c: &mut Criterion) {
             &w,
             |b, w| {
                 b.iter(|| {
-                    GmmTrainer::new(Algorithm::Factorized, bench_gmm_config(5).policy(policy))
-                        .fit(&w.db, &w.spec)
+                    Session::new(&w.db)
+                        .join(&w.spec)
+                        .exec(ExecPolicy::new().kernel_policy(policy))
+                        .fit(Gmm::new(bench_gmm_config(5)))
                         .unwrap()
                 })
             },
@@ -99,8 +104,10 @@ fn fig3(c: &mut Criterion) {
             &w,
             |b, w| {
                 b.iter(|| {
-                    GmmTrainer::new(Algorithm::Factorized, bench_gmm_config(5).sparse_mode(mode))
-                        .fit(&w.db, &w.spec)
+                    Session::new(&w.db)
+                        .join(&w.spec)
+                        .exec(ExecPolicy::new().sparse_mode(mode))
+                        .fit(Gmm::new(bench_gmm_config(5)))
                         .unwrap()
                 })
             },

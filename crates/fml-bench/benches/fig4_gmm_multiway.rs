@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_bench::{bench_gmm_config, multiway_movies_like};
-use fml_core::{Algorithm, GmmTrainer};
+use fml_core::prelude::*;
 
 fn fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_gmm_multiway");
@@ -23,8 +23,9 @@ fn fig4(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        GmmTrainer::new(alg, bench_gmm_config(k))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Gmm::new(bench_gmm_config(k)).algorithm(alg))
                             .unwrap()
                     })
                 },

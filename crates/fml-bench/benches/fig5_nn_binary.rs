@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_bench::{bench_nn_config, binary_vary_dr, binary_vary_k, binary_vary_rr, emulated};
-use fml_core::{Algorithm, NnTrainer};
+use fml_core::prelude::*;
 use fml_data::EmulatedDataset;
 use fml_linalg::{KernelPolicy, SparseMode};
 
@@ -23,8 +23,9 @@ fn fig5(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        NnTrainer::new(alg, bench_nn_config(50))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Nn::new(bench_nn_config(50)).algorithm(alg))
                             .unwrap()
                     })
                 },
@@ -40,8 +41,9 @@ fn fig5(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        NnTrainer::new(alg, bench_nn_config(50))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Nn::new(bench_nn_config(50)).algorithm(alg))
                             .unwrap()
                     })
                 },
@@ -57,8 +59,9 @@ fn fig5(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        NnTrainer::new(alg, bench_nn_config(n_h))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Nn::new(bench_nn_config(n_h)).algorithm(alg))
                             .unwrap()
                     })
                 },
@@ -74,8 +77,10 @@ fn fig5(c: &mut Criterion) {
             &w,
             |b, w| {
                 b.iter(|| {
-                    NnTrainer::new(Algorithm::Factorized, bench_nn_config(50).policy(policy))
-                        .fit(&w.db, &w.spec)
+                    Session::new(&w.db)
+                        .join(&w.spec)
+                        .exec(ExecPolicy::new().kernel_policy(policy))
+                        .fit(Nn::new(bench_nn_config(50)))
                         .unwrap()
                 })
             },
@@ -92,8 +97,10 @@ fn fig5(c: &mut Criterion) {
             &w,
             |b, w| {
                 b.iter(|| {
-                    NnTrainer::new(Algorithm::Factorized, bench_nn_config(50).sparse_mode(mode))
-                        .fit(&w.db, &w.spec)
+                    Session::new(&w.db)
+                        .join(&w.spec)
+                        .exec(ExecPolicy::new().sparse_mode(mode))
+                        .fit(Nn::new(bench_nn_config(50)))
                         .unwrap()
                 })
             },

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_bench::{bench_nn_config, multiway_movies_like};
-use fml_core::{Algorithm, NnTrainer};
+use fml_core::prelude::*;
 
 fn fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_nn_multiway");
@@ -23,8 +23,9 @@ fn fig6(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        NnTrainer::new(alg, bench_nn_config(n_h))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Nn::new(bench_nn_config(n_h)).algorithm(alg))
                             .unwrap()
                     })
                 },

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_bench::{bench_gmm_config, emulated};
-use fml_core::{Algorithm, GmmTrainer};
+use fml_core::prelude::*;
 use fml_data::EmulatedDataset;
 
 fn table6(c: &mut Criterion) {
@@ -23,8 +23,9 @@ fn table6(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        GmmTrainer::new(alg, bench_gmm_config(5))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Gmm::new(bench_gmm_config(5)).algorithm(alg))
                             .unwrap()
                     })
                 },

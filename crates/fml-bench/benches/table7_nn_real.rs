@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fml_bench::{bench_nn_config, emulated};
-use fml_core::{Algorithm, NnTrainer};
+use fml_core::prelude::*;
 use fml_data::EmulatedDataset;
 
 fn table7(c: &mut Criterion) {
@@ -18,8 +18,9 @@ fn table7(c: &mut Criterion) {
                 &w,
                 |b, w| {
                     b.iter(|| {
-                        NnTrainer::new(alg, bench_nn_config(50))
-                            .fit(&w.db, &w.spec)
+                        Session::new(&w.db)
+                            .join(&w.spec)
+                            .fit(Nn::new(bench_nn_config(50)).algorithm(alg))
                             .unwrap()
                     })
                 },

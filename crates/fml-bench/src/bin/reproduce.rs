@@ -11,10 +11,10 @@
 //! `FML_SCALE=<factor>` (default 0.02) for proportionally smaller fact tables.
 
 use fml_bench::*;
+use fml_core::prelude::*;
 use fml_core::report::{secs, speedup, Table};
-use fml_core::{Algorithm, GmmIoCostModel, GmmTrainer};
+use fml_core::GmmIoCostModel;
 use fml_data::EmulatedDataset;
-use fml_gmm::GmmConfig;
 
 fn series_table(title: &str, param: &str) -> Table {
     Table::new(
@@ -242,12 +242,14 @@ fn io_crossover() {
         let config = GmmConfig {
             k: 3,
             max_iters: iters,
-            block_pages,
             ..GmmConfig::default()
         };
+        let session = Session::new(&w.db)
+            .join(&w.spec)
+            .exec(ExecPolicy::new().block_pages(block_pages));
         w.db.stats().reset();
-        let m = GmmTrainer::new(Algorithm::Materialized, config.clone())
-            .fit(&w.db, &w.spec)
+        let m = session
+            .fit(Gmm::new(config.clone()).algorithm(Algorithm::Materialized))
             .unwrap();
         let t_pages =
             w.db.relation(&fml_gmm::MaterializedGmm::temp_table_name(&w.spec))
@@ -255,8 +257,8 @@ fn io_crossover() {
                 .lock()
                 .num_pages() as u64;
         w.db.stats().reset();
-        let s = GmmTrainer::new(Algorithm::Streaming, config)
-            .fit(&w.db, &w.spec)
+        let s = session
+            .fit(Gmm::new(config).algorithm(Algorithm::Streaming))
             .unwrap();
         let model = GmmIoCostModel {
             s_pages,

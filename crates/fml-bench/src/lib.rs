@@ -13,11 +13,9 @@
 
 #![allow(missing_docs)]
 
-use fml_core::{Algorithm, GmmTrainer, NnTrainer};
+use fml_core::prelude::*;
 use fml_data::multiway::{DimSpec, MultiwayConfig};
 use fml_data::{EmulatedDataset, SyntheticConfig, Workload};
-use fml_gmm::GmmConfig;
-use fml_nn::NnConfig;
 use std::time::Duration;
 
 /// Scale factor applied to the fact-table cardinalities of the synthetic sweeps.
@@ -45,13 +43,15 @@ pub struct RunResult {
     pub pages_io: u64,
 }
 
-/// Runs all three GMM strategies on a workload, returning their timings.
-pub fn run_gmm_all(w: &Workload, config: &GmmConfig) -> Vec<RunResult> {
+/// Runs all three GMM strategies on a workload under one execution policy,
+/// returning their timings.
+pub fn run_gmm_all_with(w: &Workload, config: &GmmConfig, exec: &ExecPolicy) -> Vec<RunResult> {
+    let session = Session::new(&w.db).join(&w.spec).exec(exec.clone());
     Algorithm::all()
         .into_iter()
         .map(|alg| {
-            let fit = GmmTrainer::new(alg, config.clone())
-                .fit(&w.db, &w.spec)
+            let fit = session
+                .fit(Gmm::new(config.clone()).algorithm(alg))
                 .expect("GMM training failed");
             RunResult {
                 algorithm: alg,
@@ -63,13 +63,20 @@ pub fn run_gmm_all(w: &Workload, config: &GmmConfig) -> Vec<RunResult> {
         .collect()
 }
 
-/// Runs all three NN strategies on a workload, returning their timings.
-pub fn run_nn_all(w: &Workload, config: &NnConfig) -> Vec<RunResult> {
+/// [`run_gmm_all_with`] under the default execution policy.
+pub fn run_gmm_all(w: &Workload, config: &GmmConfig) -> Vec<RunResult> {
+    run_gmm_all_with(w, config, &ExecPolicy::new())
+}
+
+/// Runs all three NN strategies on a workload under one execution policy,
+/// returning their timings.
+pub fn run_nn_all_with(w: &Workload, config: &NnConfig, exec: &ExecPolicy) -> Vec<RunResult> {
+    let session = Session::new(&w.db).join(&w.spec).exec(exec.clone());
     Algorithm::all()
         .into_iter()
         .map(|alg| {
-            let fit = NnTrainer::new(alg, config.clone())
-                .fit(&w.db, &w.spec)
+            let fit = session
+                .fit(Nn::new(config.clone()).algorithm(alg))
                 .expect("NN training failed");
             RunResult {
                 algorithm: alg,
@@ -79,6 +86,11 @@ pub fn run_nn_all(w: &Workload, config: &NnConfig) -> Vec<RunResult> {
             }
         })
         .collect()
+}
+
+/// [`run_nn_all_with`] under the default execution policy.
+pub fn run_nn_all(w: &Workload, config: &NnConfig) -> Vec<RunResult> {
+    run_nn_all_with(w, config, &ExecPolicy::new())
 }
 
 // ---------------------------------------------------------------------------

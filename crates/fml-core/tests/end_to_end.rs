@@ -2,11 +2,10 @@
 //! storage → join → training with all three strategies → model agreement and I/O
 //! accounting, for both model families and both join shapes.
 
-use fml_core::{Algorithm, GmmIoCostModel, GmmTrainer, NnTrainer, SavingRateModel};
+use fml_core::prelude::*;
+use fml_core::{GmmIoCostModel, SavingRateModel};
 use fml_data::multiway::{DimSpec, MultiwayConfig};
 use fml_data::{EmulatedDataset, SyntheticConfig};
-use fml_gmm::GmmConfig;
-use fml_nn::NnConfig;
 
 #[test]
 fn gmm_binary_end_to_end_all_strategies_agree() {
@@ -27,11 +26,12 @@ fn gmm_binary_end_to_end_all_strategies_agree() {
         max_iters: 4,
         ..GmmConfig::default()
     };
+    let session = Session::new(&w.db).join(&w.spec);
     let mut fits = Vec::new();
     for alg in Algorithm::all() {
         fits.push(
-            GmmTrainer::new(alg, config.clone())
-                .fit(&w.db, &w.spec)
+            session
+                .fit(Gmm::new(config.clone()).algorithm(alg))
                 .unwrap(),
         );
     }
@@ -61,13 +61,10 @@ fn nn_multiway_end_to_end_all_strategies_agree() {
         epochs: 4,
         ..NnConfig::default()
     };
+    let session = Session::new(&w.db).join(&w.spec);
     let mut fits = Vec::new();
     for alg in Algorithm::all() {
-        fits.push(
-            NnTrainer::new(alg, config.clone())
-                .fit(&w.db, &w.spec)
-                .unwrap(),
-        );
+        fits.push(session.fit(Nn::new(config.clone()).algorithm(alg)).unwrap());
     }
     for f in &fits[1..] {
         assert!(fits[0].fit.model.max_param_diff(&f.fit.model) < 1e-9);
@@ -82,8 +79,9 @@ fn emulated_dataset_trains_with_factorized_gmm() {
         max_iters: 2,
         ..GmmConfig::default()
     };
-    let fit = GmmTrainer::new(Algorithm::Factorized, config)
-        .fit(&w.db, &w.spec)
+    let fit = Session::new(&w.db)
+        .join(&w.spec)
+        .fit(Gmm::new(config).algorithm(Algorithm::Factorized))
         .unwrap();
     assert_eq!(fit.fit.model.dim(), 12); // 3 + 9 features
     assert!(fit.final_log_likelihood().is_finite());
@@ -97,8 +95,9 @@ fn emulated_sparse_dataset_trains_with_factorized_nn() {
         epochs: 2,
         ..NnConfig::default()
     };
-    let fit = NnTrainer::new(Algorithm::Factorized, config)
-        .fit(&w.db, &w.spec)
+    let fit = Session::new(&w.db)
+        .join(&w.spec)
+        .fit(Nn::new(config).algorithm(Algorithm::Factorized))
         .unwrap();
     assert_eq!(fit.fit.model.input_dim(), 22); // 1 + 21
     assert!(fit.final_loss().is_finite());
@@ -134,14 +133,15 @@ fn measured_io_is_bracketed_by_the_cost_model() {
         .lock()
         .num_pages() as u64;
 
+    let session = Session::new(&w.db).join(&w.spec);
     w.db.stats().reset();
-    let streaming = GmmTrainer::new(Algorithm::Streaming, config.clone())
-        .fit(&w.db, &w.spec)
+    let streaming = session
+        .fit(Gmm::new(config.clone()).algorithm(Algorithm::Streaming))
         .unwrap();
 
     w.db.stats().reset();
-    let materialized = GmmTrainer::new(Algorithm::Materialized, config.clone())
-        .fit(&w.db, &w.spec)
+    let materialized = session
+        .fit(Gmm::new(config.clone()).algorithm(Algorithm::Materialized))
         .unwrap();
     let t_pages =
         w.db.relation(&fml_gmm::MaterializedGmm::temp_table_name(&w.spec))
@@ -153,7 +153,7 @@ fn measured_io_is_bracketed_by_the_cost_model() {
         s_pages,
         r_pages,
         t_pages,
-        block_pages: config.block_pages as u64,
+        block_pages: fml_store::DEFAULT_BLOCK_PAGES as u64,
         iterations: iters as u64,
     };
     // The init pass reads R and S once more than the model's 3·iter passes.
@@ -210,8 +210,9 @@ fn factorized_gmm_clusters_match_generating_structure() {
         max_iters: 12,
         ..GmmConfig::default()
     };
-    let trained = GmmTrainer::new(Algorithm::Factorized, config)
-        .fit(&w.db, &w.spec)
+    let trained = Session::new(&w.db)
+        .join(&w.spec)
+        .fit(Gmm::new(config).algorithm(Algorithm::Factorized))
         .unwrap();
     // all three components should carry non-trivial weight
     assert!(

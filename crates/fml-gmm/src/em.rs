@@ -18,8 +18,10 @@
 use crate::init::GmmInit;
 use crate::model::{GmmModel, Precomputed};
 use crate::GmmConfig;
-use fml_linalg::policy::par_chunks;
-use fml_linalg::sparse::{SparseMode, SparseRep};
+use fml_linalg::exec::{ExecPolicy, FitNotifier, IoProbe};
+use fml_linalg::policy::par_chunks_with_threads;
+use fml_linalg::repcache::RepCache;
+use fml_linalg::sparse::SparseMode;
 use fml_linalg::{vector, Matrix, Vector};
 use fml_store::StoreResult;
 use std::time::{Duration, Instant};
@@ -191,22 +193,31 @@ pub fn means_from_sums(nk: &[f64], mean_sums: &[Vector]) -> Vec<Vector> {
 
 /// Trains a GMM with the three-pass EM of Algorithm 1 over a dense tuple source,
 /// initializing with the data-independent [`GmmInit::initial_model`].
-pub fn train_dense(source: &mut dyn DensePassSource, config: &GmmConfig) -> StoreResult<GmmFit> {
+pub fn train_dense(
+    source: &mut dyn DensePassSource,
+    config: &GmmConfig,
+    exec: &ExecPolicy,
+) -> StoreResult<GmmFit> {
     let initial =
-        GmmInit::new(config.seed, config.init_spread).initial_model(config.k, source.dim());
-    train_dense_from(source, config, initial)
+        GmmInit::new(exec.resolve().seed, config.init_spread).initial_model(config.k, source.dim());
+    train_dense_from(source, config, exec, initial, None)
 }
 
 /// Trains a GMM with the three-pass EM of Algorithm 1 over a dense tuple source,
 /// starting from an explicit initial model (shared by every variant so the
-/// model-equivalence guarantee holds).
+/// model-equivalence guarantee holds).  `io` is the optional cumulative I/O
+/// probe behind the per-iteration [`fml_linalg::FitObserver`] events.
 pub fn train_dense_from(
     source: &mut dyn DensePassSource,
     config: &GmmConfig,
+    exec: &ExecPolicy,
     initial: GmmModel,
+    io: IoProbe<'_>,
 ) -> StoreResult<GmmFit> {
     let start = Instant::now();
     let opts = EmOptions::from(config);
+    let ex = exec.resolve();
+    let mut notifier = FitNotifier::new(exec, io);
     let d = source.dim();
     let n = source.num_tuples();
     let k = config.k;
@@ -218,23 +229,22 @@ pub fn train_dense_from(
     let mut iterations = 0;
     let mut gammas: Vec<f64> = Vec::with_capacity((n as usize) * k);
 
-    let policy = config.kernel_policy;
     // Per-tuple kernels run single-threaded inside the per-chunk workers; the
     // parallelism lives at the tuple-batch level.  Fanning out only pays when a
     // batch carries enough flops to amortize the scoped-thread spawns, so tiny
     // models stay inline even under the parallel policy.
-    let kp = policy.sequential();
-    let par = policy.is_parallel() && k * d * d * PAR_BATCH_TUPLES >= PAR_MIN_BATCH_FLOPS;
-    let auto_sparse = config.sparse == SparseMode::Auto;
-    // Per-tuple representation cache under `SparseMode::Auto`, filled lazily
-    // during the first E-step pass — the sources replay tuples in a
-    // deterministic order, so later passes and iterations index it by tuple
-    // position.  No extra scan is performed (the streaming cost model stays
-    // exact) and detection runs at most once per tuple.  Memory is O(total
-    // nnz), which does not change this driver's memory class: `gammas` below
-    // already retains O(n·k) responsibilities across passes.
-    let mut reps: Vec<Option<SparseRep>> = Vec::new();
-    let mut reps_ready = !auto_sparse;
+    let kp = ex.kernel_policy.sequential();
+    let par = ex.kernel_policy.is_parallel() && k * d * d * PAR_BATCH_TUPLES >= PAR_MIN_BATCH_FLOPS;
+    let workers = ex.workers(par);
+    let auto_sparse = ex.sparse == SparseMode::Auto;
+    // Per-tuple representation cache, filled lazily during the first E-step
+    // pass — the sources replay tuples in a deterministic order, so later
+    // passes and iterations index it by tuple position.  No extra scan is
+    // performed (the streaming cost model stays exact) and detection runs at
+    // most once per tuple.  Memory is O(total nnz), which does not change
+    // this driver's memory class: `gammas` below already retains O(n·k)
+    // responsibilities across passes.
+    let mut reps = RepCache::new(ex.sparse);
 
     for _iter in 0..opts.max_iters {
         let pre = Precomputed::from_model(&model, opts.ridge);
@@ -263,10 +273,7 @@ pub fn train_dense_from(
             let mut centered = vec![0.0; d];
             let mut row = 0usize;
             source.for_each(&mut |x: &[f64]| {
-                if !reps_ready {
-                    reps.push(config.sparse.detect(x));
-                }
-                let rep = reps.get(row).and_then(Option::as_ref);
+                let rep = reps.rep_or_detect(row, x);
                 for (c, ld) in log_dens.iter_mut().enumerate() {
                     let quad = match rep {
                         Some(rep) => sparse_pre[c].quad_flat(&pre.inverses[c], rep),
@@ -293,29 +300,24 @@ pub fn train_dense_from(
             // Tuples are buffered into batches; each batch fans out over
             // deterministic chunks that compute (responsibilities, Σγ,
             // log-likelihood) locally, and the partials merge in chunk order
-            // (including, on the first pass, the detected representations).
+            // (including, on the first pass, the detected representations —
+            // the RepCache segment protocol).
             let mut row_cursor = 0usize;
-            let fill = !reps_ready;
             let reps_cell = &mut reps;
             let mut flush = |rows: &[f64], dim: usize| {
                 let n_rows = rows.len() / dim;
                 let base = row_cursor;
-                let reps_ref: &Vec<Option<SparseRep>> = reps_cell;
-                let parts = par_chunks(true, n_rows, 1, |range| {
+                let reps_ref: &RepCache = reps_cell;
+                let parts = par_chunks_with_threads(workers, n_rows, 1, |range| {
                     let mut local_gammas = Vec::with_capacity(range.len() * k);
-                    let mut local_reps: Vec<Option<SparseRep>> = Vec::new();
+                    let mut seg = reps_ref.segment(base + range.start);
                     let mut local_nk = vec![0.0; k];
                     let mut local_ll = 0.0;
                     let mut log_dens = vec![0.0; k];
                     let mut centered = vec![0.0; dim];
                     for r in range {
                         let x = &rows[r * dim..(r + 1) * dim];
-                        let rep = if fill {
-                            local_reps.push(config.sparse.detect(x));
-                            local_reps.last().unwrap().as_ref()
-                        } else {
-                            reps_ref.get(base + r).and_then(Option::as_ref)
-                        };
+                        let rep = seg.rep_or_detect(base + r, x);
                         for (c, ld) in log_dens.iter_mut().enumerate() {
                             let quad = match rep {
                                 Some(rep) => sparse_pre[c].quad_flat(&pre.inverses[c], rep),
@@ -337,15 +339,13 @@ pub fn train_dense_from(
                         local_ll += tuple_ll;
                         local_gammas.extend_from_slice(&resp);
                     }
-                    (local_gammas, local_nk, local_ll, local_reps)
+                    (local_gammas, local_nk, local_ll, seg.into_detected())
                 });
-                for (local_gammas, local_nk, local_ll, local_reps) in parts {
+                for (local_gammas, local_nk, local_ll, detected) in parts {
                     gammas.extend_from_slice(&local_gammas);
                     vector::axpy(1.0, &local_nk, &mut nk);
                     ll += local_ll;
-                    if fill {
-                        reps_cell.extend(local_reps);
-                    }
+                    reps_cell.merge(detected);
                 }
                 row_cursor += n_rows;
             };
@@ -353,7 +353,7 @@ pub fn train_dense_from(
             source.for_each(&mut |x: &[f64]| buffer.push(x, &mut flush))?;
             buffer.finish(&mut flush);
         }
-        reps_ready = true;
+        reps.finish_fill();
 
         // ---- Pass 2: M-step — means ----
         let mut mean_sums = vec![Vector::zeros(d); k];
@@ -361,7 +361,7 @@ pub fn train_dense_from(
             let mut cursor = 0usize;
             source.for_each(&mut |x: &[f64]| {
                 let g = &gammas[cursor..cursor + k];
-                match reps.get(cursor / k).and_then(Option::as_ref) {
+                match reps.get(cursor / k) {
                     Some(rep) => {
                         for c in 0..k {
                             rep.axpy_into(g[c], mean_sums[c].as_mut_slice());
@@ -377,16 +377,16 @@ pub fn train_dense_from(
             })?;
         } else {
             let mut cursor = 0usize;
-            let reps_ref: &Vec<Option<SparseRep>> = &reps;
+            let reps_ref: &RepCache = &reps;
             let mut flush = |rows: &[f64], dim: usize| {
                 let n_rows = rows.len() / dim;
                 let base = cursor;
-                let parts = par_chunks(true, n_rows, 1, |range| {
+                let parts = par_chunks_with_threads(workers, n_rows, 1, |range| {
                     let mut local = vec![Vector::zeros(dim); k];
                     for r in range {
                         let x = &rows[r * dim..(r + 1) * dim];
                         let g = &gammas[base + r * k..base + (r + 1) * k];
-                        match reps_ref.get(base / k + r).and_then(Option::as_ref) {
+                        match reps_ref.get(base / k + r) {
                             Some(rep) => {
                                 for c in 0..k {
                                     rep.axpy_into(g[c], local[c].as_mut_slice());
@@ -427,7 +427,7 @@ pub fn train_dense_from(
             let mut cursor = 0usize;
             source.for_each(&mut |x: &[f64]| {
                 let g = &gammas[cursor..cursor + k];
-                match reps.get(cursor / k).and_then(Option::as_ref) {
+                match reps.get(cursor / k) {
                     Some(rep) => {
                         any_sparse = true;
                         for c in 0..k {
@@ -453,11 +453,11 @@ pub fn train_dense_from(
             })?;
         } else {
             let mut cursor = 0usize;
-            let reps_ref: &Vec<Option<SparseRep>> = &reps;
+            let reps_ref: &RepCache = &reps;
             let mut flush = |rows: &[f64], dim: usize| {
                 let n_rows = rows.len() / dim;
                 let base = cursor;
-                let parts = par_chunks(true, n_rows, 1, |range| {
+                let parts = par_chunks_with_threads(workers, n_rows, 1, |range| {
                     let mut local = vec![Matrix::zeros(dim, dim); k];
                     let mut local_gx = vec![vec![0.0; dim]; k];
                     let mut local_gamma = vec![0.0; k];
@@ -466,7 +466,7 @@ pub fn train_dense_from(
                     for r in range {
                         let x = &rows[r * dim..(r + 1) * dim];
                         let g = &gammas[base + r * k..base + (r + 1) * k];
-                        match reps_ref.get(base / k + r).and_then(Option::as_ref) {
+                        match reps_ref.get(base / k + r) {
                             Some(rep) => {
                                 local_any = true;
                                 for c in 0..k {
@@ -516,6 +516,7 @@ pub fn train_dense_from(
 
         model = finalize_m_step(&nk, mean_sums, scatter, n, opts.ridge);
         iterations += 1;
+        notifier.notify(ll);
 
         let prev = log_likelihood.last().copied();
         log_likelihood.push(ll);
@@ -605,7 +606,7 @@ mod tests {
             max_iters: 15,
             ..GmmConfig::default()
         };
-        let fit = train_dense(&mut source, &config).unwrap();
+        let fit = train_dense(&mut source, &config, &ExecPolicy::new()).unwrap();
         assert_eq!(fit.iterations, 15);
         assert_eq!(fit.n_tuples, 400);
         // one mean near (0,0), one near (10,10)
@@ -626,7 +627,7 @@ mod tests {
             max_iters: 12,
             ..GmmConfig::default()
         };
-        let fit = train_dense(&mut source, &config).unwrap();
+        let fit = train_dense(&mut source, &config, &ExecPolicy::new()).unwrap();
         for w in fit.log_likelihood.windows(2) {
             assert!(
                 w[1] >= w[0] - 1e-6,
@@ -647,7 +648,7 @@ mod tests {
             tol: 1e-3,
             ..GmmConfig::default()
         };
-        let fit = train_dense(&mut source, &config).unwrap();
+        let fit = train_dense(&mut source, &config, &ExecPolicy::new()).unwrap();
         assert!(
             fit.iterations < 50,
             "should converge early, ran {}",
@@ -672,7 +673,7 @@ mod tests {
             max_iters: 8,
             ..GmmConfig::default()
         };
-        let fit = train_dense(&mut source, &config).unwrap();
+        let fit = train_dense(&mut source, &config, &ExecPolicy::new()).unwrap();
         let sum: f64 = fit.model.weights.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         for cov in &fit.model.covariances {
@@ -710,12 +711,14 @@ mod tests {
         };
         let blocked = train_dense(
             &mut VecSource::new(rows.clone()),
-            &base.clone().policy(fml_linalg::KernelPolicy::Blocked),
+            &base,
+            &ExecPolicy::new().kernel_policy(fml_linalg::KernelPolicy::Blocked),
         )
         .unwrap();
         let parallel = train_dense(
             &mut VecSource::new(rows),
-            &base.policy(fml_linalg::KernelPolicy::BlockedParallel),
+            &base,
+            &ExecPolicy::new().kernel_policy(fml_linalg::KernelPolicy::BlockedParallel),
         )
         .unwrap();
         let diff = blocked.model.max_param_diff(&parallel.model);

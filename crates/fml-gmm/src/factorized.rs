@@ -22,11 +22,11 @@
 //!
 //! **Sparse detection is cached.**  Under [`SparseMode::Auto`] a single prepass
 //! scans the join once and records each tuple's representation
-//! ([`SparseRep`]: one-hot, weighted CSR, or dense) in scan order; every EM
-//! iteration and pass then reads the cached form instead of rescanning the
-//! immutable feature data (detection runs at most **once per tuple** per
-//! training run — the regression tests pin this with
-//! [`fml_linalg::sparse::detect_calls`]).
+//! ([`fml_linalg::SparseRep`]: one-hot, weighted CSR, or dense) in scan order
+//! via the shared [`RepCache`] protocol; every EM iteration and pass then
+//! reads the cached form instead of rescanning the immutable feature data
+//! (detection runs at most **once per tuple** per training run — the
+//! regression tests pin this with [`fml_linalg::sparse::detect_calls`]).
 
 use crate::em::{converged, finalize_m_step, means_from_sums, GmmFit};
 use crate::init::GmmInit;
@@ -35,8 +35,10 @@ use crate::multiway::FactorizedMultiwayGmm;
 use crate::sparse::{SparseDiagAcc, SparseFormPre, SparseScatterAcc};
 use crate::GmmConfig;
 use fml_linalg::block::{BlockPartition, BlockScatter};
-use fml_linalg::policy::par_chunks;
-use fml_linalg::sparse::{SparseMode, SparseRep};
+use fml_linalg::exec::{ExecPolicy, FitNotifier};
+use fml_linalg::policy::par_chunks_with_threads;
+use fml_linalg::repcache::RepCache;
+use fml_linalg::sparse::SparseMode;
 use fml_linalg::{gemm, vector, Matrix, Vector};
 use fml_store::factorized_scan::GroupScan;
 use fml_store::{Database, JoinSpec, StoreResult};
@@ -46,13 +48,6 @@ use std::time::Instant;
 /// processes join groups inline instead of fanning out.
 pub(crate) const PAR_MIN_GROUP_FLOPS: usize = 1 << 12;
 
-/// Looks up a cached per-tuple representation; empty caches (the forced-dense
-/// mode) read as dense.
-#[inline]
-pub(crate) fn cached_rep(cache: &[Option<SparseRep>], i: usize) -> Option<&SparseRep> {
-    cache.get(i).and_then(Option::as_ref)
-}
-
 /// The factorized training strategy (the paper's proposal).
 pub struct FactorizedGmm;
 
@@ -61,16 +56,27 @@ impl FactorizedGmm {
     /// and without repeating dimension-side computation.
     ///
     /// Multi-way joins are dispatched to [`FactorizedMultiwayGmm`].
-    pub fn train(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+    pub fn train(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &GmmConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<GmmFit> {
         spec.validate(db)?;
         if spec.num_dimensions() > 1 {
-            return FactorizedMultiwayGmm::train(db, spec, config);
+            return FactorizedMultiwayGmm::train(db, spec, config, exec);
         }
-        Self::train_binary(db, spec, config)
+        Self::train_binary(db, spec, config, exec)
     }
 
-    fn train_binary(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+    fn train_binary(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &GmmConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<GmmFit> {
         let start = Instant::now();
+        let ex = exec.resolve();
         let sizes = spec.feature_partition(db)?;
         let partition = BlockPartition::new(&sizes);
         let d = partition.total_dim();
@@ -78,30 +84,34 @@ impl FactorizedGmm {
         let n = spec.fact_relation(db)?.lock().num_tuples();
         let k = config.k;
 
-        let mut model =
-            GmmInit::new(config.seed, config.init_spread).from_relations(db, spec, k)?;
+        let mut model = GmmInit::new(ex.seed, config.init_spread).from_relations(db, spec, k)?;
         assert_eq!(model.dim(), d, "initial model dimension mismatch");
+        // Created after the init scan so event 0's I/O delta covers exactly
+        // the first EM iteration — the same bracketing as the M/S trainers
+        // (whose notifier is created inside the shared dense driver).
+        let probe = db.stats().io_probe();
+        let mut notifier = FitNotifier::new(exec, Some(&probe));
         let mut log_likelihood = Vec::with_capacity(config.max_iters);
         let mut iterations = 0;
         let mut gammas: Vec<f64> = Vec::with_capacity(n as usize * k);
 
-        let policy = config.kernel_policy;
         // Kernels inside the per-chunk workers run single-threaded; parallelism
         // lives at the join-group level, and only engages when per-group work is
         // large enough to amortize the scoped-thread fan-out.
-        let kp = policy.sequential();
-        let par = policy.is_parallel() && k * d * d >= PAR_MIN_GROUP_FLOPS;
-        let auto_sparse = config.sparse == SparseMode::Auto;
+        let kp = ex.kernel_policy.sequential();
+        let par = ex.kernel_policy.is_parallel() && k * d * d >= PAR_MIN_GROUP_FLOPS;
+        let workers = ex.workers(par);
+        let auto_sparse = ex.sparse == SparseMode::Auto;
 
         // ---- Per-tuple representation caches ----
         // Filled lazily during the first E-step pass (no extra scan — F-GMM
         // reads exactly the same pages as S-GMM).  The EM passes re-read the
         // same immutable tuples in the same deterministic scan order, so the
         // caches are indexed by group / fact scan position and reused by every
-        // later pass and iteration: detection runs at most once per tuple.
-        let mut group_reps: Vec<Option<SparseRep>> = Vec::new();
-        let mut fact_reps: Vec<Option<SparseRep>> = Vec::new();
-        let mut reps_ready = !auto_sparse;
+        // later pass and iteration: detection runs at most once per tuple
+        // (the shared [`RepCache`] protocol).
+        let mut group_reps = RepCache::new(ex.sparse);
+        let mut fact_reps = RepCache::new(ex.sparse);
 
         for _iter in 0..config.max_iters {
             let pre = Precomputed::from_model(&model, config.ridge);
@@ -136,7 +146,7 @@ impl FactorizedGmm {
             let mut ll = 0.0;
             let mut group_cursor = 0usize;
             let mut fact_cursor = 0usize;
-            let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
+            let scan = GroupScan::from_spec(db, spec, ex.block_pages)?;
             for block in scan {
                 let groups = block?;
                 // Per-group fact offsets into the (global) fact scan order, so
@@ -150,12 +160,11 @@ impl FactorizedGmm {
                     })
                     .collect();
                 let group_base = group_cursor;
-                let fill = !reps_ready;
                 let (group_reps_ref, fact_reps_ref) = (&group_reps, &fact_reps);
-                let parts = par_chunks(par, groups.len(), 1, |range| {
+                let parts = par_chunks_with_threads(workers, groups.len(), 1, |range| {
                     let mut local_gammas = Vec::new();
-                    let mut local_group_reps: Vec<Option<SparseRep>> = Vec::new();
-                    let mut local_fact_reps: Vec<Option<SparseRep>> = Vec::new();
+                    let mut group_seg = group_reps_ref.segment(group_base + range.start);
+                    let mut fact_seg = fact_reps_ref.segment(fact_offsets[range.start]);
                     let mut local_nk = vec![0.0; k];
                     let mut local_ll = 0.0;
                     let mut log_dens = vec![0.0; k];
@@ -166,12 +175,8 @@ impl FactorizedGmm {
                         // cross-term vector w = I_SR·PD_R + I_RSᵀ·PD_R.  For
                         // sparse dimension tuples both come from the mean
                         // decomposition — gathers only, zero dense multiplies.
-                        let r_rep = if fill {
-                            local_group_reps.push(config.sparse.detect(&group.r_tuple.features));
-                            local_group_reps.last().unwrap().as_ref()
-                        } else {
-                            cached_rep(group_reps_ref, group_base + gi)
-                        };
+                        let r_rep =
+                            group_seg.rep_or_detect(group_base + gi, &group.r_tuple.features);
                         let mut lr_terms = vec![0.0; k];
                         let mut cross_w: Vec<Vec<f64>> = Vec::with_capacity(k);
                         for c in 0..k {
@@ -199,12 +204,8 @@ impl FactorizedGmm {
                         // fact so fully-dense groups never pay for it.
                         let mut mu_dot_w: Option<Vec<f64>> = None;
                         for (fi, s_tuple) in group.s_tuples.iter().enumerate() {
-                            let s_rep = if fill {
-                                local_fact_reps.push(config.sparse.detect(&s_tuple.features));
-                                local_fact_reps.last().unwrap().as_ref()
-                            } else {
-                                cached_rep(fact_reps_ref, fact_offsets[gi] + fi)
-                            };
+                            let s_rep =
+                                fact_seg.rep_or_detect(fact_offsets[gi] + fi, &s_tuple.features);
                             if s_rep.is_some() && mu_dot_w.is_none() {
                                 mu_dot_w = Some(
                                     cross_w
@@ -247,29 +248,28 @@ impl FactorizedGmm {
                         local_gammas,
                         local_nk,
                         local_ll,
-                        local_group_reps,
-                        local_fact_reps,
+                        group_seg.into_detected(),
+                        fact_seg.into_detected(),
                     )
                 });
-                for (local_gammas, local_nk, local_ll, local_group_reps, local_fact_reps) in parts {
+                for (local_gammas, local_nk, local_ll, group_detected, fact_detected) in parts {
                     gammas.extend_from_slice(&local_gammas);
                     vector::axpy(1.0, &local_nk, &mut nk);
                     ll += local_ll;
-                    if fill {
-                        group_reps.extend(local_group_reps);
-                        fact_reps.extend(local_fact_reps);
-                    }
+                    group_reps.merge(group_detected);
+                    fact_reps.merge(fact_detected);
                 }
                 group_cursor += groups.len();
                 fact_cursor += groups.iter().map(|g| g.s_tuples.len()).sum::<usize>();
             }
-            reps_ready = true;
+            group_reps.finish_fill();
+            fact_reps.finish_fill();
 
             // ---- Pass 2: M-step, means (Equation 13) ----
             let mut mean_sums = vec![Vector::zeros(d); k];
             let mut group_cursor = 0usize;
             let mut fact_cursor = 0usize;
-            let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
+            let scan = GroupScan::from_spec(db, spec, ex.block_pages)?;
             for block in scan {
                 let groups = block?;
                 // Per-group cursor offsets into the responsibility stream, so
@@ -283,7 +283,7 @@ impl FactorizedGmm {
                     })
                     .collect();
                 let group_base = group_cursor;
-                let parts = par_chunks(par, groups.len(), 1, |range| {
+                let parts = par_chunks_with_threads(workers, groups.len(), 1, |range| {
                     let mut local = vec![Vector::zeros(d); k];
                     for gi in range {
                         let group = &groups[gi];
@@ -291,7 +291,7 @@ impl FactorizedGmm {
                         let mut group_gamma = vec![0.0; k];
                         for (fi, s_tuple) in group.s_tuples.iter().enumerate() {
                             let g = &gammas[cur..cur + k];
-                            match cached_rep(&fact_reps, fact_offsets[gi] + fi) {
+                            match fact_reps.get(fact_offsets[gi] + fi) {
                                 Some(rep) => {
                                     for c in 0..k {
                                         rep.axpy_into(g[c], &mut local[c].as_mut_slice()[..d_s]);
@@ -313,7 +313,7 @@ impl FactorizedGmm {
                         }
                         // Dimension part: one scatter-add per active index
                         // for sparse tuples, one AXPY otherwise.
-                        match cached_rep(&group_reps, group_base + gi) {
+                        match group_reps.get(group_base + gi) {
                             Some(rep) => {
                                 for c in 0..k {
                                     rep.axpy_into(
@@ -370,7 +370,7 @@ impl FactorizedGmm {
                 (0..k).map(|_| SparseDiagAcc::new(d_s)).collect();
             let mut group_cursor = 0usize;
             let mut fact_cursor = 0usize;
-            let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
+            let scan = GroupScan::from_spec(db, spec, ex.block_pages)?;
             for block in scan {
                 let groups = block?;
                 let fact_offsets: Vec<usize> = groups
@@ -382,7 +382,7 @@ impl FactorizedGmm {
                     })
                     .collect();
                 let group_base = group_cursor;
-                let parts = par_chunks(par, groups.len(), 1, |range| {
+                let parts = par_chunks_with_threads(workers, groups.len(), 1, |range| {
                     let mut local: Vec<BlockScatter> = (0..k)
                         .map(|_| BlockScatter::new_with(partition.clone(), kp))
                         .collect();
@@ -405,7 +405,7 @@ impl FactorizedGmm {
                         let mut any_sparse_fact = false;
                         for (fi, s_tuple) in group.s_tuples.iter().enumerate() {
                             let g = &gammas[cur..cur + k];
-                            match cached_rep(&fact_reps, fact_offsets[gi] + fi) {
+                            match fact_reps.get(fact_offsets[gi] + fi) {
                                 Some(rep) => {
                                     // UL block: raw γ·x xᵀ pair scatter; the
                                     // mean corrections apply once per pass.
@@ -443,7 +443,7 @@ impl FactorizedGmm {
                                 );
                             }
                         }
-                        if let Some(rep) = cached_rep(&group_reps, group_base + gi) {
+                        if let Some(rep) = group_reps.get(group_base + gi) {
                             // UR / LL / LR blocks: sparse raw-x scatters; the
                             // mean corrections are applied once after the pass.
                             for c in 0..k {
@@ -495,6 +495,7 @@ impl FactorizedGmm {
                 scatter.into_iter().map(BlockScatter::into_matrix).collect();
             model = finalize_m_step(&nk, mean_sums, scatter_mats, n, config.ridge);
             iterations += 1;
+            notifier.notify(ll);
 
             let prev = log_likelihood.last().copied();
             log_likelihood.push(ll);
@@ -543,9 +544,9 @@ mod tests {
             max_iters: 5,
             ..GmmConfig::default()
         };
-        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(
             m.model.max_param_diff(&f.model) < 1e-7,
             "M vs F diff {}",
@@ -568,8 +569,8 @@ mod tests {
             max_iters: 4,
             ..GmmConfig::default()
         };
-        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(m.model.max_param_diff(&f.model) < 1e-7);
     }
 
@@ -581,7 +582,7 @@ mod tests {
             max_iters: 8,
             ..GmmConfig::default()
         };
-        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         for pair in f.log_likelihood.windows(2) {
             assert!(pair[1] >= pair[0] - 1e-6, "{:?}", f.log_likelihood);
         }
@@ -596,7 +597,7 @@ mod tests {
             tol: 1e-3,
             ..GmmConfig::default()
         };
-        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(f.iterations < 60);
         assert_eq!(f.iterations, f.log_likelihood.len());
     }
@@ -622,7 +623,7 @@ mod tests {
             max_iters: 2,
             ..GmmConfig::default()
         };
-        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert_eq!(f.model.dim(), 7);
     }
 }

@@ -17,6 +17,13 @@
 //! All three produce the same model (up to floating-point associativity): the EM
 //! update is decomposed exactly, never approximated.  The integration tests assert
 //! this equivalence on every workload shape.
+//!
+//! Every trainer takes the same pair of arguments: a [`GmmConfig`] describing
+//! the *model* (components, iteration budget, regularization) and an
+//! [`fml_linalg::ExecPolicy`] describing the *execution* (kernel policy,
+//! sparse-path mode, scan block size, worker threads, seed, telemetry
+//! observer).  The preferred entry point is `fml_core::Session`, which fits
+//! any model family through one surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,10 +45,13 @@ pub use model::{GmmModel, Precomputed};
 pub use multiway::FactorizedMultiwayGmm;
 pub use streaming::StreamingGmm;
 
-use fml_linalg::{KernelPolicy, SparseMode};
 use serde::{Deserialize, Serialize};
 
-/// Configuration shared by every GMM training variant.
+/// Model configuration shared by every GMM training variant.
+///
+/// Holds only *model* concerns.  Execution knobs (kernel policy, sparse mode,
+/// block size, threads, seed) live on [`fml_linalg::ExecPolicy`], which every
+/// trainer takes alongside this config.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GmmConfig {
     /// Number of mixture components `K`.
@@ -55,28 +65,8 @@ pub struct GmmConfig {
     /// Ridge added to covariance diagonals whenever a component's covariance is
     /// not positive definite.
     pub ridge: f64,
-    /// Seed for the (data-independent) initialization.
-    pub seed: u64,
     /// Spread of the random initial means.
     pub init_spread: f64,
-    /// Number of pages per scan block (`BlockSize` in the paper's cost analysis).
-    pub block_pages: usize,
-    /// Linear-algebra kernel policy used by every pass (see
-    /// [`fml_linalg::policy`]).  All variants of one comparison should share a
-    /// policy: results across policies agree only within rounding tolerances.
-    pub kernel_policy: KernelPolicy,
-    /// Whether the trainers detect sparse feature blocks and route them
-    /// through the sparse kernels ([`fml_linalg::sparse`] for one-hot,
-    /// [`fml_linalg::csr`] for weighted CSR).  The default `Auto` engages on
-    /// 0/1 blocks at ≤ ½ occupancy and on weighted-sparse blocks at ≤ ¼
-    /// occupancy; `Dense` forces the dense path (the comparison baseline).
-    /// The factorized trainers detect per base-relation block; the
-    /// materialized/streaming trainers detect the denormalized rows.
-    /// Detection is cached per tuple (at most one scan per tuple per training
-    /// run).  Sparse-path models agree with the dense path within rounding
-    /// tolerances (the centered decomposition regroups additions), not
-    /// bit-for-bit.
-    pub sparse: SparseMode,
 }
 
 impl Default for GmmConfig {
@@ -86,11 +76,7 @@ impl Default for GmmConfig {
             max_iters: 10,
             tol: 0.0,
             ridge: 1e-6,
-            seed: 7,
             init_spread: 1.0,
-            block_pages: fml_store::DEFAULT_BLOCK_PAGES,
-            kernel_policy: KernelPolicy::default(),
-            sparse: SparseMode::default(),
         }
     }
 }
@@ -115,24 +101,6 @@ impl GmmConfig {
         self.tol = tol;
         self
     }
-
-    /// Returns a copy with a different seed.
-    pub fn seeded(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Returns a copy with a different kernel policy.
-    pub fn policy(mut self, kernel_policy: KernelPolicy) -> Self {
-        self.kernel_policy = kernel_policy;
-        self
-    }
-
-    /// Returns a copy with a different sparse-path mode.
-    pub fn sparse_mode(mut self, sparse: SparseMode) -> Self {
-        self.sparse = sparse;
-        self
-    }
 }
 
 #[cfg(test)]
@@ -150,13 +118,9 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let c = GmmConfig::with_k(3)
-            .iterations(25)
-            .tolerance(1e-4)
-            .seeded(99);
+        let c = GmmConfig::with_k(3).iterations(25).tolerance(1e-4);
         assert_eq!(c.k, 3);
         assert_eq!(c.max_iters, 25);
         assert_eq!(c.tol, 1e-4);
-        assert_eq!(c.seed, 99);
     }
 }

@@ -9,6 +9,7 @@
 use crate::em::{train_dense_from, DensePassSource, GmmFit};
 use crate::init::GmmInit;
 use crate::GmmConfig;
+use fml_linalg::exec::ExecPolicy;
 use fml_store::batch::BatchScan;
 use fml_store::catalog::RelationHandle;
 use fml_store::join::materialize_join;
@@ -28,18 +29,25 @@ impl MaterializedGmm {
     ///
     /// The reported [`GmmFit::elapsed`] includes join computation and
     /// materialization, exactly like the paper's M-GMM timings.
-    pub fn train(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+    pub fn train(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &GmmConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<GmmFit> {
         let start = Instant::now();
+        let ex = exec.resolve();
         spec.validate(db)?;
         let initial =
-            GmmInit::new(config.seed, config.init_spread).from_relations(db, spec, config.k)?;
+            GmmInit::new(ex.seed, config.init_spread).from_relations(db, spec, config.k)?;
         let t_name = Self::temp_table_name(spec);
         if db.contains(&t_name) {
             db.drop_relation(&t_name)?;
         }
-        let table = materialize_join(db, spec, t_name, config.block_pages)?;
-        let mut source = MaterializedSource::new(table, config.block_pages);
-        let mut fit = train_dense_from(&mut source, config, initial)?;
+        let table = materialize_join(db, spec, t_name, ex.block_pages)?;
+        let mut source = MaterializedSource::new(table, ex.block_pages);
+        let probe = db.stats().io_probe();
+        let mut fit = train_dense_from(&mut source, config, exec, initial, Some(&probe))?;
         fit.elapsed = start.elapsed();
         Ok(fit)
     }
@@ -50,10 +58,11 @@ impl MaterializedGmm {
     pub fn train_on_table(
         table: RelationHandle,
         config: &GmmConfig,
+        exec: &ExecPolicy,
         initial: crate::GmmModel,
     ) -> StoreResult<GmmFit> {
-        let mut source = MaterializedSource::new(table, config.block_pages);
-        train_dense_from(&mut source, config, initial)
+        let mut source = MaterializedSource::new(table, exec.resolve().block_pages);
+        train_dense_from(&mut source, config, exec, initial, None)
     }
 }
 
@@ -128,7 +137,7 @@ mod tests {
             max_iters: 3,
             ..GmmConfig::default()
         };
-        let fit = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let fit = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert_eq!(fit.iterations, 3);
         assert_eq!(fit.n_tuples, 400);
         assert_eq!(fit.model.dim(), 5);
@@ -143,8 +152,8 @@ mod tests {
             max_iters: 1,
             ..GmmConfig::default()
         };
-        let a = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let b = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let a = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let b = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert_eq!(a.model.max_param_diff(&b.model), 0.0);
     }
 
@@ -156,14 +165,15 @@ mod tests {
             max_iters: 2,
             ..GmmConfig::default()
         };
-        let initial = crate::init::GmmInit::new(config.seed, config.init_spread)
+        let exec = ExecPolicy::new();
+        let initial = crate::init::GmmInit::new(exec.resolve().seed, config.init_spread)
             .from_relations(&w.db, &w.spec, config.k)
             .unwrap();
-        let full = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let full = MaterializedGmm::train(&w.db, &w.spec, &config, &exec).unwrap();
         let table =
             w.db.relation(&MaterializedGmm::temp_table_name(&w.spec))
                 .unwrap();
-        let reused = MaterializedGmm::train_on_table(table, &config, initial).unwrap();
+        let reused = MaterializedGmm::train_on_table(table, &config, &exec, initial).unwrap();
         assert!(full.model.max_param_diff(&reused.model) < 1e-12);
     }
 

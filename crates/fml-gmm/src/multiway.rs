@@ -21,7 +21,9 @@ use crate::model::Precomputed;
 use crate::sparse::{SparseFormPre, SparseScatterAcc};
 use crate::GmmConfig;
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
-use fml_linalg::policy::par_chunks;
+use fml_linalg::exec::{ExecPolicy, FitNotifier};
+use fml_linalg::policy::par_chunks_with_threads;
+use fml_linalg::repcache::KeyedRepCache;
 use fml_linalg::sparse::{SparseMode, SparseRep};
 use fml_linalg::{gemm, vector, KernelPolicy, Matrix, Vector};
 use fml_store::factorized_scan::StarScan;
@@ -113,8 +115,14 @@ impl ScatterAgg {
 
 impl FactorizedMultiwayGmm {
     /// Trains a GMM over a star join of `q ≥ 1` dimension tables.
-    pub fn train(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+    pub fn train(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &GmmConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<GmmFit> {
         let start = Instant::now();
+        let ex = exec.resolve();
         spec.validate(db)?;
         let sizes = spec.feature_partition(db)?;
         let partition = BlockPartition::new(&sizes);
@@ -124,25 +132,29 @@ impl FactorizedMultiwayGmm {
         let n = spec.fact_relation(db)?.lock().num_tuples();
         let k = config.k;
 
-        let mut model =
-            GmmInit::new(config.seed, config.init_spread).from_relations(db, spec, k)?;
+        let mut model = GmmInit::new(ex.seed, config.init_spread).from_relations(db, spec, k)?;
         assert_eq!(model.dim(), d, "initial model dimension mismatch");
+        // After the init scan, so event 0 brackets exactly the first
+        // iteration (matches the M/S trainers' accounting).
+        let probe = db.stats().io_probe();
+        let mut notifier = FitNotifier::new(exec, Some(&probe));
         let mut log_likelihood = Vec::with_capacity(config.max_iters);
         let mut iterations = 0;
         let mut gammas: Vec<f64> = Vec::with_capacity(n as usize * k);
 
-        let policy = config.kernel_policy;
-        let kp = policy.sequential();
+        let kp = ex.kernel_policy.sequential();
         // Fan out only when per-fact work can amortize the thread spawns.
-        let par = policy.is_parallel() && k * d * d >= crate::factorized::PAR_MIN_GROUP_FLOPS;
-        let auto_sparse = config.sparse == SparseMode::Auto;
+        let par =
+            ex.kernel_policy.is_parallel() && k * d * d >= crate::factorized::PAR_MIN_GROUP_FLOPS;
+        let workers = ex.workers(par);
+        let auto_sparse = ex.sparse == SparseMode::Auto;
         // Per-dimension detection caches, keyed by FK and **hoisted out of the
         // EM loop**: the dimension tuples are immutable, so detection runs at
         // most once per distinct tuple for the whole training run (the E-step
         // fills the cache on first encounter; the M-step passes and every
         // later iteration reuse it).
-        let mut dim_reps: Vec<HashMap<u64, Option<SparseRep>>> =
-            (0..q).map(|_| HashMap::new()).collect();
+        let mut dim_reps: Vec<KeyedRepCache> =
+            (0..q).map(|_| KeyedRepCache::new(ex.sparse)).collect();
 
         for _iter in 0..config.max_iters {
             let pre = Precomputed::from_model(&model, config.ridge);
@@ -162,7 +174,7 @@ impl FactorizedMultiwayGmm {
             gammas.clear();
             let mut nk = vec![0.0; k];
             let mut ll = 0.0;
-            let scan = StarScan::new(db, spec, config.block_pages)?;
+            let scan = StarScan::new(db, spec, ex.block_pages)?;
             let mut caches: Vec<HashMap<u64, EStepEntry>> =
                 (0..q).map(|_| HashMap::new()).collect();
             for block in scan.blocks() {
@@ -178,22 +190,19 @@ impl FactorizedMultiwayGmm {
                             })?;
                             // Detection persists across iterations; only the
                             // first encounter of a tuple ever scans it.
-                            let rep = dim_reps[i]
-                                .entry(*fk)
-                                .or_insert_with(|| config.sparse.detect(&dim_tuple.features));
+                            let rep = dim_reps[i].rep_or_detect(*fk, &dim_tuple.features);
                             let ctx = EStepCtx {
                                 forms: &forms,
                                 means_split: &means_split,
                                 sparse_pre: &sparse_pre,
                                 kp,
                             };
-                            let entry =
-                                EStepEntry::build(&dim_tuple.features, rep.as_ref(), i + 1, &ctx);
+                            let entry = EStepEntry::build(&dim_tuple.features, rep, i + 1, &ctx);
                             caches[i].insert(*fk, entry);
                         }
                     }
                 }
-                let parts = par_chunks(par, facts.len(), 1, |range| {
+                let parts = par_chunks_with_threads(workers, facts.len(), 1, |range| {
                     let mut local_gammas = Vec::with_capacity(range.len() * k);
                     let mut local_nk = vec![0.0; k];
                     let mut local_ll = 0.0;
@@ -240,7 +249,7 @@ impl FactorizedMultiwayGmm {
             let mut gamma_by_dim: Vec<HashMap<u64, Vec<f64>>> =
                 (0..q).map(|_| HashMap::new()).collect();
             let mut cursor = 0usize;
-            let scan = StarScan::new(db, spec, config.block_pages)?;
+            let scan = StarScan::new(db, spec, ex.block_pages)?;
             for block in scan.blocks() {
                 for fact in block? {
                     let g = &gammas[cursor..cursor + k];
@@ -263,7 +272,7 @@ impl FactorizedMultiwayGmm {
             for (i, dim_gammas) in gamma_by_dim.iter().enumerate() {
                 let range = partition.range(i + 1);
                 for (key, sums) in dim_gammas {
-                    match dim_reps[i].get(key).expect("detected during pass 1") {
+                    match dim_reps[i].get(*key) {
                         Some(rep) => {
                             for c in 0..k {
                                 rep.axpy_into(
@@ -308,7 +317,7 @@ impl FactorizedMultiwayGmm {
                 (0..q).map(|_| HashMap::new()).collect();
             let mut aggs: Vec<HashMap<u64, ScatterAgg>> = (0..q).map(|_| HashMap::new()).collect();
             let mut cursor = 0usize;
-            let scan = StarScan::new(db, spec, config.block_pages)?;
+            let scan = StarScan::new(db, spec, ex.block_pages)?;
             for block in scan.blocks() {
                 for fact in block? {
                     let g = &gammas[cursor..cursor + k];
@@ -361,7 +370,7 @@ impl FactorizedMultiwayGmm {
                 let mut acc: Vec<SparseScatterAcc> =
                     (0..k).map(|_| SparseScatterAcc::new(d_s, d_i)).collect();
                 for (key, agg) in &aggs[i] {
-                    if let Some(rep) = dim_reps[i].get(key).expect("detected during pass 1") {
+                    if let Some(rep) = dim_reps[i].get(*key) {
                         for c in 0..k {
                             acc[c].record(
                                 &mut scatter[c],
@@ -388,6 +397,7 @@ impl FactorizedMultiwayGmm {
                 scatter.into_iter().map(BlockScatter::into_matrix).collect();
             model = finalize_m_step(&nk, mean_sums, scatter_mats, n, config.ridge);
             iterations += 1;
+            notifier.notify(ll);
 
             let prev = log_likelihood.last().copied();
             log_likelihood.push(ll);
@@ -432,9 +442,9 @@ mod tests {
             max_iters: 4,
             ..GmmConfig::default()
         };
-        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(
             m.model.max_param_diff(&f.model) < 1e-7,
             "M vs F-multiway diff {}",
@@ -461,8 +471,8 @@ mod tests {
             max_iters: 3,
             ..GmmConfig::default()
         };
-        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(m.model.max_param_diff(&f.model) < 1e-7);
         assert_eq!(f.model.dim(), 8);
     }
@@ -488,8 +498,10 @@ mod tests {
             max_iters: 4,
             ..GmmConfig::default()
         };
-        let binary = crate::FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let multi = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+        let binary =
+            crate::FactorizedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let multi =
+            FactorizedMultiwayGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(binary.model.max_param_diff(&multi.model) < 1e-8);
     }
 
@@ -511,7 +523,7 @@ mod tests {
             max_iters: 6,
             ..GmmConfig::default()
         };
-        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         for pair in f.log_likelihood.windows(2) {
             assert!(pair[1] >= pair[0] - 1e-6);
         }

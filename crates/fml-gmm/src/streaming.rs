@@ -11,6 +11,7 @@
 use crate::em::{train_dense_from, DensePassSource, GmmFit};
 use crate::init::GmmInit;
 use crate::GmmConfig;
+use fml_linalg::exec::ExecPolicy;
 use fml_store::factorized_scan::{GroupScan, StarScan};
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::time::Instant;
@@ -20,17 +21,24 @@ pub struct StreamingGmm;
 
 impl StreamingGmm {
     /// Trains a GMM joining the base relations on the fly each pass.
-    pub fn train(db: &Database, spec: &JoinSpec, config: &GmmConfig) -> StoreResult<GmmFit> {
+    pub fn train(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &GmmConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<GmmFit> {
         let start = Instant::now();
+        let ex = exec.resolve();
         spec.validate(db)?;
         let initial =
-            GmmInit::new(config.seed, config.init_spread).from_relations(db, spec, config.k)?;
+            GmmInit::new(ex.seed, config.init_spread).from_relations(db, spec, config.k)?;
+        let probe = db.stats().io_probe();
         let mut fit = if spec.num_dimensions() == 1 {
-            let mut source = BinaryStreamSource::new(db, spec.clone(), config.block_pages)?;
-            train_dense_from(&mut source, config, initial)?
+            let mut source = BinaryStreamSource::new(db, spec.clone(), ex.block_pages)?;
+            train_dense_from(&mut source, config, exec, initial, Some(&probe))?
         } else {
-            let mut source = StarStreamSource::new(db, spec.clone(), config.block_pages)?;
-            train_dense_from(&mut source, config, initial)?
+            let mut source = StarStreamSource::new(db, spec.clone(), ex.block_pages)?;
+            train_dense_from(&mut source, config, exec, initial, Some(&probe))?
         };
         fit.elapsed = start.elapsed();
         Ok(fit)
@@ -157,8 +165,8 @@ mod tests {
             max_iters: 4,
             ..GmmConfig::default()
         };
-        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(
             m.model.max_param_diff(&s.model) < 1e-8,
             "M-GMM and S-GMM diverged: {}",
@@ -185,8 +193,8 @@ mod tests {
             max_iters: 3,
             ..GmmConfig::default()
         };
-        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(m.model.max_param_diff(&s.model) < 1e-8);
         assert_eq!(s.model.dim(), 7);
     }

@@ -5,11 +5,13 @@
 use fml_data::multiway::{DimSpec, MultiwayConfig};
 use fml_data::SyntheticConfig;
 use fml_gmm::{FactorizedGmm, FactorizedMultiwayGmm, GmmConfig, MaterializedGmm, StreamingGmm};
+use fml_linalg::ExecPolicy;
 
 fn assert_equivalent(w: &fml_data::Workload, config: &GmmConfig, tol: f64) {
-    let m = MaterializedGmm::train(&w.db, &w.spec, config).unwrap();
-    let s = StreamingGmm::train(&w.db, &w.spec, config).unwrap();
-    let f = FactorizedGmm::train(&w.db, &w.spec, config).unwrap();
+    let exec = ExecPolicy::new();
+    let m = MaterializedGmm::train(&w.db, &w.spec, config, &exec).unwrap();
+    let s = StreamingGmm::train(&w.db, &w.spec, config, &exec).unwrap();
+    let f = FactorizedGmm::train(&w.db, &w.spec, config, &exec).unwrap();
     assert_eq!(m.iterations, s.iterations);
     assert_eq!(m.iterations, f.iterations);
     let ms = m.model.max_param_diff(&s.model);
@@ -116,9 +118,9 @@ fn multiway_equivalence() {
         max_iters: 4,
         ..GmmConfig::default()
     };
-    let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-    let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
-    let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config).unwrap();
+    let m = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+    let s = StreamingGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+    let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
     assert!(m.model.max_param_diff(&f.model) < 1e-6);
     assert!(s.model.max_param_diff(&f.model) < 1e-6);
 }
@@ -146,15 +148,15 @@ fn factorized_io_never_exceeds_streaming_io() {
     };
 
     w.db.stats().reset();
-    let _ = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
+    let _ = StreamingGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
     let s_io = w.db.stats().snapshot();
 
     w.db.stats().reset();
-    let _ = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+    let _ = FactorizedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
     let f_io = w.db.stats().snapshot();
 
     w.db.stats().reset();
-    let _ = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
+    let _ = MaterializedGmm::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
     let m_io = w.db.stats().snapshot();
 
     assert_eq!(
@@ -195,13 +197,18 @@ fn policies_learn_the_same_model() {
         max_iters: 4,
         ..GmmConfig::default()
     };
-    let reference =
-        MaterializedGmm::train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Naive)).unwrap();
+    let reference = MaterializedGmm::train(
+        &w.db,
+        &w.spec,
+        &base,
+        &ExecPolicy::new().kernel_policy(KernelPolicy::Naive),
+    )
+    .unwrap();
     for policy in KernelPolicy::ALL {
-        let config = base.clone().policy(policy);
-        let m = MaterializedGmm::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingGmm::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedGmm::train(&w.db, &w.spec, &config).unwrap();
+        let exec = ExecPolicy::new().kernel_policy(policy);
+        let m = MaterializedGmm::train(&w.db, &w.spec, &base, &exec).unwrap();
+        let s = StreamingGmm::train(&w.db, &w.spec, &base, &exec).unwrap();
+        let f = FactorizedGmm::train(&w.db, &w.spec, &base, &exec).unwrap();
         for (label, fit) in [("M", &m), ("S", &s), ("F", &f)] {
             let diff = reference.model.max_param_diff(&fit.model);
             assert!(
@@ -231,11 +238,21 @@ fn multiway_policies_learn_the_same_model() {
         max_iters: 3,
         ..GmmConfig::default()
     };
-    let reference =
-        FactorizedMultiwayGmm::train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Naive))
-            .unwrap();
+    let reference = FactorizedMultiwayGmm::train(
+        &w.db,
+        &w.spec,
+        &base,
+        &ExecPolicy::new().kernel_policy(KernelPolicy::Naive),
+    )
+    .unwrap();
     for policy in [KernelPolicy::Blocked, KernelPolicy::BlockedParallel] {
-        let f = FactorizedMultiwayGmm::train(&w.db, &w.spec, &base.clone().policy(policy)).unwrap();
+        let f = FactorizedMultiwayGmm::train(
+            &w.db,
+            &w.spec,
+            &base,
+            &ExecPolicy::new().kernel_policy(policy),
+        )
+        .unwrap();
         let diff = reference.model.max_param_diff(&f.model);
         assert!(diff < 1e-6, "F-multiway under {policy} diverged: {diff}");
     }
@@ -264,10 +281,20 @@ fn parallel_fanout_engages_at_larger_dimensions() {
         max_iters: 2,
         ..GmmConfig::default()
     };
-    let blocked =
-        FactorizedGmm::train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Blocked)).unwrap();
-    let parallel =
-        FactorizedGmm::train(&w.db, &w.spec, &base.policy(KernelPolicy::BlockedParallel)).unwrap();
+    let blocked = FactorizedGmm::train(
+        &w.db,
+        &w.spec,
+        &base,
+        &ExecPolicy::new().kernel_policy(KernelPolicy::Blocked),
+    )
+    .unwrap();
+    let parallel = FactorizedGmm::train(
+        &w.db,
+        &w.spec,
+        &base,
+        &ExecPolicy::new().kernel_policy(KernelPolicy::BlockedParallel),
+    )
+    .unwrap();
     let diff = blocked.model.max_param_diff(&parallel.model);
     assert!(diff < 1e-7, "engaged parallel F-GMM diverged: {diff}");
 }

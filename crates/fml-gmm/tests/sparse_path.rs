@@ -15,7 +15,7 @@ use fml_data::EmulatedDataset;
 use fml_gmm::{FactorizedGmm, GmmConfig, MaterializedGmm, StreamingGmm};
 use fml_linalg::csr::csr_kernel_calls;
 use fml_linalg::sparse::{detect_calls, onehot_indices, onehot_kernel_calls, SparseMode};
-use fml_linalg::KernelPolicy;
+use fml_linalg::{ExecPolicy, KernelPolicy};
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -24,6 +24,10 @@ fn walmart_sparse() -> fml_data::Workload {
     EmulatedDataset::WalmartSparse
         .generate(0.001, 11)
         .expect("generate WalmartSparse")
+}
+
+fn dense_exec() -> ExecPolicy {
+    ExecPolicy::new().sparse_mode(SparseMode::Dense)
 }
 
 fn config() -> GmmConfig {
@@ -41,8 +45,8 @@ fn categorical_dataset_hits_sparse_path_by_default_and_matches_dense() {
 
     // Forced dense: the baseline, and it must never touch a one-hot kernel.
     let before_dense = onehot_kernel_calls();
-    let dense = FactorizedGmm::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense))
-        .expect("dense training");
+    let dense =
+        FactorizedGmm::train(&w.db, &w.spec, &config(), &dense_exec()).expect("dense training");
     assert_eq!(
         onehot_kernel_calls(),
         before_dense,
@@ -51,9 +55,10 @@ fn categorical_dataset_hits_sparse_path_by_default_and_matches_dense() {
 
     // Default (Auto): the one-hot dimension blocks must go through the sparse
     // kernels — the default config needs no opt-in.
-    assert_eq!(config().sparse, SparseMode::Auto);
+    assert_eq!(ExecPolicy::new().resolve().sparse, SparseMode::Auto);
     let before_auto = onehot_kernel_calls();
-    let auto = FactorizedGmm::train(&w.db, &w.spec, &config()).expect("auto training");
+    let auto =
+        FactorizedGmm::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).expect("auto training");
     assert!(
         onehot_kernel_calls() > before_auto,
         "Auto mode must route the categorical blocks through the one-hot kernels"
@@ -105,9 +110,8 @@ fn categorical_multiway() -> fml_data::Workload {
 fn multiway_categorical_auto_matches_dense() {
     let _guard = LOCK.lock().unwrap();
     let w = categorical_multiway();
-    let dense =
-        FactorizedGmm::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense)).unwrap();
-    let auto = FactorizedGmm::train(&w.db, &w.spec, &config()).unwrap();
+    let dense = FactorizedGmm::train(&w.db, &w.spec, &config(), &dense_exec()).unwrap();
+    let auto = FactorizedGmm::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).unwrap();
     let diff = dense.model.max_param_diff(&auto.model);
     assert!(diff < 1e-6, "multiway sparse vs dense diff {diff}");
 }
@@ -116,10 +120,21 @@ fn multiway_categorical_auto_matches_dense() {
 fn sparse_path_is_stable_across_kernel_policies() {
     let _guard = LOCK.lock().unwrap();
     let w = categorical_multiway();
-    let reference =
-        FactorizedGmm::train(&w.db, &w.spec, &config().policy(KernelPolicy::Naive)).unwrap();
+    let reference = FactorizedGmm::train(
+        &w.db,
+        &w.spec,
+        &config(),
+        &ExecPolicy::new().kernel_policy(KernelPolicy::Naive),
+    )
+    .unwrap();
     for p in [KernelPolicy::Blocked, KernelPolicy::BlockedParallel] {
-        let fit = FactorizedGmm::train(&w.db, &w.spec, &config().policy(p)).unwrap();
+        let fit = FactorizedGmm::train(
+            &w.db,
+            &w.spec,
+            &config(),
+            &ExecPolicy::new().kernel_policy(p),
+        )
+        .unwrap();
         let diff = reference.model.max_param_diff(&fit.model);
         assert!(diff < 1e-6, "{p}: sparse-path policy diff {diff}");
     }
@@ -147,8 +162,8 @@ fn weighted_sparse_blocks_hit_the_csr_path_and_match_dense() {
 
     // Forced dense: must never touch a CSR kernel.
     let before_dense = csr_kernel_calls();
-    let dense = FactorizedGmm::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense))
-        .expect("dense training");
+    let dense =
+        FactorizedGmm::train(&w.db, &w.spec, &config(), &dense_exec()).expect("dense training");
     assert_eq!(
         csr_kernel_calls(),
         before_dense,
@@ -158,7 +173,8 @@ fn weighted_sparse_blocks_hit_the_csr_path_and_match_dense() {
     // Default (Auto): the weighted-sparse dimension block must go through the
     // CSR kernels — detection generalizes past 0/1 values.
     let before_auto = csr_kernel_calls();
-    let auto = FactorizedGmm::train(&w.db, &w.spec, &config()).expect("auto training");
+    let auto =
+        FactorizedGmm::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).expect("auto training");
     assert!(
         csr_kernel_calls() > before_auto,
         "Auto mode must route weighted-sparse blocks through the CSR kernels"
@@ -188,9 +204,8 @@ fn multiway_weighted_sparse_auto_matches_dense() {
     }
     .generate()
     .unwrap();
-    let dense =
-        FactorizedGmm::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense)).unwrap();
-    let auto = FactorizedGmm::train(&w.db, &w.spec, &config()).unwrap();
+    let dense = FactorizedGmm::train(&w.db, &w.spec, &config(), &dense_exec()).unwrap();
+    let auto = FactorizedGmm::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).unwrap();
     let diff = dense.model.max_param_diff(&auto.model);
     assert!(diff < 1e-6, "multiway CSR vs dense diff {diff}");
 }
@@ -215,6 +230,7 @@ fn detection_runs_at_most_once_per_tuple_across_iterations() {
             max_iters: iters,
             ..GmmConfig::default()
         },
+        &ExecPolicy::new(),
     )
     .unwrap();
     let delta = detect_calls() - before;
@@ -240,6 +256,7 @@ fn detection_runs_at_most_once_per_tuple_across_iterations() {
             max_iters: 3,
             ..GmmConfig::default()
         },
+        &ExecPolicy::new(),
     )
     .unwrap();
     let delta = detect_calls() - before;
@@ -259,8 +276,8 @@ fn streaming_and_materialized_honor_sparse_mode() {
     let cfg = config();
 
     let before_dense = onehot_kernel_calls() + csr_kernel_calls();
-    let s_dense = StreamingGmm::train(&w.db, &w.spec, &cfg.clone().sparse_mode(SparseMode::Dense))
-        .expect("dense streaming");
+    let s_dense =
+        StreamingGmm::train(&w.db, &w.spec, &cfg, &dense_exec()).expect("dense streaming");
     assert_eq!(
         onehot_kernel_calls() + csr_kernel_calls(),
         before_dense,
@@ -268,7 +285,8 @@ fn streaming_and_materialized_honor_sparse_mode() {
     );
 
     let before_auto = onehot_kernel_calls() + csr_kernel_calls();
-    let s_auto = StreamingGmm::train(&w.db, &w.spec, &cfg).expect("auto streaming");
+    let s_auto =
+        StreamingGmm::train(&w.db, &w.spec, &cfg, &ExecPolicy::new()).expect("auto streaming");
     assert!(
         onehot_kernel_calls() + csr_kernel_calls() > before_auto,
         "Auto mode must route the streaming trainer's sparse rows through the sparse kernels"
@@ -277,7 +295,8 @@ fn streaming_and_materialized_honor_sparse_mode() {
     assert!(diff < 1e-6, "streaming sparse vs dense diff {diff}");
 
     // Materialized shares the driver: same behavior, same model.
-    let m_auto = MaterializedGmm::train(&w.db, &w.spec, &cfg).expect("auto materialized");
+    let m_auto = MaterializedGmm::train(&w.db, &w.spec, &cfg, &ExecPolicy::new())
+        .expect("auto materialized");
     let diff = m_auto.model.max_param_diff(&s_auto.model);
     assert!(diff < 1e-8, "M vs S sparse-path diff {diff}");
 }

@@ -20,6 +20,13 @@
 //!   CSR gathers/scatters/quadratic forms) for near-sparse numeric blocks;
 //!   same exactness contract as [`sparse`], with the multiplications kept.
 //! * [`sym`] — helpers for symmetric matrices (regularization, SPD checks).
+//! * [`exec`] — the model-independent [`ExecPolicy`] every trainer consumes
+//!   (kernel policy, sparse mode, block size, threads, seed, telemetry
+//!   observer), with builder > environment > default precedence resolved in
+//!   one place.
+//! * [`repcache`] — the per-tuple sparse-representation caches ([`RepCache`],
+//!   [`KeyedRepCache`]) encoding the lazy scan-order fill protocol shared by
+//!   all six trainers.
 //!
 //! ## Kernel policies
 //!
@@ -56,9 +63,11 @@
 pub mod block;
 pub mod cholesky;
 pub mod csr;
+pub mod exec;
 pub mod gemm;
 pub mod matrix;
 pub mod policy;
+pub mod repcache;
 pub mod sparse;
 pub mod sym;
 #[doc(hidden)]
@@ -68,8 +77,10 @@ pub mod vector;
 pub use block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 pub use cholesky::Cholesky;
 pub use csr::CsrBlock;
+pub use exec::{ExecPolicy, ExecSettings, FitEvent, FitNotifier, FitObserver, TraceObserver};
 pub use matrix::Matrix;
 pub use policy::KernelPolicy;
+pub use repcache::{KeyedRepCache, RepCache, RepSegment};
 pub use sparse::{BlockVec, SparseMode, SparseRep};
 pub use vector::Vector;
 

@@ -134,7 +134,7 @@ fn policy_from_u8(v: u8) -> KernelPolicy {
 /// a warning describing the rejection and the fallback — invalid overrides
 /// must never be silently swallowed (a typo like `blokced` would otherwise
 /// benchmark the wrong kernels without any indication).
-fn resolve_policy_env(raw: Option<&str>) -> (KernelPolicy, Option<String>) {
+pub(crate) fn resolve_policy_env(raw: Option<&str>) -> (KernelPolicy, Option<String>) {
     match raw {
         None => (KernelPolicy::Blocked, None),
         Some(s) => match s.parse::<KernelPolicy>() {
@@ -154,7 +154,7 @@ fn resolve_policy_env(raw: Option<&str>) -> (KernelPolicy, Option<String>) {
 ///
 /// Returns the chosen count and a warning when the raw value was present but
 /// rejected — unparsable strings and the meaningless `0` both fall back.
-fn resolve_threads_env(raw: Option<&str>, available: usize) -> (usize, Option<String>) {
+pub(crate) fn resolve_threads_env(raw: Option<&str>, available: usize) -> (usize, Option<String>) {
     match raw {
         None => (available, None),
         Some(s) => match s.parse::<usize>() {
@@ -408,6 +408,24 @@ mod tests {
             msg.contains("blocked"),
             "warning must name the fallback: {msg}"
         );
+    }
+
+    /// The invalid-value warning is guarded per flag: a second resolution of
+    /// the same variable must not warn again (one warning per process, not
+    /// one per training run).
+    #[test]
+    fn warn_once_fires_exactly_once_per_guard() {
+        let guard = std::sync::atomic::AtomicBool::new(false);
+        assert!(!guard.load(Ordering::Relaxed));
+        warn_once(&guard, "first");
+        assert!(
+            guard.load(Ordering::Relaxed),
+            "first call must trip the guard"
+        );
+        // the second call sees the tripped guard and stays silent — the swap
+        // returning true is exactly the "already warned" branch
+        warn_once(&guard, "second");
+        assert!(guard.swap(true, Ordering::Relaxed), "guard stays tripped");
     }
 
     #[test]

@@ -19,19 +19,13 @@ use crate::materialized::ensure_has_target;
 use crate::mlp::Mlp;
 use crate::multiway::FactorizedMultiwayNn;
 use crate::trainer::{NnConfig, NnFit};
-use fml_linalg::policy::par_chunks;
-use fml_linalg::sparse::SparseRep;
+use fml_linalg::exec::{ExecPolicy, FitNotifier};
+use fml_linalg::policy::par_chunks_with_threads;
+use fml_linalg::repcache::RepCache;
 use fml_linalg::{gemm, vector, Matrix};
 use fml_store::factorized_scan::GroupScan;
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::time::Instant;
-
-/// Looks up a cached per-tuple representation; empty caches (the forced-dense
-/// mode) read as dense.
-#[inline]
-fn cached_rep(cache: &[Option<SparseRep>], i: usize) -> Option<&SparseRep> {
-    cache.get(i).and_then(Option::as_ref)
-}
 
 /// Minimum per-example work (≈ `4·|θ|` flops) below which the parallel policy
 /// processes join groups inline instead of fanning out (mirrors the GMM
@@ -45,33 +39,45 @@ impl FactorizedNn {
     /// Trains the network without materializing the join, reusing the
     /// dimension-side first-layer computation.  Multi-way joins are dispatched to
     /// [`FactorizedMultiwayNn`].
-    pub fn train(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+    pub fn train(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &NnConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<NnFit> {
         spec.validate(db)?;
         if spec.num_dimensions() > 1 {
-            return FactorizedMultiwayNn::train(db, spec, config);
+            return FactorizedMultiwayNn::train(db, spec, config, exec);
         }
         ensure_has_target(db, spec)?;
-        Self::train_binary(db, spec, config)
+        Self::train_binary(db, spec, config, exec)
     }
 
-    fn train_binary(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+    fn train_binary(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &NnConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<NnFit> {
         let start = Instant::now();
+        let ex = exec.resolve();
         let sizes = spec.feature_partition(db)?;
         let (d_s, d_r) = (sizes[0], sizes[1]);
         let d = d_s + d_r;
         let n = spec.fact_relation(db)?.lock().num_tuples();
         assert!(n > 0, "cannot train on an empty source");
-        let mut model = Mlp::new(d, &config.hidden, config.activation, config.seed);
+        let mut model = Mlp::new(d, &config.hidden, config.activation, ex.seed);
         let mut loss_trace = Vec::with_capacity(config.epochs);
+        let probe = db.stats().io_probe();
+        let mut notifier = FitNotifier::new(exec, Some(&probe));
 
         // Per-tuple representation caches (one-hot / weighted CSR / dense),
         // filled lazily during the first epoch's scan and indexed by group /
         // fact scan position — detection runs at most once per tuple for the
-        // whole training run instead of once per epoch.
-        let auto_sparse = config.sparse == fml_linalg::SparseMode::Auto;
-        let mut group_reps: Vec<Option<SparseRep>> = Vec::new();
-        let mut fact_reps: Vec<Option<SparseRep>> = Vec::new();
-        let mut reps_ready = !auto_sparse;
+        // whole training run instead of once per epoch (the shared
+        // [`RepCache`] protocol).
+        let mut group_reps = RepCache::new(ex.sparse);
+        let mut fact_reps = RepCache::new(ex.sparse);
 
         for _epoch in 0..config.epochs {
             // Weights are constant within an epoch (full-batch update at the end),
@@ -88,14 +94,15 @@ impl FactorizedNn {
             let mut grad_w_r = Matrix::zeros(nh, d_r);
             let mut loss_sum = 0.0;
 
-            let kp = config.kernel_policy.sequential();
+            let kp = ex.kernel_policy.sequential();
             // Fan out over join groups only when per-example work can amortize
             // the scoped-thread spawns.
             let par =
-                config.kernel_policy.is_parallel() && 4 * model.num_params() >= PAR_MIN_GROUP_FLOPS;
+                ex.kernel_policy.is_parallel() && 4 * model.num_params() >= PAR_MIN_GROUP_FLOPS;
+            let workers = ex.workers(par);
             let mut group_cursor = 0usize;
             let mut fact_cursor = 0usize;
-            let scan = GroupScan::from_spec(db, spec, config.block_pages)?;
+            let scan = GroupScan::from_spec(db, spec, ex.block_pages)?;
             for block in scan {
                 // Join groups are independent within a block: chunks of groups
                 // accumulate private gradients that merge in chunk order.
@@ -109,26 +116,21 @@ impl FactorizedNn {
                     })
                     .collect();
                 let group_base = group_cursor;
-                let fill = !reps_ready;
                 let (group_reps_ref, fact_reps_ref) = (&group_reps, &fact_reps);
-                let parts = par_chunks(par, groups.len(), 1, |range| {
+                let parts = par_chunks_with_threads(workers, groups.len(), 1, |range| {
                     let mut local_grads = model.zero_grads();
                     let mut local_w_s = Matrix::zeros(nh, d_s);
                     let mut local_w_r = Matrix::zeros(nh, d_r);
-                    let mut local_group_reps: Vec<Option<SparseRep>> = Vec::new();
-                    let mut local_fact_reps: Vec<Option<SparseRep>> = Vec::new();
+                    let mut group_seg = group_reps_ref.segment(group_base + range.start);
+                    let mut fact_seg = fact_reps_ref.segment(fact_offsets[range.start]);
                     let mut local_loss = 0.0;
                     for gi in range {
                         let group = &groups[gi];
                         // Reused per dimension tuple: t_R = W¹_R·x_R + b¹.
                         // Sparse x_R gathers the active columns of W¹_R
                         // instead of multiplying through the zeros.
-                        let r_rep = if fill {
-                            local_group_reps.push(config.sparse.detect(&group.r_tuple.features));
-                            local_group_reps.last().unwrap().as_ref()
-                        } else {
-                            cached_rep(group_reps_ref, group_base + gi)
-                        };
+                        let r_rep =
+                            group_seg.rep_or_detect(group_base + gi, &group.r_tuple.features);
                         let mut t_r = match r_rep {
                             Some(rep) => rep.matvec(kp, &w1_r),
                             None => gemm::matvec_with(kp, &w1_r, &group.r_tuple.features),
@@ -140,12 +142,8 @@ impl FactorizedNn {
 
                         for (fi, s_tuple) in group.s_tuples.iter().enumerate() {
                             // ---- forward, first layer (factorized) ----
-                            let s_rep = if fill {
-                                local_fact_reps.push(config.sparse.detect(&s_tuple.features));
-                                local_fact_reps.last().unwrap().as_ref()
-                            } else {
-                                cached_rep(fact_reps_ref, fact_offsets[gi] + fi)
-                            };
+                            let s_rep =
+                                fact_seg.rep_or_detect(fact_offsets[gi] + fi, &s_tuple.features);
                             let mut a1 = match s_rep {
                                 Some(rep) => rep.matvec(kp, &w1_s),
                                 None => gemm::matvec_with(kp, &w1_s, &s_tuple.features),
@@ -200,8 +198,8 @@ impl FactorizedNn {
                         local_w_s,
                         local_w_r,
                         local_loss,
-                        local_group_reps,
-                        local_fact_reps,
+                        group_seg.into_detected(),
+                        fact_seg.into_detected(),
                     )
                 });
                 for (
@@ -209,8 +207,8 @@ impl FactorizedNn {
                     local_w_s,
                     local_w_r,
                     local_loss,
-                    local_group_reps,
-                    local_fact_reps,
+                    group_detected,
+                    fact_detected,
                 ) in parts
                 {
                     for (dst, src) in grads.iter_mut().zip(local_grads.iter()) {
@@ -219,15 +217,14 @@ impl FactorizedNn {
                     grad_w_s.add_assign(&local_w_s);
                     grad_w_r.add_assign(&local_w_r);
                     loss_sum += local_loss;
-                    if fill {
-                        group_reps.extend(local_group_reps);
-                        fact_reps.extend(local_fact_reps);
-                    }
+                    group_reps.merge(group_detected);
+                    fact_reps.merge(fact_detected);
                 }
                 group_cursor += groups.len();
                 fact_cursor += groups.iter().map(|g| g.s_tuples.len()).sum::<usize>();
             }
-            reps_ready = true;
+            group_reps.finish_fill();
+            fact_reps.finish_fill();
 
             // Assemble the first layer's weight gradient from its two blocks.
             for i in 0..nh {
@@ -240,6 +237,7 @@ impl FactorizedNn {
             }
             model.apply_grads(&grads, config.learning_rate, n as f64);
             loss_trace.push(loss_sum / n as f64);
+            notifier.notify(loss_sum / n as f64);
         }
 
         Ok(NnFit {
@@ -285,9 +283,9 @@ mod tests {
                 activation: act,
                 ..NnConfig::default()
             };
-            let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
-            let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
-            let f = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+            let m = MaterializedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+            let s = StreamingNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+            let f = FactorizedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
             assert!(
                 m.model.max_param_diff(&f.model) < 1e-9,
                 "{act:?}: M vs F diff {}",
@@ -308,8 +306,8 @@ mod tests {
             epochs: 3,
             ..NnConfig::default()
         };
-        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let f = FactorizedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(m.model.max_param_diff(&f.model) < 1e-9);
     }
 
@@ -322,7 +320,7 @@ mod tests {
             learning_rate: 0.1,
             ..NnConfig::default()
         };
-        let f = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+        let f = FactorizedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(
             f.final_loss() < f.loss_trace[0],
             "loss did not decrease: {:?}",
@@ -339,10 +337,10 @@ mod tests {
             ..NnConfig::default()
         };
         w.db.stats().reset();
-        let _ = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+        let _ = FactorizedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         let f_fields = w.db.stats().snapshot().fields_read;
         w.db.stats().reset();
-        let _ = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+        let _ = MaterializedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         let m_fields = w.db.stats().snapshot().fields_read;
         assert!(
             f_fields < m_fields,

@@ -3,6 +3,7 @@
 
 use crate::mlp::Mlp;
 use crate::trainer::{train_supervised_from, NnConfig, NnFit, SupervisedSource};
+use fml_linalg::exec::ExecPolicy;
 use fml_store::batch::BatchScan;
 use fml_store::catalog::RelationHandle;
 use fml_store::join::materialize_join;
@@ -20,19 +21,26 @@ impl MaterializedNn {
 
     /// Trains the network after materializing the join result.  The reported
     /// elapsed time includes the join and materialization.
-    pub fn train(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+    pub fn train(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &NnConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<NnFit> {
         let start = Instant::now();
+        let ex = exec.resolve();
         spec.validate(db)?;
         ensure_has_target(db, spec)?;
         let d = spec.total_features(db)?;
-        let initial = Mlp::new(d, &config.hidden, config.activation, config.seed);
+        let initial = Mlp::new(d, &config.hidden, config.activation, ex.seed);
         let t_name = Self::temp_table_name(spec);
         if db.contains(&t_name) {
             db.drop_relation(&t_name)?;
         }
-        let table = materialize_join(db, spec, t_name, config.block_pages)?;
-        let mut source = MaterializedSupervisedSource::new(table, config.block_pages);
-        let mut fit = train_supervised_from(&mut source, config, initial)?;
+        let table = materialize_join(db, spec, t_name, ex.block_pages)?;
+        let mut source = MaterializedSupervisedSource::new(table, ex.block_pages);
+        let probe = db.stats().io_probe();
+        let mut fit = train_supervised_from(&mut source, config, exec, initial, Some(&probe))?;
         fit.elapsed = start.elapsed();
         Ok(fit)
     }
@@ -118,7 +126,7 @@ mod tests {
             epochs: 5,
             ..NnConfig::default()
         };
-        let fit = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
+        let fit = MaterializedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert_eq!(fit.epochs, 5);
         assert_eq!(fit.n_tuples, 300);
         assert_eq!(fit.model.input_dim(), 5);
@@ -140,7 +148,8 @@ mod tests {
         }
         .generate()
         .unwrap();
-        let err = MaterializedNn::train(&w.db, &w.spec, &NnConfig::default()).unwrap_err();
+        let err = MaterializedNn::train(&w.db, &w.spec, &NnConfig::default(), &ExecPolicy::new())
+            .unwrap_err();
         assert!(matches!(err, StoreError::SchemaMismatch { .. }));
     }
 }

@@ -11,7 +11,8 @@
 use crate::materialized::ensure_has_target;
 use crate::mlp::Mlp;
 use crate::trainer::{NnConfig, NnFit};
-use fml_linalg::sparse::SparseRep;
+use fml_linalg::exec::{ExecPolicy, FitNotifier};
+use fml_linalg::repcache::KeyedRepCache;
 use fml_linalg::{gemm, vector, Matrix};
 use fml_store::factorized_scan::StarScan;
 use fml_store::{Database, JoinSpec, StoreResult};
@@ -23,8 +24,14 @@ pub struct FactorizedMultiwayNn;
 
 impl FactorizedMultiwayNn {
     /// Trains the network over a star join of `q ≥ 1` dimension tables.
-    pub fn train(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+    pub fn train(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &NnConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<NnFit> {
         let start = Instant::now();
+        let ex = exec.resolve();
         spec.validate(db)?;
         ensure_has_target(db, spec)?;
         let sizes = spec.feature_partition(db)?;
@@ -41,14 +48,17 @@ impl FactorizedMultiwayNn {
             .collect();
         let n = spec.fact_relation(db)?.lock().num_tuples();
         assert!(n > 0, "cannot train on an empty source");
-        let mut model = Mlp::new(d, &config.hidden, config.activation, config.seed);
+        let mut model = Mlp::new(d, &config.hidden, config.activation, ex.seed);
         let mut loss_trace = Vec::with_capacity(config.epochs);
+        let probe = db.stats().io_probe();
+        let mut notifier = FitNotifier::new(exec, Some(&probe));
 
         // Per-dimension detection caches, keyed by FK and hoisted out of the
         // epoch loop: dimension tuples are immutable, so detection runs at
-        // most once per distinct tuple for the whole training run.
-        let mut dim_reps: Vec<HashMap<u64, Option<SparseRep>>> =
-            (0..q).map(|_| HashMap::new()).collect();
+        // most once per distinct tuple for the whole training run (the shared
+        // [`KeyedRepCache`] protocol).
+        let mut dim_reps: Vec<KeyedRepCache> =
+            (0..q).map(|_| KeyedRepCache::new(ex.sparse)).collect();
 
         for _epoch in 0..config.epochs {
             let nh = model.layers()[0].out_dim();
@@ -65,8 +75,8 @@ impl FactorizedMultiwayNn {
                 (0..q).map(|i| Matrix::zeros(nh, sizes[i + 1])).collect();
             let mut loss_sum = 0.0;
 
-            let kp = config.kernel_policy.sequential();
-            let scan = StarScan::new(db, spec, config.block_pages)?;
+            let kp = ex.kernel_policy.sequential();
+            let scan = StarScan::new(db, spec, ex.block_pages)?;
             // Cached per dimension tuple: the partial product W¹_{R_i}·x_{R_i}
             // (a column gather of W¹_{R_i} when x_{R_i} is one-hot).
             let mut partials: Vec<HashMap<u64, Vec<f64>>> =
@@ -90,9 +100,7 @@ impl FactorizedMultiwayNn {
                             })?;
                             // Detection persists across epochs; only the
                             // first encounter of a tuple ever scans it.
-                            let rep = dim_reps[i]
-                                .entry(*fk)
-                                .or_insert_with(|| config.sparse.detect(&dim_tuple.features));
+                            let rep = dim_reps[i].rep_or_detect(*fk, &dim_tuple.features);
                             let partial = match rep {
                                 Some(rep) => rep.matvec(kp, &w1_dims[i]),
                                 None => gemm::matvec_with(kp, &w1_dims[i], &dim_tuple.features),
@@ -130,7 +138,7 @@ impl FactorizedMultiwayNn {
             // dimension tuple.
             for i in 0..q {
                 for (key, delta_sum) in &delta_sums[i] {
-                    match dim_reps[i].get(key).expect("detected during the epoch") {
+                    match dim_reps[i].get(*key) {
                         Some(rep) => rep.ger_cols(kp, 1.0, delta_sum, &mut grad_w_dims[i]),
                         None => {
                             let dim_tuple =
@@ -160,6 +168,7 @@ impl FactorizedMultiwayNn {
             }
             model.apply_grads(&grads, config.learning_rate, n as f64);
             loss_trace.push(loss_sum / n as f64);
+            notifier.notify(loss_sum / n as f64);
         }
 
         Ok(NnFit {
@@ -198,9 +207,9 @@ mod tests {
             epochs: 4,
             ..NnConfig::default()
         };
-        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedMultiwayNn::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let s = StreamingNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let f = FactorizedMultiwayNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(
             m.model.max_param_diff(&f.model) < 1e-9,
             "M vs F diff {}",
@@ -227,8 +236,8 @@ mod tests {
             epochs: 3,
             ..NnConfig::default()
         };
-        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedMultiwayNn::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let f = FactorizedMultiwayNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(m.model.max_param_diff(&f.model) < 1e-9);
         assert_eq!(f.model.input_dim(), 8);
     }
@@ -252,8 +261,10 @@ mod tests {
             epochs: 3,
             ..NnConfig::default()
         };
-        let binary = crate::FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
-        let multi = FactorizedMultiwayNn::train(&w.db, &w.spec, &config).unwrap();
+        let binary =
+            crate::FactorizedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let multi =
+            FactorizedMultiwayNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(binary.model.max_param_diff(&multi.model) < 1e-10);
     }
 }

@@ -4,6 +4,7 @@
 use crate::materialized::ensure_has_target;
 use crate::mlp::Mlp;
 use crate::trainer::{train_supervised_from, NnConfig, NnFit, SupervisedSource};
+use fml_linalg::exec::ExecPolicy;
 use fml_store::factorized_scan::{GroupScan, StarScan};
 use fml_store::{Database, JoinSpec, StoreResult};
 use std::time::Instant;
@@ -13,18 +14,25 @@ pub struct StreamingNn;
 
 impl StreamingNn {
     /// Trains the network joining the base relations on the fly each epoch.
-    pub fn train(db: &Database, spec: &JoinSpec, config: &NnConfig) -> StoreResult<NnFit> {
+    pub fn train(
+        db: &Database,
+        spec: &JoinSpec,
+        config: &NnConfig,
+        exec: &ExecPolicy,
+    ) -> StoreResult<NnFit> {
         let start = Instant::now();
+        let ex = exec.resolve();
         spec.validate(db)?;
         ensure_has_target(db, spec)?;
         let d = spec.total_features(db)?;
-        let initial = Mlp::new(d, &config.hidden, config.activation, config.seed);
+        let initial = Mlp::new(d, &config.hidden, config.activation, ex.seed);
+        let probe = db.stats().io_probe();
         let mut fit = if spec.num_dimensions() == 1 {
-            let mut source = BinarySupervisedSource::new(db, spec.clone(), config.block_pages)?;
-            train_supervised_from(&mut source, config, initial)?
+            let mut source = BinarySupervisedSource::new(db, spec.clone(), ex.block_pages)?;
+            train_supervised_from(&mut source, config, exec, initial, Some(&probe))?
         } else {
-            let mut source = StarSupervisedSource::new(db, spec.clone(), config.block_pages)?;
-            train_supervised_from(&mut source, config, initial)?
+            let mut source = StarSupervisedSource::new(db, spec.clone(), ex.block_pages)?;
+            train_supervised_from(&mut source, config, exec, initial, Some(&probe))?
         };
         fit.elapsed = start.elapsed();
         Ok(fit)
@@ -150,8 +158,8 @@ mod tests {
             epochs: 4,
             ..NnConfig::default()
         };
-        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let s = StreamingNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(
             m.model.max_param_diff(&s.model) < 1e-9,
             "M-NN vs S-NN diff {}",
@@ -180,8 +188,8 @@ mod tests {
             epochs: 3,
             ..NnConfig::default()
         };
-        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
+        let m = MaterializedNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
+        let s = StreamingNn::train(&w.db, &w.spec, &config, &ExecPolicy::new()).unwrap();
         assert!(m.model.max_param_diff(&s.model) < 1e-9);
         assert_eq!(s.model.input_dim(), 7);
     }

@@ -3,8 +3,9 @@
 
 use crate::activation::Activation;
 use crate::mlp::Mlp;
-use fml_linalg::policy::par_chunks;
-use fml_linalg::{KernelPolicy, SparseMode, SparseRep};
+use fml_linalg::exec::{ExecPolicy, FitNotifier, IoProbe};
+use fml_linalg::policy::par_chunks_with_threads;
+use fml_linalg::repcache::RepCache;
 use fml_store::StoreResult;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -16,7 +17,11 @@ pub const PAR_BATCH_EXAMPLES: usize = 1024;
 /// Minimum per-batch flops below which the parallel policy stays inline.
 pub const PAR_MIN_BATCH_FLOPS: usize = 1 << 22;
 
-/// Configuration shared by every NN training variant.
+/// Model configuration shared by every NN training variant.
+///
+/// Holds only *model* concerns.  Execution knobs (kernel policy, sparse mode,
+/// block size, threads, seed) live on [`fml_linalg::ExecPolicy`], which every
+/// trainer takes alongside this config.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NnConfig {
     /// Hidden layer sizes (the paper uses a single hidden layer of `n_h` units).
@@ -27,22 +32,6 @@ pub struct NnConfig {
     pub epochs: usize,
     /// Learning rate for the full-batch gradient-descent update.
     pub learning_rate: f64,
-    /// Seed for the (data-independent) weight initialization.
-    pub seed: u64,
-    /// Pages per scan block.
-    pub block_pages: usize,
-    /// Linear-algebra kernel policy for forward/backward passes (see
-    /// [`fml_linalg::policy`]).  Variants being compared should share a policy.
-    pub kernel_policy: KernelPolicy,
-    /// Whether the trainers detect sparse feature blocks and run the first
-    /// layer as gathers/scatter-adds ([`fml_linalg::sparse`] for one-hot,
-    /// [`fml_linalg::csr`] for weighted CSR) instead of dense multiplies.
-    /// `Auto` (default) engages on 0/1 blocks at ≤ ½ occupancy and on
-    /// weighted-sparse blocks at ≤ ¼ occupancy; `Dense` forces the dense
-    /// kernels.  The factorized trainers detect per base-relation block; the
-    /// materialized/streaming trainers detect the denormalized rows.
-    /// Detection is cached per tuple (at most one scan per tuple per run).
-    pub sparse: SparseMode,
 }
 
 impl Default for NnConfig {
@@ -52,10 +41,6 @@ impl Default for NnConfig {
             activation: Activation::Sigmoid,
             epochs: 10,
             learning_rate: 0.05,
-            seed: 7,
-            block_pages: fml_store::DEFAULT_BLOCK_PAGES,
-            kernel_policy: KernelPolicy::default(),
-            sparse: SparseMode::default(),
         }
     }
 }
@@ -78,24 +63,6 @@ impl NnConfig {
     /// Returns a copy with a different activation.
     pub fn activation(mut self, activation: Activation) -> Self {
         self.activation = activation;
-        self
-    }
-
-    /// Returns a copy with a different seed.
-    pub fn seeded(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Returns a copy with a different kernel policy.
-    pub fn policy(mut self, kernel_policy: KernelPolicy) -> Self {
-        self.kernel_policy = kernel_policy;
-        self
-    }
-
-    /// Returns a copy with a different sparse-path mode.
-    pub fn sparse_mode(mut self, sparse: SparseMode) -> Self {
-        self.sparse = sparse;
         self
     }
 }
@@ -136,7 +103,7 @@ pub trait SupervisedSource {
 /// Full-batch gradient-descent training over a dense supervised source, starting
 /// from the given initial network.  `M-NN` and `S-NN` share this loop.
 ///
-/// Under a parallel [`KernelPolicy`] the per-example forward/backward work is
+/// Under a parallel [`fml_linalg::KernelPolicy`] the per-example forward/backward work is
 /// buffered into batches of [`PAR_BATCH_EXAMPLES`] and fanned out over chunks;
 /// each chunk accumulates into a private gradient set and the partials merge in
 /// chunk order ([`crate::layer::LayerGradient::merge_from`]), so the epoch's gradient — and
@@ -145,9 +112,13 @@ pub trait SupervisedSource {
 pub fn train_supervised_from(
     source: &mut dyn SupervisedSource,
     config: &NnConfig,
+    exec: &ExecPolicy,
     initial: Mlp,
+    io: IoProbe<'_>,
 ) -> StoreResult<NnFit> {
     let start = Instant::now();
+    let ex = exec.resolve();
+    let mut notifier = FitNotifier::new(exec, io);
     let n = source.num_tuples();
     assert!(n > 0, "cannot train on an empty source");
     assert_eq!(
@@ -160,29 +131,25 @@ pub fn train_supervised_from(
     // Per-example kernels run single-threaded inside workers (kp); forward+
     // backward is ~4·|θ| flops per example, so fan out only when a batch
     // carries enough work to amortize the scoped-thread spawns.
-    let kp = config.kernel_policy.sequential();
-    let par = config.kernel_policy.is_parallel()
+    let kp = ex.kernel_policy.sequential();
+    let par = ex.kernel_policy.is_parallel()
         && 4 * model.num_params() * PAR_BATCH_EXAMPLES >= PAR_MIN_BATCH_FLOPS;
+    let workers = ex.workers(par);
     let dim = source.dim();
-    // Per-example representation cache under `SparseMode::Auto`, filled lazily
-    // during the first epoch (the source replays examples in a deterministic
-    // order) — sparse denormalized rows run the first layer as gathers /
-    // scatter-adds, and detection runs at most once per example.  Memory is
-    // O(total nnz) — the sparse rows' nonzeros, strictly smaller than one
-    // dense copy of the dataset.
-    let auto_sparse = config.sparse == SparseMode::Auto;
-    let mut reps: Vec<Option<SparseRep>> = Vec::new();
-    let mut reps_ready = !auto_sparse;
+    // Per-example representation cache, filled lazily during the first epoch
+    // (the source replays examples in a deterministic order) — sparse
+    // denormalized rows run the first layer as gathers / scatter-adds, and
+    // detection runs at most once per example (the shared [`RepCache`]
+    // protocol).  Memory is O(total nnz) — the sparse rows' nonzeros,
+    // strictly smaller than one dense copy of the dataset.
+    let mut reps = RepCache::new(ex.sparse);
     for _epoch in 0..config.epochs {
         let mut grads = model.zero_grads();
         let mut loss_sum = 0.0;
         if !par {
             let mut row = 0usize;
             source.for_each(&mut |x: &[f64], y: f64| {
-                if !reps_ready {
-                    reps.push(config.sparse.detect(x));
-                }
-                loss_sum += match reps.get(row).and_then(Option::as_ref) {
+                loss_sum += match reps.rep_or_detect(row, x) {
                     Some(rep) => model.accumulate_sparse_example_with(kp, rep, y, &mut grads),
                     None => model.accumulate_example_with(kp, x, y, &mut grads),
                 };
@@ -192,23 +159,17 @@ pub fn train_supervised_from(
             let mut xs: Vec<f64> = Vec::with_capacity(dim * PAR_BATCH_EXAMPLES);
             let mut ys: Vec<f64> = Vec::with_capacity(PAR_BATCH_EXAMPLES);
             let mut row_cursor = 0usize;
-            let fill = !reps_ready;
             let reps_cell = &mut reps;
             let mut flush = |xs: &[f64], ys: &[f64]| {
                 let base = row_cursor;
-                let reps_ref: &Vec<Option<SparseRep>> = reps_cell;
-                let parts = par_chunks(true, ys.len(), 1, |range| {
+                let reps_ref: &RepCache = reps_cell;
+                let parts = par_chunks_with_threads(workers, ys.len(), 1, |range| {
                     let mut local_grads = model.zero_grads();
-                    let mut local_reps: Vec<Option<SparseRep>> = Vec::new();
+                    let mut seg = reps_ref.segment(base + range.start);
                     let mut local_loss = 0.0;
                     for r in range {
                         let x = &xs[r * dim..(r + 1) * dim];
-                        let rep = if fill {
-                            local_reps.push(config.sparse.detect(x));
-                            local_reps.last().unwrap().as_ref()
-                        } else {
-                            reps_ref.get(base + r).and_then(Option::as_ref)
-                        };
+                        let rep = seg.rep_or_detect(base + r, x);
                         local_loss += match rep {
                             Some(rep) => model.accumulate_sparse_example_with(
                                 kp,
@@ -219,16 +180,14 @@ pub fn train_supervised_from(
                             None => model.accumulate_example_with(kp, x, ys[r], &mut local_grads),
                         };
                     }
-                    (local_grads, local_loss, local_reps)
+                    (local_grads, local_loss, seg.into_detected())
                 });
-                for (local_grads, local_loss, local_reps) in parts {
+                for (local_grads, local_loss, detected) in parts {
                     for (dst, src) in grads.iter_mut().zip(local_grads.iter()) {
                         dst.merge_from(src);
                     }
                     loss_sum += local_loss;
-                    if fill {
-                        reps_cell.extend(local_reps);
-                    }
+                    reps_cell.merge(detected);
                 }
                 row_cursor += ys.len();
             };
@@ -245,9 +204,10 @@ pub fn train_supervised_from(
                 flush(&xs, &ys);
             }
         }
-        reps_ready = true;
+        reps.finish_fill();
         model.apply_grads(&grads, config.learning_rate, n as f64);
         loss_trace.push(loss_sum / n as f64);
+        notifier.notify(loss_sum / n as f64);
     }
     Ok(NnFit {
         model,
@@ -262,9 +222,15 @@ pub fn train_supervised_from(
 pub fn train_supervised(
     source: &mut dyn SupervisedSource,
     config: &NnConfig,
+    exec: &ExecPolicy,
 ) -> StoreResult<NnFit> {
-    let initial = Mlp::new(source.dim(), &config.hidden, config.activation, config.seed);
-    train_supervised_from(source, config, initial)
+    let initial = Mlp::new(
+        source.dim(),
+        &config.hidden,
+        config.activation,
+        exec.resolve().seed,
+    );
+    train_supervised_from(source, config, exec, initial, None)
 }
 
 /// An in-memory supervised source for tests.
@@ -325,12 +291,10 @@ mod tests {
     fn builders() {
         let c = NnConfig::with_hidden(30)
             .epochs(5)
-            .activation(Activation::Relu)
-            .seeded(3);
+            .activation(Activation::Relu);
         assert_eq!(c.hidden, vec![30]);
         assert_eq!(c.epochs, 5);
         assert_eq!(c.activation, Activation::Relu);
-        assert_eq!(c.seed, 3);
     }
 
     #[test]
@@ -341,9 +305,8 @@ mod tests {
             activation: Activation::Tanh,
             epochs: 150,
             learning_rate: 0.5,
-            ..NnConfig::default()
         };
-        let fit = train_supervised(&mut source, &config).unwrap();
+        let fit = train_supervised(&mut source, &config, &ExecPolicy::new()).unwrap();
         assert_eq!(fit.epochs, 150);
         assert_eq!(fit.n_tuples, 60);
         assert!(
@@ -362,7 +325,7 @@ mod tests {
             epochs: 7,
             ..NnConfig::default()
         };
-        let fit = train_supervised(&mut source, &config).unwrap();
+        let fit = train_supervised(&mut source, &config, &ExecPolicy::new()).unwrap();
         assert_eq!(fit.loss_trace.len(), 7);
         assert!(fit.loss_trace.iter().all(|l| l.is_finite()));
     }
@@ -371,6 +334,6 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn empty_source_rejected() {
         let mut source = VecSupervisedSource::new(vec![]);
-        let _ = train_supervised(&mut source, &NnConfig::default());
+        let _ = train_supervised(&mut source, &NnConfig::default(), &ExecPolicy::new());
     }
 }

@@ -4,7 +4,7 @@
 
 use fml_data::multiway::{DimSpec, MultiwayConfig};
 use fml_data::SyntheticConfig;
-use fml_linalg::KernelPolicy;
+use fml_linalg::{ExecPolicy, KernelPolicy};
 use fml_nn::{FactorizedMultiwayNn, FactorizedNn, MaterializedNn, NnConfig, StreamingNn};
 
 #[test]
@@ -26,13 +26,18 @@ fn policies_learn_the_same_network_binary() {
         epochs: 3,
         ..NnConfig::default()
     };
-    let reference =
-        MaterializedNn::train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Naive)).unwrap();
+    let reference = MaterializedNn::train(
+        &w.db,
+        &w.spec,
+        &base,
+        &ExecPolicy::new().kernel_policy(KernelPolicy::Naive),
+    )
+    .unwrap();
     for policy in KernelPolicy::ALL {
-        let config = base.clone().policy(policy);
-        let m = MaterializedNn::train(&w.db, &w.spec, &config).unwrap();
-        let s = StreamingNn::train(&w.db, &w.spec, &config).unwrap();
-        let f = FactorizedNn::train(&w.db, &w.spec, &config).unwrap();
+        let exec = ExecPolicy::new().kernel_policy(policy);
+        let m = MaterializedNn::train(&w.db, &w.spec, &base, &exec).unwrap();
+        let s = StreamingNn::train(&w.db, &w.spec, &base, &exec).unwrap();
+        let f = FactorizedNn::train(&w.db, &w.spec, &base, &exec).unwrap();
         for (label, fit) in [("M", &m), ("S", &s), ("F", &f)] {
             let diff = reference.model.max_param_diff(&fit.model);
             assert!(
@@ -61,11 +66,21 @@ fn policies_learn_the_same_network_multiway() {
         epochs: 3,
         ..NnConfig::default()
     };
-    let reference =
-        FactorizedMultiwayNn::train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Naive))
-            .unwrap();
+    let reference = FactorizedMultiwayNn::train(
+        &w.db,
+        &w.spec,
+        &base,
+        &ExecPolicy::new().kernel_policy(KernelPolicy::Naive),
+    )
+    .unwrap();
     for policy in [KernelPolicy::Blocked, KernelPolicy::BlockedParallel] {
-        let f = FactorizedMultiwayNn::train(&w.db, &w.spec, &base.clone().policy(policy)).unwrap();
+        let f = FactorizedMultiwayNn::train(
+            &w.db,
+            &w.spec,
+            &base,
+            &ExecPolicy::new().kernel_policy(policy),
+        )
+        .unwrap();
         let diff = reference.model.max_param_diff(&f.model);
         assert!(diff < 1e-8, "F-multiway-NN under {policy} diverged: {diff}");
     }
@@ -94,11 +109,18 @@ fn parallel_fanout_engages_at_larger_networks() {
         ..NnConfig::default()
     };
     for train in [MaterializedNn::train, FactorizedNn::train] {
-        let blocked = train(&w.db, &w.spec, &base.clone().policy(KernelPolicy::Blocked)).unwrap();
+        let blocked = train(
+            &w.db,
+            &w.spec,
+            &base,
+            &ExecPolicy::new().kernel_policy(KernelPolicy::Blocked),
+        )
+        .unwrap();
         let parallel = train(
             &w.db,
             &w.spec,
-            &base.clone().policy(KernelPolicy::BlockedParallel),
+            &base,
+            &ExecPolicy::new().kernel_policy(KernelPolicy::BlockedParallel),
         )
         .unwrap();
         let diff = blocked.model.max_param_diff(&parallel.model);

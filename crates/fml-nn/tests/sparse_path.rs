@@ -11,6 +11,7 @@ use fml_data::multiway::{DimSpec, MultiwayConfig};
 use fml_data::EmulatedDataset;
 use fml_linalg::csr::csr_kernel_calls;
 use fml_linalg::sparse::{detect_calls, onehot_kernel_calls, SparseMode};
+use fml_linalg::ExecPolicy;
 use fml_nn::{FactorizedNn, NnConfig, StreamingNn};
 use std::sync::Mutex;
 
@@ -20,6 +21,10 @@ fn walmart_sparse() -> fml_data::Workload {
     EmulatedDataset::WalmartSparse
         .generate(0.001, 13)
         .expect("generate WalmartSparse")
+}
+
+fn dense_exec() -> ExecPolicy {
+    ExecPolicy::new().sparse_mode(SparseMode::Dense)
 }
 
 fn config() -> NnConfig {
@@ -36,17 +41,18 @@ fn categorical_dataset_hits_sparse_path_by_default_and_matches_dense() {
     let w = walmart_sparse();
 
     let before_dense = onehot_kernel_calls();
-    let dense = FactorizedNn::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense))
-        .expect("dense training");
+    let dense =
+        FactorizedNn::train(&w.db, &w.spec, &config(), &dense_exec()).expect("dense training");
     assert_eq!(
         onehot_kernel_calls(),
         before_dense,
         "SparseMode::Dense must not invoke one-hot kernels"
     );
 
-    assert_eq!(config().sparse, SparseMode::Auto);
+    assert_eq!(ExecPolicy::new().resolve().sparse, SparseMode::Auto);
     let before_auto = onehot_kernel_calls();
-    let auto = FactorizedNn::train(&w.db, &w.spec, &config()).expect("auto training");
+    let auto =
+        FactorizedNn::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).expect("auto training");
     assert!(
         onehot_kernel_calls() > before_auto,
         "Auto mode must gather/scatter the one-hot first layer"
@@ -76,9 +82,8 @@ fn multiway_categorical_auto_matches_dense() {
     }
     .generate()
     .unwrap();
-    let dense =
-        FactorizedNn::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense)).unwrap();
-    let auto = FactorizedNn::train(&w.db, &w.spec, &config()).unwrap();
+    let dense = FactorizedNn::train(&w.db, &w.spec, &config(), &dense_exec()).unwrap();
+    let auto = FactorizedNn::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).unwrap();
     let diff = dense.model.max_param_diff(&auto.model);
     assert!(diff < 1e-9, "multiway sparse vs dense diff {diff}");
 }
@@ -89,8 +94,8 @@ fn sparse_path_still_matches_materialized_oracle() {
     // materialized trainer (different algorithm, same model).
     let _guard = LOCK.lock().unwrap();
     let w = walmart_sparse();
-    let m = fml_nn::MaterializedNn::train(&w.db, &w.spec, &config()).unwrap();
-    let f = FactorizedNn::train(&w.db, &w.spec, &config()).unwrap();
+    let m = fml_nn::MaterializedNn::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).unwrap();
+    let f = FactorizedNn::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).unwrap();
     let diff = m.model.max_param_diff(&f.model);
     assert!(diff < 1e-8, "M-NN vs sparse F-NN diff {diff}");
 }
@@ -111,8 +116,8 @@ fn weighted_sparse_blocks_hit_the_csr_path_and_match_dense() {
     .unwrap();
 
     let before_dense = csr_kernel_calls();
-    let dense = FactorizedNn::train(&w.db, &w.spec, &config().sparse_mode(SparseMode::Dense))
-        .expect("dense training");
+    let dense =
+        FactorizedNn::train(&w.db, &w.spec, &config(), &dense_exec()).expect("dense training");
     assert_eq!(
         csr_kernel_calls(),
         before_dense,
@@ -120,7 +125,8 @@ fn weighted_sparse_blocks_hit_the_csr_path_and_match_dense() {
     );
 
     let before_auto = csr_kernel_calls();
-    let auto = FactorizedNn::train(&w.db, &w.spec, &config()).expect("auto training");
+    let auto =
+        FactorizedNn::train(&w.db, &w.spec, &config(), &ExecPolicy::new()).expect("auto training");
     assert!(
         csr_kernel_calls() > before_auto,
         "Auto mode must gather/scatter the weighted-sparse first layer"
@@ -151,6 +157,7 @@ fn detection_runs_at_most_once_per_tuple_across_epochs() {
             epochs,
             ..NnConfig::default()
         },
+        &ExecPolicy::new(),
     )
     .unwrap();
     let delta = detect_calls() - before;
@@ -174,8 +181,7 @@ fn streaming_honors_sparse_mode() {
     let cfg = config();
 
     let before_dense = onehot_kernel_calls() + csr_kernel_calls();
-    let s_dense = StreamingNn::train(&w.db, &w.spec, &cfg.clone().sparse_mode(SparseMode::Dense))
-        .expect("dense streaming");
+    let s_dense = StreamingNn::train(&w.db, &w.spec, &cfg, &dense_exec()).expect("dense streaming");
     assert_eq!(
         onehot_kernel_calls() + csr_kernel_calls(),
         before_dense,
@@ -183,7 +189,8 @@ fn streaming_honors_sparse_mode() {
     );
 
     let before_auto = onehot_kernel_calls() + csr_kernel_calls();
-    let s_auto = StreamingNn::train(&w.db, &w.spec, &cfg).expect("auto streaming");
+    let s_auto =
+        StreamingNn::train(&w.db, &w.spec, &cfg, &ExecPolicy::new()).expect("auto streaming");
     assert!(
         onehot_kernel_calls() + csr_kernel_calls() > before_auto,
         "Auto mode must route the streaming trainer's sparse rows through the sparse kernels"

@@ -114,6 +114,16 @@ impl IoStats {
         }
     }
 
+    /// Cumulative `(total_page_io, fields_read)` probe — the reading shape the
+    /// trainers hand to `fml_linalg::exec::FitNotifier` for per-iteration I/O
+    /// deltas.  Defined once here so every trainer probes the same counters.
+    pub fn io_probe(&self) -> impl Fn() -> (u64, u64) + '_ {
+        || {
+            let s = self.snapshot();
+            (s.total_page_io(), s.fields_read)
+        }
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         self.inner.pages_read.store(0, Ordering::Relaxed);

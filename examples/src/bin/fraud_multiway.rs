@@ -6,11 +6,9 @@
 //!
 //! Run with: `cargo run --release -p fml-examples --bin fraud_multiway`
 
+use fml_core::prelude::*;
 use fml_core::report::{secs, speedup, Table};
-use fml_core::{Algorithm, GmmTrainer, NnTrainer};
 use fml_data::multiway::{DimSpec, MultiwayConfig};
-use fml_gmm::GmmConfig;
-use fml_nn::NnConfig;
 
 fn main() {
     // transactions(amount, hour) ⋈ customers(8 profile features) ⋈ merchants(6)
@@ -42,10 +40,11 @@ fn main() {
             "log-likelihood",
         ],
     );
+    let session = Session::new(&workload.db).join(&workload.spec);
     let mut baseline = None;
     for alg in Algorithm::all() {
-        let fit = GmmTrainer::new(alg, gmm_config.clone())
-            .fit(&workload.db, &workload.spec)
+        let fit = session
+            .fit(Gmm::new(gmm_config.clone()).algorithm(alg))
             .expect("train gmm");
         let base = *baseline.get_or_insert(fit.fit.elapsed);
         gmm_table.push_row(vec![
@@ -69,8 +68,8 @@ fn main() {
     );
     let mut baseline = None;
     for alg in Algorithm::all() {
-        let fit = NnTrainer::new(alg, nn_config.clone())
-            .fit(&workload.db, &workload.spec)
+        let fit = session
+            .fit(Nn::new(nn_config.clone()).algorithm(alg))
             .expect("train nn");
         let base = *baseline.get_or_insert(fit.fit.elapsed);
         nn_table.push_row(vec![

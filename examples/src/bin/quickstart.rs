@@ -1,15 +1,23 @@
-//! Quickstart: generate a small normalized dataset, train a GMM and an NN with the
-//! factorized algorithms, and compare against the materialized baseline.
+//! Quickstart: generate a small normalized dataset, train a GMM and an NN
+//! through the unified `Session` API, and compare a chosen strategy against
+//! the materialized baseline.
 //!
-//! Run with: `cargo run --release -p fml-examples --bin quickstart`
+//! Run with: `cargo run --release -p examples --bin quickstart [algorithm]`
+//! where `algorithm` is `M`, `S`, `F` or a full name (`factorized`, …);
+//! the default is the paper's factorized strategy.
 
+use fml_core::prelude::*;
 use fml_core::report::{secs, speedup};
-use fml_core::{Algorithm, GmmTrainer, NnTrainer};
 use fml_data::SyntheticConfig;
-use fml_gmm::GmmConfig;
-use fml_nn::NnConfig;
 
 fn main() {
+    // The strategy under comparison parses through Algorithm's FromStr —
+    // short labels and full names both round-trip.
+    let algorithm: Algorithm = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("algorithm"))
+        .unwrap_or(Algorithm::Factorized);
+
     // 1. A normalized workload: fact table S (20k rows) referencing dimension
     //    table R (200 rows) — tuple ratio 100, so every R tuple is shared by
     //    ~100 S tuples after the join.
@@ -32,19 +40,29 @@ fn main() {
         workload.feature_partition().unwrap()
     );
 
-    // 2. Train a 5-component GMM with the materialized baseline and the
-    //    factorized algorithm; same model, different cost.
-    let gmm_config = GmmConfig {
-        k: 5,
-        max_iters: 5,
-        ..GmmConfig::default()
-    };
-    let m = GmmTrainer::new(Algorithm::Materialized, gmm_config.clone())
-        .fit(&workload.db, &workload.spec)
+    // 2. One session covers both model families: database + join + execution
+    //    policy in one place.  A FitObserver taps the per-iteration telemetry
+    //    (objective, wall-time, I/O) without touching fit internals.
+    let trace = TraceObserver::new();
+    let session = Session::new(&workload.db)
+        .join(&workload.spec)
+        .exec(ExecPolicy::new().seed(42).observe(trace.clone()));
+
+    // 3. Train a 5-component GMM with the materialized baseline and the
+    //    chosen algorithm; same model, different cost.
+    let m = session
+        .fit(
+            Gmm::with_k(5)
+                .iterations(5)
+                .algorithm(Algorithm::Materialized),
+        )
         .expect("M-GMM");
-    let f = GmmTrainer::new(Algorithm::Factorized, gmm_config)
-        .fit(&workload.db, &workload.spec)
-        .expect("F-GMM");
+    // The observer is attached to the session, so it has seen the baseline
+    // fit's iterations too — remember where the next fit's events start.
+    let f_events_from = trace.events().len();
+    let f = session
+        .fit(Gmm::with_k(5).iterations(5).algorithm(algorithm))
+        .expect("GMM");
     println!("GMM (K=5, 5 EM iterations)");
     println!(
         "  M-GMM: {}s, {} pages of I/O",
@@ -52,28 +70,37 @@ fn main() {
         m.io.total_page_io()
     );
     println!(
-        "  F-GMM: {}s, {} pages of I/O",
+        "  {}-GMM: {}s, {} pages of I/O",
+        algorithm.label(),
         secs(f.fit.elapsed),
         f.io.total_page_io()
     );
     println!("  speed-up: {}", speedup(m.fit.elapsed, f.fit.elapsed));
     println!(
-        "  model agreement (max parameter difference): {:.2e}\n",
+        "  model agreement (max parameter difference): {:.2e}",
         m.fit.model.max_param_diff(&f.fit.model)
     );
+    let events = &trace.events()[f_events_from..];
+    let last = events.last().expect("observer saw iterations");
+    println!(
+        "  telemetry: {} events, final log-likelihood {:.1}, last-iteration I/O {} pages\n",
+        events.len(),
+        last.objective,
+        last.pages_io
+    );
 
-    // 3. Train a neural network (one hidden layer of 50 units, 5 epochs).
-    let nn_config = NnConfig {
-        hidden: vec![50],
-        epochs: 5,
-        ..NnConfig::default()
-    };
-    let m = NnTrainer::new(Algorithm::Materialized, nn_config.clone())
-        .fit(&workload.db, &workload.spec)
+    // 4. Train a neural network (one hidden layer of 50 units, 5 epochs)
+    //    through the same session.
+    let m = session
+        .fit(
+            Nn::with_hidden(50)
+                .epochs(5)
+                .algorithm(Algorithm::Materialized),
+        )
         .expect("M-NN");
-    let f = NnTrainer::new(Algorithm::Factorized, nn_config)
-        .fit(&workload.db, &workload.spec)
-        .expect("F-NN");
+    let f = session
+        .fit(Nn::with_hidden(50).epochs(5).algorithm(algorithm))
+        .expect("NN");
     println!("NN (n_h=50, 5 epochs)");
     println!(
         "  M-NN: {}s, final loss {:.5}",
@@ -81,7 +108,8 @@ fn main() {
         m.final_loss()
     );
     println!(
-        "  F-NN: {}s, final loss {:.5}",
+        "  {}-NN: {}s, final loss {:.5}",
+        algorithm.label(),
         secs(f.fit.elapsed),
         f.final_loss()
     );

@@ -7,10 +7,9 @@
 //!
 //! Run with: `cargo run --release -p fml-examples --bin recommender_nn`
 
+use fml_core::prelude::*;
 use fml_core::report::{secs, speedup, Table};
-use fml_core::{Algorithm, NnTrainer};
 use fml_data::EmulatedDataset;
-use fml_nn::NnConfig;
 
 fn main() {
     let scale = std::env::var("FML_SCALE_FACTOR")
@@ -43,10 +42,11 @@ fn main() {
             "pages I/O",
         ],
     );
+    let session = Session::new(&workload.db).join(&workload.spec);
     let mut baseline = None;
     for alg in Algorithm::all() {
-        let fit = NnTrainer::new(alg, config.clone())
-            .fit(&workload.db, &workload.spec)
+        let fit = session
+            .fit(Nn::new(config.clone()).algorithm(alg))
             .expect("train");
         let base = *baseline.get_or_insert(fit.fit.elapsed);
         table.push_row(vec![

@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release -p fml-examples --bin retail_segmentation`
 
-use fml_core::{Algorithm, GmmTrainer};
+use fml_core::prelude::*;
 use fml_data::rng::{normal, seeded};
-use fml_gmm::{GmmConfig, Precomputed};
+use fml_gmm::Precomputed;
 use fml_store::{Database, JoinSpec, Schema, Tuple};
 use rand::Rng;
 
@@ -64,13 +64,13 @@ fn main() {
     );
 
     // Segment into 3 clusters with the factorized algorithm.
-    let config = GmmConfig {
-        k: 3,
-        max_iters: 8,
-        ..GmmConfig::default()
-    };
-    let trained = GmmTrainer::new(Algorithm::Factorized, config)
-        .fit(&db, &spec)
+    let trained = Session::new(&db)
+        .join(&spec)
+        .fit(
+            Gmm::with_k(3)
+                .iterations(8)
+                .algorithm(Algorithm::Factorized),
+        )
         .expect("F-GMM");
     println!(
         "trained F-GMM in {:.3}s, log-likelihood {:.1}",
