@@ -1,0 +1,175 @@
+//! Batch-scoring throughput: the factorized scorer vs the streaming and
+//! materialized-join strategies, for both model families, on the emulated
+//! sparse workload (WalmartSparse — the one-hot layout where factorized
+//! reuse and the sparse gathers both engage).
+//!
+//! The run emits **`BENCH_serve.json`** at the workspace root with per-row
+//! `speedup_vs_materialized`; CI's serve guard asserts factorized scoring
+//! beats materialized scoring for both families.  Set `FML_BENCH_SMOKE=1`
+//! for a single-shot smoke run that still exercises every family × strategy
+//! pair and emits the JSON.
+
+use fml_core::prelude::*;
+use fml_core::Session;
+use fml_data::EmulatedDataset;
+use fml_serve::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct BenchRow {
+    family: &'static str,
+    strategy: String,
+    rows: usize,
+    mean_ms: f64,
+    rows_per_s: f64,
+}
+
+fn smoke() -> bool {
+    std::env::var("FML_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Mean milliseconds per scoring call (one warm-up, then `reps` timed runs;
+/// a single cold call in smoke mode).
+fn measure_ms(mut f: impl FnMut()) -> f64 {
+    if smoke() {
+        let t = Instant::now();
+        f();
+        return t.elapsed().as_secs_f64() * 1e3;
+    }
+    f(); // warm-up
+    let reps = 3;
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn speedup_vs_materialized(rows: &[BenchRow], r: &BenchRow) -> Option<f64> {
+    if r.strategy == "materialized" {
+        return None;
+    }
+    rows.iter()
+        .find(|o| o.family == r.family && o.strategy == "materialized")
+        .map(|o| o.mean_ms / r.mean_ms)
+}
+
+fn emit_json(workload: &str, n_rows: u64, rows: &[BenchRow]) -> std::io::Result<PathBuf> {
+    // Emit at the workspace root regardless of the bench's working
+    // directory (same idiom as the other BENCH_*.json emitters).
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let path = root.join("BENCH_serve.json");
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"serve_scoring\",\n");
+    let _ = writeln!(out, "  \"workload\": \"{workload}\",");
+    let _ = writeln!(out, "  \"n_rows\": {n_rows},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let speedup = speedup_vs_materialized(rows, r)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            out,
+            "    {{\"family\": \"{}\", \"strategy\": \"{}\", \"rows\": {}, \"mean_ms\": {:.3}, \"rows_per_s\": {:.1}, \"speedup_vs_materialized\": {}}}{}",
+            r.family, r.strategy, r.rows, r.mean_ms, r.rows_per_s, speedup, sep
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+fn main() {
+    // The emulated WalmartSparse join: one-hot fact block (d_S = 126) and
+    // one-hot dimension block — the layout where both factorized reuse and
+    // the sparse kernels pay off.  Scale keeps the bench laptop-friendly.
+    let scale = if smoke() { 0.002 } else { 0.02 };
+    let workload = EmulatedDataset::WalmartSparse
+        .generate(scale, 7)
+        .expect("generate WalmartSparse");
+    let n_rows = workload.n_fact().expect("fact cardinality");
+    println!(
+        "workload: {} (n_S = {n_rows}, feature split {:?})",
+        workload.name,
+        workload.feature_partition().unwrap()
+    );
+
+    let session = Session::new(&workload.db).join(&workload.spec);
+    let gmm = session
+        .fit(Gmm::with_k(3).iterations(2))
+        .expect("train F-GMM");
+    let nn = session
+        .fit(Nn::with_hidden(16).epochs(2))
+        .expect("train F-NN");
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+    for strategy in [
+        Algorithm::Materialized,
+        Algorithm::Streaming,
+        Algorithm::Factorized,
+    ] {
+        let opts = Scoring::new().algorithm(strategy);
+        let mut scored = 0usize;
+        let mean_ms = measure_ms(|| {
+            scored = session.score_with(&gmm, &opts).expect("score gmm").len();
+        });
+        rows.push(BenchRow {
+            family: "gmm",
+            // Algorithm's Display form is the canonical strategy name the
+            // CI guard greps for — never duplicate the mapping here.
+            strategy: strategy.to_string(),
+            rows: scored,
+            mean_ms,
+            rows_per_s: scored as f64 / (mean_ms / 1e3),
+        });
+        let mut scored = 0usize;
+        let mean_ms = measure_ms(|| {
+            scored = session.score_with(&nn, &opts).expect("score nn").len();
+        });
+        rows.push(BenchRow {
+            family: "nn",
+            strategy: strategy.to_string(),
+            rows: scored,
+            mean_ms,
+            rows_per_s: scored as f64 / (mean_ms / 1e3),
+        });
+    }
+
+    println!(
+        "\n{:<6} {:>13} {:>8} {:>11} {:>12} {:>16}",
+        "family", "strategy", "rows", "mean", "rows/s", "vs materialized"
+    );
+    for r in &rows {
+        let speedup = speedup_vs_materialized(&rows, r)
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_default();
+        println!(
+            "{:<6} {:>13} {:>8} {:>8.1} ms {:>12.0} {:>16}",
+            r.family, r.strategy, r.rows, r.mean_ms, r.rows_per_s, speedup
+        );
+    }
+
+    match emit_json(&workload.name, n_rows, &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_serve.json: {e}"),
+    }
+
+    // Acceptance-criterion ratio (enforced in CI): factorized beats the
+    // materialized-join scorer on the emulated sparse workload.
+    for family in ["gmm", "nn"] {
+        if let Some(r) = rows
+            .iter()
+            .find(|r| r.family == family && r.strategy == "factorized")
+        {
+            let speedup = speedup_vs_materialized(&rows, r).unwrap_or(0.0);
+            println!("{family} factorized speedup over materialized scoring: {speedup:.2}x");
+        }
+    }
+}

@@ -354,6 +354,18 @@ impl<'a> Session<'a> {
         &self.exec
     }
 
+    /// The database this session is bound to.
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The join selected with [`Session::join`], if any.  Serving-layer
+    /// extension traits (e.g. `fml-serve`'s `SessionScoring`) read this to
+    /// run over the same join the session trains over.
+    pub fn join_spec(&self) -> Option<&JoinSpec> {
+        self.spec.as_ref()
+    }
+
     /// Fits an estimator over the session's join.
     ///
     /// # Panics

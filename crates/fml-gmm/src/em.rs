@@ -217,6 +217,9 @@ pub fn train_dense_from(
     let start = Instant::now();
     let opts = EmOptions::from(config);
     let ex = exec.resolve();
+    // Kernels invoked under a parallel policy on this thread fan out to
+    // exactly the resolved thread count while training runs.
+    let _kernel_threads = ex.kernel_thread_scope();
     let mut notifier = FitNotifier::new(exec, io);
     let d = source.dim();
     let n = source.num_tuples();

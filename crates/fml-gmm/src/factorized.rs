@@ -77,6 +77,9 @@ impl FactorizedGmm {
     ) -> StoreResult<GmmFit> {
         let start = Instant::now();
         let ex = exec.resolve();
+        // Kernels invoked under a parallel policy on this thread fan out to
+        // exactly the resolved thread count while training runs.
+        let _kernel_threads = ex.kernel_thread_scope();
         let sizes = spec.feature_partition(db)?;
         let partition = BlockPartition::new(&sizes);
         let d = partition.total_dim();

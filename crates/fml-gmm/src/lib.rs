@@ -34,15 +34,16 @@ pub mod init;
 pub mod materialized;
 pub mod model;
 pub mod multiway;
-pub(crate) mod sparse;
+pub mod sparse;
 pub mod streaming;
 
 pub use em::{EmOptions, GmmFit};
 pub use factorized::FactorizedGmm;
 pub use init::GmmInit;
 pub use materialized::MaterializedGmm;
-pub use model::{GmmModel, Precomputed};
+pub use model::{GmmBatchPrediction, GmmModel, Precomputed};
 pub use multiway::FactorizedMultiwayGmm;
+pub use sparse::SparseFormPre;
 pub use streaming::StreamingGmm;
 
 use serde::{Deserialize, Serialize};

@@ -79,11 +79,33 @@ impl GmmModel {
     /// The most probable component for a feature vector (hard cluster assignment).
     pub fn predict(&self, x: &[f64], pre: &Precomputed) -> usize {
         let (resp, _) = pre.responsibilities_dense(x);
-        resp.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        argmax(&resp)
+    }
+
+    /// Batch prediction over many (joined) feature vectors, reusing one
+    /// [`Precomputed`] across all rows: per row, the hard cluster assignment
+    /// **and** the row's log-likelihood contribution.
+    ///
+    /// This is the batch variant scoring paths should use instead of calling
+    /// [`GmmModel::predict`] per row and re-deriving the log-likelihood with a
+    /// second [`Precomputed`] — the covariance inverses and log-normalizers
+    /// are computed exactly once for the whole batch.
+    pub fn predict_batch<'a>(
+        &self,
+        rows: impl IntoIterator<Item = &'a [f64]>,
+        pre: &Precomputed,
+    ) -> GmmBatchPrediction {
+        let mut assignments = Vec::new();
+        let mut log_likelihoods = Vec::new();
+        for x in rows {
+            let (resp, ll) = pre.responsibilities_dense(x);
+            assignments.push(argmax(&resp));
+            log_likelihoods.push(ll);
+        }
+        GmmBatchPrediction {
+            assignments,
+            log_likelihoods,
+        }
     }
 
     /// Log-likelihood of a set of (joined) feature vectors under the model.
@@ -92,6 +114,45 @@ impl GmmModel {
         data.into_iter()
             .map(|x| pre.responsibilities_dense(x).1)
             .sum()
+    }
+}
+
+/// Index of the largest responsibility (the hard assignment).  `max_by` keeps
+/// the *last* maximum on exact ties, matching the historical
+/// [`GmmModel::predict`] behaviour — the batch variant and the scoring paths
+/// (`fml-serve`) share this helper so assignments can never diverge on ties.
+pub fn argmax(resp: &[f64]) -> usize {
+    resp.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// The result of [`GmmModel::predict_batch`]: per-row hard assignments and
+/// log-likelihood contributions, index-aligned with the input rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmmBatchPrediction {
+    /// Most probable component per row.
+    pub assignments: Vec<usize>,
+    /// Log-likelihood contribution `ln p(x)` per row.
+    pub log_likelihoods: Vec<f64>,
+}
+
+impl GmmBatchPrediction {
+    /// Number of predicted rows.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Total log-likelihood of the batch (sum of the per-row contributions).
+    pub fn total_log_likelihood(&self) -> f64 {
+        self.log_likelihoods.iter().sum()
     }
 }
 
@@ -277,6 +338,41 @@ mod tests {
         let pre = Precomputed::from_model(&m, 0.0);
         let expected: f64 = data.iter().map(|v| pre.responsibilities_dense(v).1).sum();
         assert!(approx_eq(ll, expected, 1e-12));
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_predict_and_likelihood() {
+        let m = simple_model();
+        let pre = Precomputed::from_model(&m, 0.0);
+        let rows: Vec<Vec<f64>> = vec![
+            vec![0.1, -0.1],
+            vec![5.0, 4.9],
+            vec![2.5, 2.5], // between the components
+            vec![-3.0, 7.0],
+        ];
+        let batch = m.predict_batch(rows.iter().map(|r| r.as_slice()), &pre);
+        assert_eq!(batch.len(), rows.len());
+        assert!(!batch.is_empty());
+        let mut total = 0.0;
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(batch.assignments[i], m.predict(row, &pre), "row {i}");
+            let (_, ll) = pre.responsibilities_dense(row);
+            assert_eq!(batch.log_likelihoods[i], ll, "row {i}");
+            total += ll;
+        }
+        assert!(approx_eq(batch.total_log_likelihood(), total, 1e-12));
+        // and the totals agree with the dedicated log_likelihood entry point
+        let direct = m.log_likelihood(rows.iter().map(|r| r.as_slice()));
+        assert!(approx_eq(batch.total_log_likelihood(), direct, 1e-12));
+    }
+
+    #[test]
+    fn predict_batch_of_nothing_is_empty() {
+        let m = simple_model();
+        let pre = Precomputed::from_model(&m, 0.0);
+        let batch = m.predict_batch(std::iter::empty(), &pre);
+        assert!(batch.is_empty());
+        assert_eq!(batch.total_log_likelihood(), 0.0);
     }
 
     #[test]

@@ -32,7 +32,12 @@ use fml_linalg::{gemm, vector, KernelPolicy, Matrix};
 /// Per-component, per-dimension-block constants for the sparse decomposition
 /// of the centered E-step quantities.  `block` is the partition index of the
 /// dimension block (`≥ 1`); block `0` is the fact side.
-pub(crate) struct SparseFormPre {
+///
+/// Public because the serving layer (`fml-serve`) evaluates the **same**
+/// mean-decomposition quadratic forms at inference time: factorized batch
+/// scoring reuses these constants per dimension tuple exactly as the
+/// factorized trainers do per EM iteration.
+pub struct SparseFormPre {
     /// `(A_bb + A_bbᵀ) · µ_b`.
     a_mu_sum: Vec<f64>,
     /// `µ_bᵀ A_bb µ_b`.
@@ -140,7 +145,7 @@ impl SparseFormPre {
 /// Mergeable in chunk order like [`BlockScatter`] so the parallel group fan-out
 /// keeps its fixed reduction tree.
 #[derive(Debug, Clone)]
-pub(crate) struct SparseScatterAcc {
+pub struct SparseScatterAcc {
     /// `Σ_g γ_g x_g` over the sparse groups (dimension-block width).
     gx: Vec<f64>,
     /// `Σ_g w_g` where `w_g = Σ_{facts in g} γ PD_S` (fact-block width).
@@ -228,7 +233,7 @@ impl SparseScatterAcc {
 /// `Σ_t γ_t (x_t−µ)(x_t−µ)ᵀ` decomposes exactly like the dimension diagonal:
 /// raw `x xᵀ` pair scatters per tuple, mean corrections once per pass.
 #[derive(Debug, Clone)]
-pub(crate) struct SparseDiagAcc {
+pub struct SparseDiagAcc {
     /// `Σ_t γ_t x_t` over the sparse tuples.
     gx: Vec<f64>,
     /// `Σ_t γ_t`.

@@ -126,6 +126,18 @@ impl ExecSettings {
             1
         }
     }
+
+    /// Installs the resolved thread count as the scoped kernel worker-count
+    /// override for the current thread (see [`crate::policy::override_threads`]):
+    /// until the returned guard drops, every `par_row_bands`-based kernel
+    /// invoked under [`KernelPolicy::BlockedParallel`] fans out to exactly
+    /// [`ExecSettings::threads`] workers instead of the process-global pool
+    /// size.  Every trainer and scorer installs this at entry, which is what
+    /// makes a builder-set [`ExecPolicy::threads`] exact *inside* parallel
+    /// kernel regions, not just in the trainers' explicit chunk fan-outs.
+    pub fn kernel_thread_scope(&self) -> policy::ThreadCountGuard {
+        policy::override_threads(self.threads)
+    }
 }
 
 /// Model-independent execution policy: kernel selection, sparse detection,
@@ -399,6 +411,34 @@ mod tests {
         let s = ExecPolicy::new().threads(6).resolve();
         assert_eq!(s.workers(true), 6);
         assert_eq!(s.workers(false), 1);
+    }
+
+    /// Counting pool probe through the full `ExecPolicy` surface: a
+    /// builder-set `.threads(n)` bounds a `par_row_bands`-based parallel
+    /// kernel region to exactly `n` bands while the scope guard is held.
+    #[test]
+    fn kernel_thread_scope_makes_builder_threads_exact_in_kernels() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let probe = || {
+            let bands = AtomicUsize::new(0);
+            let mut data = vec![0.0f64; 96 * 2];
+            policy::par_row_bands(true, &mut data, 2, 1, |_, _| {
+                bands.fetch_add(1, Ordering::Relaxed);
+            });
+            bands.load(Ordering::Relaxed)
+        };
+        for n in [1usize, 2, 3] {
+            let s = ExecPolicy::new().threads(n).resolve();
+            let guard = s.kernel_thread_scope();
+            assert_eq!(probe(), n, ".threads({n}) must be exact inside kernels");
+            drop(guard);
+        }
+        // Outside the scope the kernels fall back to the global pool size
+        // (whatever band count the deterministic chunking yields for it).
+        assert_eq!(
+            probe(),
+            policy::chunk_ranges(96, policy::num_threads(), 1).len()
+        );
     }
 
     #[test]

@@ -210,6 +210,64 @@ pub fn set_default_policy(policy: KernelPolicy) {
     DEFAULT_POLICY.store(policy_to_u8(policy), Ordering::Relaxed);
 }
 
+std::thread_local! {
+    /// Per-thread worker-count override installed by [`override_threads`].
+    ///
+    /// When a trainer or scorer resolves an explicit `ExecPolicy::threads`
+    /// value, it installs the resolved count here for the duration of its
+    /// run, so `par_row_bands`-based kernels invoked under the
+    /// `BlockedParallel` policy fan out to exactly that many workers instead
+    /// of the process-global [`num_threads`] pool size.
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// RAII guard for a scoped worker-count override (see [`override_threads`]).
+/// Dropping the guard restores the previous override, so guards nest.
+#[derive(Debug)]
+#[must_use = "the override is removed when the guard drops"]
+pub struct ThreadCountGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ThreadCountGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs a worker-count override for the current thread until the returned
+/// guard drops: every [`par_chunks`] / [`par_row_bands`] fan-out on this
+/// thread splits into at most `threads` chunks, regardless of `FML_THREADS`
+/// or the machine's available parallelism.
+///
+/// This is how a builder-set [`crate::ExecPolicy::threads`] becomes exact
+/// *inside* `BlockedParallel` kernel regions, not just in the trainers'
+/// explicit [`par_chunks_with_threads`] fan-outs: the trainers and the
+/// scoring paths install the resolved count at entry, and any kernel they
+/// (or the caller) invoke under the parallel policy reads it through
+/// [`current_threads`].
+pub fn override_threads(threads: usize) -> ThreadCountGuard {
+    let threads = threads.max(1);
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(threads)));
+    ThreadCountGuard { prev }
+}
+
+/// Convenience wrapper running `f` under [`override_threads`].
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = override_threads(threads);
+    f()
+}
+
+/// The worker count a parallel fan-out on this thread should use: the scoped
+/// override installed by [`override_threads`] when present, otherwise the
+/// process-wide [`num_threads`].
+pub fn current_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(num_threads)
+}
+
 /// Number of worker threads the `BlockedParallel` policy fans out to:
 /// `FML_THREADS` if set and valid, otherwise the machine's available
 /// parallelism.  Invalid values (unparsable, or `0`) emit a one-time warning
@@ -262,12 +320,16 @@ pub fn chunk_ranges(n: usize, max_chunks: usize, align: usize) -> Vec<Range<usiz
 /// results **in chunk-index order**.  Callers merge the returned values
 /// front-to-back, which fixes the reduction order regardless of which thread
 /// finished first.
+///
+/// The worker count is [`current_threads`]: a scoped [`override_threads`]
+/// installed by the caller (the trainers and scorers install their resolved
+/// `ExecPolicy::threads`) beats the process-global pool size.
 pub fn par_chunks<T, F>(parallel: bool, n: usize, align: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let threads = if parallel { num_threads() } else { 1 };
+    let threads = if parallel { current_threads() } else { 1 };
     par_chunks_with_threads(threads, n, align, f)
 }
 
@@ -311,11 +373,15 @@ where
 /// band, so the result is independent of scheduling.
 ///
 /// `f` receives `(first_row_of_band, band_slice)`.
+///
+/// The worker count is [`current_threads`], so a scoped [`override_threads`]
+/// (the resolved `ExecPolicy::threads` of the enclosing training or scoring
+/// run) bounds the fan-out of every policy-routed kernel exactly.
 pub fn par_row_bands<F>(parallel: bool, data: &mut [f64], row_len: usize, align_rows: usize, f: F)
 where
     F: Fn(usize, &mut [f64]) + Sync,
 {
-    let threads = if parallel { num_threads() } else { 1 };
+    let threads = if parallel { current_threads() } else { 1 };
     par_row_bands_with_threads(threads, data, row_len, align_rows, f);
 }
 
@@ -519,6 +585,67 @@ mod tests {
             .iter()
             .sum();
         assert_eq!(total, 1000);
+    }
+
+    /// A "counting pool probe": each band/chunk invokes `f` exactly once, so
+    /// counting invocations measures how many workers the fan-out engaged.
+    fn probe_row_bands(parallel: bool, rows: usize) -> usize {
+        use std::sync::atomic::AtomicUsize;
+        let bands = AtomicUsize::new(0);
+        let mut data = vec![0.0f64; rows * 3];
+        par_row_bands(parallel, &mut data, 3, 1, |_, _| {
+            bands.fetch_add(1, Ordering::Relaxed);
+        });
+        bands.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn override_threads_bounds_par_row_bands_exactly() {
+        // With the override installed, the fan-out splits into exactly the
+        // overridden count (the shape is large enough to split further).
+        for n in [1usize, 2, 3] {
+            let bands = with_threads(n, || probe_row_bands(true, 64));
+            assert_eq!(bands, n, "override {n} must bound the band count");
+        }
+        // Sequential fan-outs ignore the override entirely.
+        assert_eq!(with_threads(4, || probe_row_bands(false, 64)), 1);
+    }
+
+    #[test]
+    fn override_threads_bounds_par_chunks_exactly() {
+        for n in [1usize, 2, 5] {
+            let chunks = with_threads(n, || par_chunks(true, 100, 1, |r| r.len()).len());
+            assert_eq!(chunks, n, "override {n} must bound the chunk count");
+        }
+    }
+
+    #[test]
+    fn override_guard_nests_and_restores() {
+        let outer = override_threads(2);
+        assert_eq!(current_threads(), 2);
+        {
+            let _inner = override_threads(3);
+            assert_eq!(current_threads(), 3);
+        }
+        assert_eq!(current_threads(), 2, "inner guard must restore the outer");
+        drop(outer);
+        assert_eq!(
+            current_threads(),
+            num_threads(),
+            "dropping the last guard must restore the global pool size"
+        );
+        // zero is clamped: an override can never disable the caller itself
+        let _g = override_threads(0);
+        assert_eq!(current_threads(), 1);
+    }
+
+    #[test]
+    fn override_is_thread_local() {
+        let _guard = override_threads(2);
+        // A freshly spawned thread (e.g. a scoped worker) does not inherit
+        // the override — it reads the global pool size.
+        let seen = std::thread::spawn(current_threads).join().unwrap();
+        assert_eq!(seen, num_threads());
     }
 
     #[test]

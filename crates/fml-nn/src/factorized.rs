@@ -61,6 +61,9 @@ impl FactorizedNn {
     ) -> StoreResult<NnFit> {
         let start = Instant::now();
         let ex = exec.resolve();
+        // Kernels invoked under a parallel policy on this thread fan out to
+        // exactly the resolved thread count while training runs.
+        let _kernel_threads = ex.kernel_thread_scope();
         let sizes = spec.feature_partition(db)?;
         let (d_s, d_r) = (sizes[0], sizes[1]);
         let d = d_s + d_r;

@@ -101,6 +101,36 @@ impl Mlp {
         self.forward_trace(x).output()
     }
 
+    /// [`Self::predict`] under an explicit kernel policy.
+    pub fn predict_with(&self, kp: KernelPolicy, x: &[f64]) -> f64 {
+        self.forward_trace_with(kp, x).output()
+    }
+
+    /// Completes a forward pass from an externally assembled **first-layer
+    /// pre-activation** `a¹ = W¹·x + b¹`: applies the first layer's
+    /// activation, runs the remaining layers densely, and returns the output.
+    ///
+    /// This is the inference-side seam of the paper's factorized first layer:
+    /// the factorized scorer assembles `a¹` from per-relation partial
+    /// products (`W¹_S·x_S + b¹` plus one cached `W¹_{R_i}·x_{R_i}` per
+    /// dimension tuple) and hands it here, so layers ≥ 2 — where the paper
+    /// shows exact reuse is impossible for non-additive activations — share
+    /// one code path with every other variant.
+    pub fn forward_from_first_preactivation_with(&self, kp: KernelPolicy, a1: Vec<f64>) -> f64 {
+        assert_eq!(
+            a1.len(),
+            self.layers[0].out_dim(),
+            "first-layer pre-activation width mismatch"
+        );
+        let mut h = a1;
+        self.layers[0].activation.apply_slice(&mut h);
+        for layer in &self.layers[1..] {
+            let (_, next) = layer.forward_with(kp, &h);
+            h = next;
+        }
+        h[0]
+    }
+
     /// Back-propagates one example's error into the gradient accumulators,
     /// starting from an already computed forward trace.
     ///
@@ -360,6 +390,26 @@ mod tests {
             fin < initial * 0.1,
             "training did not reduce loss: {initial} -> {fin}"
         );
+    }
+
+    #[test]
+    fn forward_from_first_preactivation_matches_dense_forward() {
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Relu] {
+            let net = Mlp::new(5, &[7, 3], act, 9);
+            let x = [0.4, -0.9, 0.2, 1.1, -0.3];
+            let kp = KernelPolicy::Naive;
+            // assemble a1 exactly as the dense forward does
+            let a1 = net.layers()[0].pre_activation_with(kp, &x);
+            let out = net.forward_from_first_preactivation_with(kp, a1);
+            assert_eq!(out, net.predict_with(kp, &x), "{act:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn forward_from_first_preactivation_rejects_wrong_width() {
+        let net = Mlp::new(3, &[4], Activation::Tanh, 1);
+        let _ = net.forward_from_first_preactivation_with(KernelPolicy::Naive, vec![0.0; 3]);
     }
 
     #[test]

@@ -32,6 +32,9 @@ impl FactorizedMultiwayNn {
     ) -> StoreResult<NnFit> {
         let start = Instant::now();
         let ex = exec.resolve();
+        // Kernels invoked under a parallel policy on this thread fan out to
+        // exactly the resolved thread count while training runs.
+        let _kernel_threads = ex.kernel_thread_scope();
         spec.validate(db)?;
         ensure_has_target(db, spec)?;
         let sizes = spec.feature_partition(db)?;

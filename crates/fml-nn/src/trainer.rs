@@ -118,6 +118,9 @@ pub fn train_supervised_from(
 ) -> StoreResult<NnFit> {
     let start = Instant::now();
     let ex = exec.resolve();
+    // Kernels invoked under a parallel policy on this thread fan out to
+    // exactly the resolved thread count while training runs.
+    let _kernel_threads = ex.kernel_thread_scope();
     let mut notifier = FitNotifier::new(exec, io);
     let n = source.num_tuples();
     assert!(n > 0, "cannot train on an empty source");

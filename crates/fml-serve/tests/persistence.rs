@@ -1,0 +1,279 @@
+//! Persistence suite: exact save → load → score round-trips, plus the
+//! version-mismatch and corruption error cases the format documents.
+
+use fml_core::prelude::*;
+use fml_core::{Session, TrainedGmm, TrainedNn};
+use fml_data::SyntheticConfig;
+use fml_serve::persist::{FORMAT_VERSION, MAGIC};
+use fml_serve::prelude::*;
+
+fn workload() -> fml_data::Workload {
+    SyntheticConfig {
+        n_s: 200,
+        n_r: 10,
+        d_s: 2,
+        d_r: 4,
+        k: 2,
+        noise_std: 0.6,
+        with_target: true,
+        seed: 17,
+    }
+    .generate()
+    .unwrap()
+}
+
+fn trained_gmm(w: &fml_data::Workload) -> TrainedGmm {
+    Session::new(&w.db)
+        .join(&w.spec)
+        .fit(Gmm::with_k(2).iterations(3).algorithm(Algorithm::Streaming))
+        .unwrap()
+}
+
+fn trained_nn(w: &fml_data::Workload) -> TrainedNn {
+    Session::new(&w.db)
+        .join(&w.spec)
+        .fit(Nn::with_hidden(5).epochs(3))
+        .unwrap()
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fml-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.fml", std::process::id()))
+}
+
+#[test]
+fn gmm_round_trip_preserves_everything_exactly() {
+    let w = workload();
+    let trained = trained_gmm(&w);
+    let path = tmp_path("gmm-roundtrip");
+    trained.save(&path).unwrap();
+    let back = TrainedGmm::load(&path).unwrap();
+
+    // model parameters: bit-exact
+    assert_eq!(trained.fit.model.max_param_diff(&back.fit.model), 0.0);
+    // fit metadata
+    assert_eq!(back.fit.iterations, trained.fit.iterations);
+    assert_eq!(back.fit.n_tuples, trained.fit.n_tuples);
+    assert_eq!(back.fit.elapsed, trained.fit.elapsed);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&back.fit.log_likelihood),
+        bits(&trained.fit.log_likelihood)
+    );
+    // Trained metadata: algorithm, I/O snapshot, wall time
+    assert_eq!(back.algorithm, Algorithm::Streaming);
+    assert_eq!(back.io, trained.io);
+    assert_eq!(back.elapsed, trained.elapsed);
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn nn_round_trip_preserves_everything_exactly() {
+    let w = workload();
+    let trained = trained_nn(&w);
+    let path = tmp_path("nn-roundtrip");
+    trained.save(&path).unwrap();
+    let back = TrainedNn::load(&path).unwrap();
+    assert_eq!(trained.fit.model.max_param_diff(&back.fit.model), 0.0);
+    assert_eq!(back.fit.epochs, trained.fit.epochs);
+    assert_eq!(back.fit.n_tuples, trained.fit.n_tuples);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&back.fit.loss_trace), bits(&trained.fit.loss_trace));
+    assert_eq!(back.algorithm, Algorithm::Factorized);
+    assert_eq!(back.io, trained.io);
+    std::fs::remove_file(path).unwrap();
+}
+
+/// The acceptance property: a loaded model scores bit-identically to the
+/// model that was saved, for both families.
+#[test]
+fn loaded_models_score_identically() {
+    let w = workload();
+    let session = Session::new(&w.db).join(&w.spec);
+    let gmm = trained_gmm(&w);
+    let nn = trained_nn(&w);
+
+    let gmm_bytes = gmm.to_bytes();
+    let nn_bytes = nn.to_bytes();
+    let gmm_back = TrainedGmm::from_bytes(&gmm_bytes).unwrap();
+    let nn_back = TrainedNn::from_bytes(&nn_bytes).unwrap();
+
+    let before = session.score(&gmm).unwrap().into_sorted_by_key();
+    let after = session.score(&gmm_back).unwrap().into_sorted_by_key();
+    assert_eq!(before.len(), after.len());
+    for ((k1, a), (k2, b)) in before.iter().zip(after.iter()) {
+        assert_eq!(k1, k2);
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.log_likelihood.to_bits(), b.log_likelihood.to_bits());
+    }
+
+    let before = session.score(&nn).unwrap().into_sorted_by_key();
+    let after = session.score(&nn_back).unwrap().into_sorted_by_key();
+    for ((k1, a), (k2, b)) in before.iter().zip(after.iter()) {
+        assert_eq!(k1, k2);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let w = workload();
+    let mut bytes = trained_gmm(&w).to_bytes();
+    bytes[0] = b'X';
+    match TrainedGmm::from_bytes(&bytes) {
+        Err(PersistError::BadMagic(m)) => assert_eq!(&m[1..], &MAGIC[1..]),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    // an arbitrary non-model file is rejected the same way
+    match TrainedGmm::from_bytes(b"definitely not a model") {
+        Err(PersistError::BadMagic(_)) => {}
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_mismatch_names_both_versions() {
+    let w = workload();
+    let mut bytes = trained_gmm(&w).to_bytes();
+    // bump the version field (bytes 4..6, little endian)
+    let future = FORMAT_VERSION + 41;
+    bytes[4..6].copy_from_slice(&future.to_le_bytes());
+    match TrainedGmm::from_bytes(&bytes) {
+        Err(e @ PersistError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, future);
+            assert_eq!(supported, FORMAT_VERSION);
+            let msg = e.to_string();
+            assert!(msg.contains(&future.to_string()), "{msg}");
+            assert!(msg.contains(&FORMAT_VERSION.to_string()), "{msg}");
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn family_mismatch_is_rejected_both_ways() {
+    let w = workload();
+    let gmm_bytes = trained_gmm(&w).to_bytes();
+    let nn_bytes = trained_nn(&w).to_bytes();
+    match TrainedNn::from_bytes(&gmm_bytes) {
+        Err(e @ PersistError::WrongFamily { .. }) => {
+            let msg = e.to_string();
+            assert!(msg.contains("gmm") && msg.contains("nn"), "{msg}");
+        }
+        other => panic!("expected WrongFamily, got {other:?}"),
+    }
+    assert!(matches!(
+        TrainedGmm::from_bytes(&nn_bytes),
+        Err(PersistError::WrongFamily { .. })
+    ));
+}
+
+#[test]
+fn payload_corruption_is_detected() {
+    let w = workload();
+    let bytes = trained_gmm(&w).to_bytes();
+    // flip one bit in the middle of the payload: checksum must catch it
+    let mut flipped = bytes.clone();
+    let mid = bytes.len() / 2;
+    flipped[mid] ^= 0x40;
+    match TrainedGmm::from_bytes(&flipped) {
+        Err(PersistError::Corrupt(why)) => assert!(why.contains("checksum"), "{why}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // truncation anywhere is detected (header, payload or checksum)
+    for cut in [3, 10, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            matches!(
+                TrainedGmm::from_bytes(&bytes[..cut]),
+                Err(PersistError::Corrupt(_)) | Err(PersistError::BadMagic(_))
+            ),
+            "truncation at {cut} must be rejected"
+        );
+    }
+    // trailing garbage after the checksum is rejected too
+    let mut extended = bytes.clone();
+    extended.extend_from_slice(b"junk");
+    assert!(matches!(
+        TrainedGmm::from_bytes(&extended),
+        Err(PersistError::Corrupt(_))
+    ));
+}
+
+/// Wraps a payload in a well-formed container (valid magic, version, family
+/// tag and checksum) so decode-level validation is what gets exercised.
+fn container(family: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(family);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in payload {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&hash.to_le_bytes());
+    out
+}
+
+/// A checksum-valid file declaring astronomically large layer dimensions is
+/// rejected as corrupt — `out_dim * in_dim` must never wrap into a plausible
+/// small element count (and must not panic in debug builds).
+#[test]
+fn huge_layer_dimensions_are_corrupt_not_panic() {
+    let mut payload = Vec::new();
+    payload.push(2); // algorithm: factorized
+    payload.extend_from_slice(&[0u8; 48]); // IoSnapshot: six zero counters
+    payload.extend_from_slice(&0u64.to_le_bytes()); // elapsed secs
+    payload.extend_from_slice(&0u32.to_le_bytes()); // elapsed nanos
+    payload.extend_from_slice(&1u64.to_le_bytes()); // one layer
+    payload.extend_from_slice(&(1u64 << 33).to_le_bytes()); // out_dim
+    payload.extend_from_slice(&(1u64 << 33).to_le_bytes()); // in_dim
+    payload.push(0); // activation: sigmoid
+    match TrainedNn::from_bytes(&container(2, &payload)) {
+        Err(PersistError::Corrupt(why)) => assert!(why.contains("overflow"), "{why}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+/// A checksum-valid file whose layer chain is width-inconsistent
+/// (`layer[i+1].in_dim != layer[i].out_dim`) must fail the *load* with
+/// `Corrupt`, not panic later inside the first forward pass.
+#[test]
+fn mismatched_layer_chain_is_corrupt_not_panic() {
+    let mut payload = Vec::new();
+    payload.push(2); // algorithm: factorized
+    payload.extend_from_slice(&[0u8; 48]); // IoSnapshot: six zero counters
+    payload.extend_from_slice(&0u64.to_le_bytes()); // elapsed secs
+    payload.extend_from_slice(&0u32.to_le_bytes()); // elapsed nanos
+    payload.extend_from_slice(&2u64.to_le_bytes()); // two layers
+
+    // layer 0: 2x1, sigmoid, 2 weights, 2 biases — internally consistent
+    payload.extend_from_slice(&2u64.to_le_bytes());
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.push(0);
+    payload.extend_from_slice(&2u64.to_le_bytes());
+    payload.extend_from_slice(&[0u8; 16]); // two f64 weights
+    payload.extend_from_slice(&2u64.to_le_bytes());
+    payload.extend_from_slice(&[0u8; 16]); // two f64 biases
+
+    // layer 1 claims in_dim = 3, but layer 0 produces 2 outputs
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.extend_from_slice(&3u64.to_le_bytes());
+    match TrainedNn::from_bytes(&container(2, &payload)) {
+        Err(PersistError::Corrupt(why)) => {
+            assert!(why.contains("does not match"), "{why}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn load_of_missing_file_is_an_io_error() {
+    match TrainedGmm::load("/nonexistent/fml-serve/model.fml") {
+        Err(PersistError::Io(_)) => {}
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
