@@ -34,6 +34,7 @@
 
 use crate::matrix::Matrix;
 use crate::policy::{self, KernelPolicy};
+use crate::simd;
 use crate::vector;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -228,14 +229,14 @@ fn check_row(idx: &[u32], vals: &[f64], bound: usize, what: &str) {
 
 /// `x · v = Σ_t vals[t] · v[idx[t]]` — the weighted counterpart of
 /// [`crate::sparse::gather_sum`].
+///
+/// Runs through [`simd::gather_dot`]: the bit-exact levels keep the strictly
+/// sequential accumulation the exactness contract requires; the opt-in FMA
+/// level vectorizes the gather (tolerance-equal).
 #[inline]
 pub fn gather_dot(v: &[f64], idx: &[u32], vals: &[f64]) -> f64 {
     count_call();
-    let mut acc = 0.0;
-    for (&i, &w) in idx.iter().zip(vals.iter()) {
-        acc += w * v[i as usize];
-    }
-    acc
+    simd::gather_dot(simd::current_level(), v, idx, vals)
 }
 
 /// `y = A · x` for sparse `x`, under the default policy.
@@ -252,14 +253,10 @@ pub fn matvec_csr_with(policy: KernelPolicy, a: &Matrix, idx: &[u32], vals: &[f6
     count_call();
     let mut y = vec![0.0; a.rows()];
     let par = policy.is_parallel() && a.rows() * idx.len() >= PAR_MIN_OPS;
+    let lv = simd::current_level();
     policy::par_row_bands(par, &mut y, 1, 8, |first_row, band| {
         for (i, yi) in band.iter_mut().enumerate() {
-            let row = a.row(first_row + i);
-            let mut acc = 0.0;
-            for (&j, &w) in idx.iter().zip(vals.iter()) {
-                acc += row[j as usize] * w;
-            }
-            *yi = acc;
+            *yi = simd::gather_dot(lv, a.row(first_row + i), idx, vals);
         }
     });
     y
@@ -282,9 +279,10 @@ pub fn matvec_transposed_csr_with(
 ) -> Vec<f64> {
     check_row(idx, vals, a.rows(), "matvec_transposed_csr");
     count_call();
+    let lv = simd::current_level();
     let mut y = vec![0.0; a.cols()];
     for (&i, &w) in idx.iter().zip(vals.iter()) {
-        vector::axpy(w, a.row(i as usize), &mut y);
+        simd::axpy(lv, w, a.row(i as usize), &mut y);
     }
     y
 }
@@ -313,13 +311,12 @@ pub fn spmm_csr_with(policy: KernelPolicy, x: &CsrBlock, b: &Matrix, c: &mut Mat
         return;
     }
     let par = policy.is_parallel() && x.nnz() * n >= PAR_MIN_OPS;
+    let lv = simd::current_level();
     policy::par_row_bands(par, c.as_mut_slice(), n, 8, |first_row, band| {
         for (r, crow) in band.chunks_exact_mut(n).enumerate() {
             let (idx, vals) = x.row(first_row + r);
             for (&k, &w) in idx.iter().zip(vals.iter()) {
-                for (dst, &bv) in crow.iter_mut().zip(b.row(k as usize).iter()) {
-                    *dst += w * bv;
-                }
+                simd::axpy(lv, w, b.row(k as usize), crow);
             }
         }
     });
@@ -349,8 +346,9 @@ pub fn ger_csr_with(
     assert_eq!(a.cols(), y.len(), "ger_csr: col dimension mismatch");
     check_row(idx, vals, a.rows(), "ger_csr");
     count_call();
+    let lv = simd::current_level();
     for (&i, &w) in idx.iter().zip(vals.iter()) {
-        vector::axpy(alpha * w, y, a.row_mut(i as usize));
+        simd::axpy(lv, alpha * w, y, a.row_mut(i as usize));
     }
 }
 
@@ -414,12 +412,12 @@ pub fn scatter_csr_pair(
 }
 
 /// `x[idx[t]] += alpha · vals[t]` — AXPY with a sparse right-hand side.
+/// Runs through [`simd::scatter_axpy`] (scalar at the bit-exact levels, fused
+/// multiply-adds in FMA mode).
 pub fn axpy_csr(alpha: f64, idx: &[u32], vals: &[f64], x: &mut [f64]) {
     check_row(idx, vals, x.len(), "axpy_csr");
     count_call();
-    for (&i, &w) in idx.iter().zip(vals.iter()) {
-        x[i as usize] += alpha * w;
-    }
+    simd::scatter_axpy(simd::current_level(), alpha, idx, vals, x);
 }
 
 // ---------------------------------------------------------------------------
@@ -446,9 +444,18 @@ pub fn quadratic_form_csr_with(
     assert_eq!(a.cols(), y.len(), "quadratic_form_csr: col mismatch");
     check_row(idx, vals, a.rows(), "quadratic_form_csr");
     count_call();
+    let lv = simd::current_level();
     let mut acc = 0.0;
     for (&i, &w) in idx.iter().zip(vals.iter()) {
-        acc += w * vector::dot(a.row(i as usize), y);
+        // The bit contract pins this to the naive oracle's `vector::dot`
+        // (strictly sequential); only the opt-in FMA level may diverge, where
+        // the wide fused dot takes over.
+        let row_dot = if lv == simd::SimdLevel::LanesFma {
+            simd::dot(lv, a.row(i as usize), y)
+        } else {
+            vector::dot(a.row(i as usize), y)
+        };
+        acc += w * row_dot;
     }
     acc
 }
@@ -475,13 +482,13 @@ pub fn quadratic_form_csr_pair(
         "quadratic_form_csr_pair cols",
     );
     count_call();
+    // The inner sum is itself a gather: `Σ_u A[i][j_u]·yvals[u]`.  Routing it
+    // through the SIMD layer keeps sequential bits at the exact levels and
+    // vectorizes the gather−µᵀw cross terms of the factorized GMM in FMA mode.
+    let lv = simd::current_level();
     let mut acc = 0.0;
     for (&i, &xi) in rows_idx.iter().zip(rows_vals.iter()) {
-        let row = a.row(i as usize);
-        let mut inner = 0.0;
-        for (&j, &yj) in cols_idx.iter().zip(cols_vals.iter()) {
-            inner += row[j as usize] * yj;
-        }
+        let inner = simd::gather_dot(lv, a.row(i as usize), cols_idx, cols_vals);
         acc += xi * inner;
     }
     acc

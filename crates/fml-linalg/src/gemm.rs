@@ -33,9 +33,25 @@
 //! The non-`_with` entry points dispatch on [`crate::policy::default_policy`];
 //! `_with` variants take an explicit policy, which the training crates thread
 //! through from their configs.
+//!
+//! ### SIMD
+//!
+//! The blocked/parallel inner loops (micro-kernel, dot products, row AXPYs)
+//! run through the explicit `f64x4` layer in [`crate::simd`]: each kernel
+//! reads [`crate::simd::current_level`] **once at entry** and passes it into
+//! its banded closures, so every band of a parallel fan-out computes with the
+//! same arithmetic.  The default level is bit-identical to the scalar
+//! fallback, so the cross-policy bit contracts above are unaffected by SIMD
+//! being on or off; the `Naive` policy never routes through the SIMD layer at
+//! all — it stays the strictly sequential oracle.  Parallel dispatch degrades
+//! to `Blocked` below [`policy::PAR_MIN_FLOPS`]
+//! (or [`policy::GER_PAR_MIN_FLOPS`] for the bandwidth-bound rank-1 update)
+//! via [`policy::effective_policy`], so small shapes never pay fan-out
+//! bookkeeping.
 
 use crate::matrix::Matrix;
 use crate::policy::{self, KernelPolicy};
+use crate::simd::{self, SimdLevel};
 use crate::vector;
 
 /// Micro-kernel rows.
@@ -49,9 +65,7 @@ pub const MC: usize = 64;
 /// Columns of `B` packed per macro block.
 pub const NC: usize = 512;
 
-/// Below this many flops (`2·m·n·k`) the parallel policy stays on one thread —
-/// thread spawn latency would dominate.
-const PAR_MIN_FLOPS: usize = 1 << 20;
+use policy::{GER_PAR_MIN_FLOPS, PAR_MIN_FLOPS};
 
 // ---------------------------------------------------------------------------
 // GEMM
@@ -96,16 +110,18 @@ pub fn matmul_acc_with(policy: KernelPolicy, a: &Matrix, b: &Matrix, c: &mut Mat
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    match policy {
+    match policy::effective_policy(policy, 2 * m * n * k, PAR_MIN_FLOPS) {
         KernelPolicy::Naive => naive_matmul_acc(a, b, c),
         KernelPolicy::Blocked => {
-            blocked_matmul_rows(a.as_slice(), k, 0, b.as_slice(), n, c.as_mut_slice())
+            let lv = simd::current_level();
+            blocked_matmul_rows(a.as_slice(), k, 0, b.as_slice(), n, c.as_mut_slice(), lv)
         }
         KernelPolicy::BlockedParallel => {
-            let parallel = 2 * m * n * k >= PAR_MIN_FLOPS && m >= 2 * MR;
+            let parallel = m >= 2 * MR;
+            let lv = simd::current_level();
             let (a_s, b_s) = (a.as_slice(), b.as_slice());
             policy::par_row_bands(parallel, c.as_mut_slice(), n, MR, |first_row, band| {
-                blocked_matmul_rows(a_s, k, first_row, b_s, n, band);
+                blocked_matmul_rows(a_s, k, first_row, b_s, n, band, lv);
             });
         }
     }
@@ -208,38 +224,21 @@ fn pack_a_panel(a: &[f64], lda: usize, i0: usize, kc: usize, kb: usize, out: &mu
     }
 }
 
-/// Register-blocked `MR×NR` micro-kernel over packed panels: accumulates
-/// `kb` outer products into a register tile, then adds the tile to `C` once.
-#[inline]
-fn microkernel(pa: &[f64], pb: &[f64], kb: usize, c: &mut [f64], ldc: usize, i0: usize, j0: usize) {
-    let mut acc = [[0.0f64; NR]; MR];
-    let pa = &pa[..kb * MR];
-    let pb = &pb[..kb * NR];
-    for (ak, bk) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
-        let ak: &[f64; MR] = ak.try_into().expect("MR chunk");
-        let bk: &[f64; NR] = bk.try_into().expect("NR chunk");
-        for r in 0..MR {
-            let arv = ak[r];
-            for cc in 0..NR {
-                acc[r][cc] += arv * bk[cc];
-            }
-        }
-    }
-    for (r, acc_row) in acc.iter().enumerate() {
-        let base = (i0 + r) * ldc + j0;
-        let crow = &mut c[base..base + NR];
-        for (dst, &v) in crow.iter_mut().zip(acc_row.iter()) {
-            *dst += v;
-        }
-    }
-}
-
 /// Blocked `C_band += A[rows] · B` where `c_band` holds the rows of `C`
 /// starting at absolute row `row0` (the parallel driver hands each thread a
 /// disjoint, `MR`-aligned band).  Per-element accumulation order depends only
 /// on `(k, n)` tiling — never on the banding — so any row split produces bits
-/// identical to the single-band call.
-fn blocked_matmul_rows(a: &[f64], k: usize, row0: usize, b: &[f64], n: usize, c_band: &mut [f64]) {
+/// identical to the single-band call.  The `MR×NR` micro-kernel is
+/// [`simd::microkernel`] at the level `lv` the caller captured at entry.
+fn blocked_matmul_rows(
+    a: &[f64],
+    k: usize,
+    row0: usize,
+    b: &[f64],
+    n: usize,
+    c_band: &mut [f64],
+    lv: SimdLevel,
+) {
     let m = c_band.len() / n;
     let mut pa = vec![0.0f64; MC.min(m.next_multiple_of(MR)) * KC.min(k)];
     let mut pb = vec![0.0f64; KC.min(k) * NC.min(n.next_multiple_of(NR))];
@@ -277,7 +276,8 @@ fn blocked_matmul_rows(a: &[f64], k: usize, row0: usize, b: &[f64], n: usize, c_
                     let pa_panel = &pa[i0 * kb..(i0 + MR) * kb];
                     let mut j0 = 0;
                     while j0 < n_full {
-                        microkernel(
+                        simd::microkernel(
+                            lv,
                             pa_panel,
                             &pb[j0 * kb..(j0 + NR) * kb],
                             kb,
@@ -309,9 +309,7 @@ fn blocked_matmul_rows(a: &[f64], k: usize, row0: usize, b: &[f64], n: usize, c_
                     for (kk, &aik) in arow.iter().enumerate() {
                         let brow = &b[(kc + kk) * n + jc..(kc + kk) * n + jc + nc];
                         let crow = &mut c_band[(ic + i) * n + jc..(ic + i) * n + jc + nc];
-                        for (dst, &bv) in crow.iter_mut().zip(brow.iter()) {
-                            *dst += aik * bv;
-                        }
+                        simd::axpy(lv, aik, brow, crow);
                     }
                 }
                 ic += mc;
@@ -325,25 +323,6 @@ fn blocked_matmul_rows(a: &[f64], k: usize, row0: usize, b: &[f64], n: usize, c_
 // ---------------------------------------------------------------------------
 // GEMV
 // ---------------------------------------------------------------------------
-
-/// 4-way unrolled dot product: same multiplication set as [`vector::dot`] but
-/// four independent accumulators, merged in a fixed order.
-#[inline]
-fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let quads = a.len() / 4 * 4;
-    let mut acc = [0.0f64; 4];
-    for (ca, cb) in a[..quads].chunks_exact(4).zip(b[..quads].chunks_exact(4)) {
-        for l in 0..4 {
-            acc[l] += ca[l] * cb[l];
-        }
-    }
-    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for (x, y) in a[quads..].iter().zip(b[quads..].iter()) {
-        s += x * y;
-    }
-    s
-}
 
 /// `y = A · x` (matrix-vector product) under the default policy.
 pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
@@ -366,22 +345,23 @@ pub fn matvec_into(a: &Matrix, x: &[f64], y: &mut [f64]) {
 pub fn matvec_into_with(policy: KernelPolicy, a: &Matrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(a.cols(), x.len(), "matvec_into: dimension mismatch");
     assert_eq!(a.rows(), y.len(), "matvec_into: output dimension mismatch");
-    match policy {
+    match policy::effective_policy(policy, 2 * a.rows() * a.cols(), PAR_MIN_FLOPS) {
         KernelPolicy::Naive => {
             for (i, yi) in y.iter_mut().enumerate() {
                 *yi = vector::dot(a.row(i), x);
             }
         }
         KernelPolicy::Blocked => {
+            let lv = simd::current_level();
             for (i, yi) in y.iter_mut().enumerate() {
-                *yi = dot_unrolled(a.row(i), x);
+                *yi = simd::dot(lv, a.row(i), x);
             }
         }
         KernelPolicy::BlockedParallel => {
-            let parallel = 2 * a.rows() * a.cols() >= PAR_MIN_FLOPS;
-            policy::par_row_bands(parallel, y, 1, 8, |first_row, band| {
+            let lv = simd::current_level();
+            policy::par_row_bands(true, y, 1, 8, |first_row, band| {
                 for (i, yi) in band.iter_mut().enumerate() {
-                    *yi = dot_unrolled(a.row(first_row + i), x);
+                    *yi = simd::dot(lv, a.row(first_row + i), x);
                 }
             });
         }
@@ -404,8 +384,9 @@ pub fn matvec_acc_with(policy: KernelPolicy, a: &Matrix, x: &[f64], y: &mut [f64
             }
         }
         _ => {
+            let lv = simd::current_level();
             for (i, yi) in y.iter_mut().enumerate() {
-                *yi += dot_unrolled(a.row(i), x);
+                *yi += simd::dot(lv, a.row(i), x);
             }
         }
     }
@@ -425,26 +406,34 @@ pub fn matvec_transposed(a: &Matrix, x: &[f64]) -> Vec<f64> {
 pub fn matvec_transposed_with(policy: KernelPolicy, a: &Matrix, x: &[f64]) -> Vec<f64> {
     assert_eq!(a.rows(), x.len(), "matvec_transposed: dimension mismatch");
     let cols = a.cols();
-    match policy {
-        KernelPolicy::Naive | KernelPolicy::Blocked => {
+    match policy::effective_policy(policy, 2 * a.rows() * cols, PAR_MIN_FLOPS) {
+        KernelPolicy::Naive => {
             let mut y = vec![0.0; cols];
             for (i, &xi) in x.iter().enumerate() {
                 vector::axpy(xi, a.row(i), &mut y);
             }
             y
         }
+        KernelPolicy::Blocked => {
+            let lv = simd::current_level();
+            let mut y = vec![0.0; cols];
+            for (i, &xi) in x.iter().enumerate() {
+                simd::axpy(lv, xi, a.row(i), &mut y);
+            }
+            y
+        }
         KernelPolicy::BlockedParallel => {
-            let parallel = 2 * a.rows() * cols >= PAR_MIN_FLOPS;
-            let partials = policy::par_chunks(parallel, a.rows(), 8, |range| {
+            let lv = simd::current_level();
+            let partials = policy::par_chunks(true, a.rows(), 8, |range| {
                 let mut part = vec![0.0; cols];
                 for i in range {
-                    vector::axpy(x[i], a.row(i), &mut part);
+                    simd::axpy(lv, x[i], a.row(i), &mut part);
                 }
                 part
             });
             let mut y = vec![0.0; cols];
             for part in partials {
-                vector::axpy(1.0, &part, &mut y);
+                simd::add_assign(lv, &mut y, &part);
             }
             y
         }
@@ -464,23 +453,36 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
 }
 
 /// Rank-1 update under an explicit policy.
+///
+/// GER does 2 flops per element it reads *and* writes, so it is
+/// memory-bandwidth-bound; parallel dispatch uses the much higher
+/// [`policy::GER_PAR_MIN_FLOPS`] cutoff — below it, extra threads only
+/// contend for the bus and the parallel policy degrades to the blocked
+/// (bit-identical) row loop.
 pub fn ger_with(policy: KernelPolicy, alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
     assert_eq!(a.rows(), x.len(), "ger: row dimension mismatch");
     assert_eq!(a.cols(), y.len(), "ger: col dimension mismatch");
     let cols = a.cols();
-    match policy {
-        KernelPolicy::BlockedParallel if 2 * x.len() * cols >= PAR_MIN_FLOPS => {
-            policy::par_row_bands(true, a.as_mut_slice(), cols, MR, |first_row, band| {
-                for (i, row) in band.chunks_exact_mut(cols).enumerate() {
-                    vector::axpy(alpha * x[first_row + i], y, row);
-                }
-            });
-        }
-        _ => {
-            // The dense path is branch-free: one AXPY per row, no zero tests.
+    match policy::effective_policy(policy, 2 * x.len() * cols, GER_PAR_MIN_FLOPS) {
+        KernelPolicy::Naive => {
+            // The reference path is branch-free: one AXPY per row.
             for (i, &xi) in x.iter().enumerate() {
                 vector::axpy(alpha * xi, y, a.row_mut(i));
             }
+        }
+        KernelPolicy::Blocked => {
+            let lv = simd::current_level();
+            for (i, &xi) in x.iter().enumerate() {
+                simd::axpy(lv, alpha * xi, y, a.row_mut(i));
+            }
+        }
+        KernelPolicy::BlockedParallel => {
+            let lv = simd::current_level();
+            policy::par_row_bands(true, a.as_mut_slice(), cols, MR, |first_row, band| {
+                for (i, row) in band.chunks_exact_mut(cols).enumerate() {
+                    simd::axpy(lv, alpha * x[first_row + i], y, row);
+                }
+            });
         }
     }
 }
@@ -532,7 +534,7 @@ pub fn quadratic_form(x: &[f64], a: &Matrix, y: &[f64]) -> f64 {
 pub fn quadratic_form_with(policy: KernelPolicy, x: &[f64], a: &Matrix, y: &[f64]) -> f64 {
     assert_eq!(a.rows(), x.len(), "quadratic_form: row dimension mismatch");
     assert_eq!(a.cols(), y.len(), "quadratic_form: col dimension mismatch");
-    match policy {
+    match policy::effective_policy(policy, 2 * x.len() * y.len(), PAR_MIN_FLOPS) {
         KernelPolicy::Naive => {
             let mut acc = 0.0;
             for (i, &xi) in x.iter().enumerate() {
@@ -544,18 +546,19 @@ pub fn quadratic_form_with(policy: KernelPolicy, x: &[f64], a: &Matrix, y: &[f64
             acc
         }
         KernelPolicy::Blocked => {
+            let lv = simd::current_level();
             let mut acc = 0.0;
             for (i, &xi) in x.iter().enumerate() {
-                acc += xi * dot_unrolled(a.row(i), y);
+                acc += xi * simd::dot(lv, a.row(i), y);
             }
             acc
         }
         KernelPolicy::BlockedParallel => {
-            let parallel = 2 * x.len() * y.len() >= PAR_MIN_FLOPS;
-            let partials = policy::par_chunks(parallel, x.len(), 8, |range| {
+            let lv = simd::current_level();
+            let partials = policy::par_chunks(true, x.len(), 8, |range| {
                 let mut acc = 0.0;
                 for i in range {
-                    acc += x[i] * dot_unrolled(a.row(i), y);
+                    acc += x[i] * simd::dot(lv, a.row(i), y);
                 }
                 acc
             });
@@ -669,11 +672,20 @@ mod tests {
         let (m, k, n) = (37usize, 65usize, 29usize); // remainders on every axis
         let a = pseudo(m, k, 11);
         let b = pseudo(k, n, 12);
+        let lv = simd::current_level();
         let mut single = Matrix::zeros(m, n);
-        blocked_matmul_rows(a.as_slice(), k, 0, b.as_slice(), n, single.as_mut_slice());
+        blocked_matmul_rows(
+            a.as_slice(),
+            k,
+            0,
+            b.as_slice(),
+            n,
+            single.as_mut_slice(),
+            lv,
+        );
         let mut banded = Matrix::zeros(m, n);
         policy::par_row_bands_with_threads(4, banded.as_mut_slice(), n, MR, |first_row, band| {
-            blocked_matmul_rows(a.as_slice(), k, first_row, b.as_slice(), n, band);
+            blocked_matmul_rows(a.as_slice(), k, first_row, b.as_slice(), n, band, lv);
         });
         assert_eq!(single, banded, "band split changed bits");
     }

@@ -19,6 +19,9 @@
 //! * [`csr`] — general weighted-sparse kernels ([`CsrBlock`], `spmm_csr`,
 //!   CSR gathers/scatters/quadratic forms) for near-sparse numeric blocks;
 //!   same exactness contract as [`sparse`], with the multiplications kept.
+//! * [`simd`] — the explicit `f64x4` SIMD layer the blocked kernels run on:
+//!   AVX2/FMA micro-kernels with runtime dispatch ([`SimdLevel`]), a
+//!   bit-exact scalar fallback, and the `FML_SIMD` override.
 //! * [`sym`] — helpers for symmetric matrices (regularization, SPD checks).
 //! * [`exec`] — the model-independent [`ExecPolicy`] every trainer consumes
 //!   (kernel policy, sparse mode, block size, threads, seed, telemetry
@@ -54,10 +57,25 @@
 //! process-wide (`FML_KERNEL_POLICY=naive|blocked|parallel`,
 //! [`policy::set_default_policy`]).  `FML_THREADS` caps the pool.
 //!
-//! No `unsafe` code anywhere: the micro-kernel reaches vector ISA throughput
-//! through fixed-size array tiles that the compiler fully unrolls.
+//! ## SIMD layer
+//!
+//! The blocked kernels' inner loops run through an explicit `f64x4` SIMD
+//! layer ([`simd`]): AVX2 lane primitives selected once at startup via
+//! runtime CPU detection, with a scalar fallback that emulates the 4-lane
+//! shape exactly.  The default mode is **bit-identical** to the scalar
+//! fallback (lane-wise multiply-then-add, fixed reduction tree — no FMA
+//! contraction), so every cross-policy contract above holds with SIMD on or
+//! off; `FML_SIMD=off` forces the fallback and `FML_SIMD=fma` opts into a
+//! fused-multiply-add fast mode that is tolerance-equal (≤ a few ULPs) to
+//! the oracle instead of bit-equal.
+//!
+//! `unsafe` is denied crate-wide and allowed only inside [`simd`]'s
+//! intrinsics module, where every `std::arch` call sits behind a safe
+//! wrapper that re-verifies CPU support; everything else reaches vector ISA
+//! throughput through fixed-size array tiles that the compiler fully
+//! unrolls.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod block;
@@ -68,6 +86,7 @@ pub mod gemm;
 pub mod matrix;
 pub mod policy;
 pub mod repcache;
+pub mod simd;
 pub mod sparse;
 pub mod sym;
 #[doc(hidden)]
@@ -81,6 +100,7 @@ pub use exec::{ExecPolicy, ExecSettings, FitEvent, FitNotifier, FitObserver, Tra
 pub use matrix::Matrix;
 pub use policy::KernelPolicy;
 pub use repcache::{KeyedRepCache, RepCache, RepSegment};
+pub use simd::{SimdLevel, SimdMode};
 pub use sparse::{BlockVec, SparseMode, SparseRep};
 pub use vector::Vector;
 

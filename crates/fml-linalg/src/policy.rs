@@ -108,6 +108,37 @@ impl FromStr for KernelPolicy {
     }
 }
 
+/// Below this many scalar flops the parallel policy is not worth a fan-out:
+/// thread spawn latency dominates.  Kernels pass their flop estimate
+/// (`2·m·n·k` for GEMM-shaped work) through [`effective_policy`] so
+/// `BlockedParallel` degrades to the bit-identical `Blocked` kernel instead of
+/// paying per-call fan-out bookkeeping (partial-result buffers, scope setup)
+/// for work that fits comfortably on one core.
+pub const PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// The fan-out cutoff for rank-1 (GER) updates, far higher than
+/// [`PAR_MIN_FLOPS`]: GER reads **and writes** its whole output matrix while
+/// doing only 2 flops per element, so it is memory-bandwidth-bound and extra
+/// threads mostly contend for the same bus.  Only outer products beyond this
+/// size (≥ 2048×4096-ish) can amortize a spawn.
+pub const GER_PAR_MIN_FLOPS: usize = 1 << 24;
+
+/// Degrades `BlockedParallel` to `Blocked` when `flops` is below `min_flops`.
+///
+/// The two policies are bit-identical by construction (MR-aligned bands,
+/// chunk-order merges), so this is purely a dispatch decision: below the
+/// cutoff the blocked kernel is *always* at least as fast, because the
+/// parallel wrapper adds fan-out bookkeeping even when it ends up running a
+/// single chunk.  `Naive` and `Blocked` pass through untouched.
+#[inline]
+pub fn effective_policy(policy: KernelPolicy, flops: usize, min_flops: usize) -> KernelPolicy {
+    if policy.is_parallel() && flops < min_flops {
+        KernelPolicy::Blocked
+    } else {
+        policy
+    }
+}
+
 const POLICY_UNSET: u8 = u8::MAX;
 
 static DEFAULT_POLICY: AtomicU8 = AtomicU8::new(POLICY_UNSET);
@@ -438,6 +469,40 @@ mod tests {
             assert_eq!(p.label().parse::<KernelPolicy>().unwrap(), p);
         }
         assert!("bogus".parse::<KernelPolicy>().is_err());
+    }
+
+    /// Pins the small-kernel cutoff: `BlockedParallel` degrades to `Blocked`
+    /// strictly below the threshold, stays parallel at and above it, and the
+    /// sequential policies are never touched.  This is the fix for the
+    /// small-`d` quadratic-form regression (parallel at 0.56–0.73× naive on
+    /// dR5–dR15): those shapes are orders of magnitude below `PAR_MIN_FLOPS`,
+    /// so they now route to the plain blocked kernel with zero fan-out
+    /// bookkeeping.
+    #[test]
+    fn effective_policy_degrades_parallel_below_cutoff() {
+        let par = KernelPolicy::BlockedParallel;
+        assert_eq!(
+            effective_policy(par, PAR_MIN_FLOPS - 1, PAR_MIN_FLOPS),
+            KernelPolicy::Blocked
+        );
+        assert_eq!(effective_policy(par, PAR_MIN_FLOPS, PAR_MIN_FLOPS), par);
+        assert_eq!(effective_policy(par, usize::MAX, PAR_MIN_FLOPS), par);
+        // a dR15 quadratic form (2·15·15 flops) is far below the cutoff
+        assert_eq!(
+            effective_policy(par, 2 * 15 * 15, PAR_MIN_FLOPS),
+            KernelPolicy::Blocked
+        );
+        // sequential policies pass through regardless of size
+        for p in [KernelPolicy::Naive, KernelPolicy::Blocked] {
+            assert_eq!(effective_policy(p, 0, PAR_MIN_FLOPS), p);
+            assert_eq!(effective_policy(p, usize::MAX, PAR_MIN_FLOPS), p);
+        }
+        // the GER cutoff is deliberately much higher: a 2048² outer product
+        // (8.4M flops) must stay sequential under the bandwidth-bound cutoff
+        assert_eq!(
+            effective_policy(par, 2 * 2048 * 2048, GER_PAR_MIN_FLOPS),
+            KernelPolicy::Blocked
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@
 use crate::csr;
 use crate::matrix::Matrix;
 use crate::policy::{self, KernelPolicy};
+use crate::simd;
 use crate::vector;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -339,13 +340,15 @@ pub fn matvec_transposed_onehot(a: &Matrix, idx: &[u32]) -> Vec<f64> {
 /// Rows are added front-to-back in index order (the same order as the naive
 /// dense transposed GEMV visits its nonzero terms); the reduction is `s` AXPYs
 /// and far below any useful parallel threshold, so every policy runs the same
-/// sequential loop.
+/// sequential loop.  Each row add is a pure lane-wise [`simd::add_assign`]
+/// (`1.0 * b == b` bitwise), identical at every SIMD level.
 pub fn matvec_transposed_onehot_with(_policy: KernelPolicy, a: &Matrix, idx: &[u32]) -> Vec<f64> {
     check_indices(idx, a.rows(), "matvec_transposed_onehot");
     count_call();
+    let lv = simd::current_level();
     let mut y = vec![0.0; a.cols()];
     for &i in idx {
-        vector::axpy(1.0, a.row(i as usize), &mut y);
+        simd::add_assign(lv, &mut y, a.row(i as usize));
     }
     y
 }
@@ -391,15 +394,15 @@ pub fn spmm_onehot_with(
         return;
     }
     let par = policy.is_parallel() && m * nnz_per_row * n >= PAR_MIN_OPS;
+    let lv = simd::current_level();
     policy::par_row_bands(par, c.as_mut_slice(), n, 8, |first_row, band| {
         for (r, crow) in band.chunks_exact_mut(n).enumerate() {
             let idx = &rows_idx[(first_row + r) * nnz_per_row..(first_row + r + 1) * nnz_per_row];
             for &k in idx {
                 // Plain adds — the active values are 1.0, so no multiply at
                 // all (bit-identical to `+= 1.0 * b`, one vector op cheaper).
-                for (dst, &bv) in crow.iter_mut().zip(b.row(k as usize).iter()) {
-                    *dst += bv;
-                }
+                // Pure lane-wise adds are identical at every SIMD level.
+                simd::add_assign(lv, crow, b.row(k as usize));
             }
         }
     });
@@ -425,8 +428,9 @@ pub fn ger_onehot_with(_policy: KernelPolicy, alpha: f64, idx: &[u32], y: &[f64]
     assert_eq!(a.cols(), y.len(), "ger_onehot: col dimension mismatch");
     check_indices(idx, a.rows(), "ger_onehot");
     count_call();
+    let lv = simd::current_level();
     for &i in idx {
-        vector::axpy(alpha, y, a.row_mut(i as usize));
+        simd::axpy(lv, alpha, y, a.row_mut(i as usize));
     }
 }
 

@@ -4,6 +4,13 @@
 //! `&[f64]` slices (feature vectors read straight out of storage pages), so the
 //! primitive kernels here are free functions over slices.  [`Vector`] is a thin
 //! owned wrapper that adds convenience constructors and operators on top.
+//!
+//! The kernels here are the **frozen sequential reference**: strictly
+//! left-to-right accumulation with no unrolling, the arithmetic the `Naive`
+//! kernel policy and the sparse exactness contracts are defined against.
+//! They must never be vectorized or reassociated — the SIMD twins the blocked
+//! policies run on live in [`crate::simd`] and are tested bit-for-bit (or, in
+//! `fma` mode, to tolerance) against these.
 
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};

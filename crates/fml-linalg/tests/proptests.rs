@@ -20,6 +20,7 @@ use fml_linalg::block::{BlockPartition, BlockQuadraticForm, BlockScatter};
 use fml_linalg::cholesky::Cholesky;
 use fml_linalg::csr::{self, CsrBlock};
 use fml_linalg::policy::KernelPolicy;
+use fml_linalg::simd::{self, SimdLevel};
 use fml_linalg::sparse::{self, BlockVec};
 use fml_linalg::{approx_eq, gemm, Matrix, TEST_EPS};
 
@@ -149,6 +150,61 @@ fn ger_policies_match_naive_across_shapes() {
                 reference.max_abs_diff(&sparse_a) < TEST_EPS,
                 "case {case} {p} sparse"
             );
+        }
+    }
+}
+
+/// The policy-equivalence property re-checked under each forced bit-exact
+/// SIMD level: `Blocked`/`BlockedParallel` agree with `Naive` within tolerance
+/// whether the lane kernels run through AVX2 or the scalar fallback — and the
+/// two levels agree with *each other* bit-for-bit (the SIMD layer's core
+/// contract; `tests/simd_equivalence.rs` covers it kernel by kernel).
+#[test]
+fn policy_equivalence_holds_under_every_bit_exact_simd_level() {
+    let mut g = Gen::new(42);
+    for (case, (m, k, n)) in awkward_shapes(&mut g).into_iter().enumerate() {
+        let a = g.matrix(m, k);
+        let b = g.matrix(k, n);
+        let seed_c = g.matrix(m, n);
+        let x = g.vec(k);
+        let mut reference = seed_c.clone();
+        gemm::matmul_acc_with(KernelPolicy::Naive, &a, &b, &mut reference);
+        let mv_ref = gemm::matvec_with(KernelPolicy::Naive, &a, &x);
+        for p in POLICIES {
+            let mut per_level: Vec<(Matrix, Vec<f64>)> = Vec::new();
+            for lv in [SimdLevel::Scalar, SimdLevel::Lanes] {
+                simd::with_level(lv, || {
+                    let mut c = seed_c.clone();
+                    gemm::matmul_acc_with(p, &a, &b, &mut c);
+                    let diff = reference.max_abs_diff(&c);
+                    assert!(
+                        diff < TEST_EPS * (k as f64 + 1.0),
+                        "case {case} {p} {lv}: {m}x{k}x{n} diff {diff}"
+                    );
+                    let mv = gemm::matvec_with(p, &a, &x);
+                    for (i, (&r, &v)) in mv_ref.iter().zip(mv.iter()).enumerate() {
+                        assert!(
+                            approx_eq(r, v, TEST_EPS),
+                            "case {case} {p} {lv}: row {i}: {r} vs {v}"
+                        );
+                    }
+                    per_level.push((c, mv));
+                });
+            }
+            let (c_scalar, mv_scalar) = &per_level[0];
+            let (c_lanes, mv_lanes) = &per_level[1];
+            for (s, l) in c_scalar
+                .as_slice()
+                .iter()
+                .chain(mv_scalar.iter())
+                .zip(c_lanes.as_slice().iter().chain(mv_lanes.iter()))
+            {
+                assert_eq!(
+                    s.to_bits(),
+                    l.to_bits(),
+                    "case {case} {p}: scalar vs lanes bit mismatch: {s} vs {l}"
+                );
+            }
         }
     }
 }
