@@ -15,13 +15,13 @@
 //! scalar/lanes/fma comparisons (`speedup_vs_scalar`) that are robust to
 //! host-to-host noise — the CI SIMD guards consume those ratios.
 
+use fml_bench::timing::{measure_ns as measure, smoke};
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm};
 use fml_linalg::policy::{num_threads, KernelPolicy};
 use fml_linalg::simd::{self, SimdLevel};
 use fml_linalg::{gemm, Matrix};
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
 
 struct BenchResult {
     kernel: String,
@@ -38,12 +38,6 @@ fn default_simd() -> &'static str {
     simd::current_level().label()
 }
 
-fn smoke() -> bool {
-    std::env::var("FML_BENCH_SMOKE")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-}
-
 fn pseudo_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
     let mut rng = fml_linalg::testutil::TestRng::new(salt);
     Matrix::from_vec(rows, cols, rng.vec_in(rows * cols, -1.0, 1.0))
@@ -51,40 +45,6 @@ fn pseudo_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
 
 fn pseudo_vec(n: usize, salt: u64) -> Vec<f64> {
     fml_linalg::testutil::TestRng::new(salt).vec_in(n, -1.0, 1.0)
-}
-
-/// Measures `f`, returning ns/iter (single call in smoke mode).
-///
-/// One warm-up call, then the repetition budget is split into 5 windows and
-/// the **minimum** window mean wins: scheduler preemptions and VM
-/// steal-time only ever inflate a window, so the min is the noise-robust
-/// estimate of the kernel's true cost (one bad window is discarded instead
-/// of polluting a grand mean — tiny kernels measure microseconds per window
-/// and a single preemption is bigger than the signal).
-fn measure<F: FnMut()>(mut f: F) -> f64 {
-    f();
-    if smoke() {
-        let t = Instant::now();
-        f();
-        return t.elapsed().as_nanos() as f64;
-    }
-    let probe = Instant::now();
-    f();
-    let per_iter = probe.elapsed().as_secs_f64().max(1e-9);
-    // ~0.8s total target, capped at 200 reps for heavyweight kernels and
-    // much higher for sub-10µs kernels (still only ~ms of wall time).
-    let cap = if per_iter < 1e-5 { 50_000 } else { 200 };
-    let reps = ((0.8 / per_iter) as usize).clamp(5, cap);
-    let window = (reps / 5).max(1);
-    let mut best = f64::INFINITY;
-    for _ in 0..5 {
-        let t = Instant::now();
-        for _ in 0..window {
-            f();
-        }
-        best = best.min(t.elapsed().as_nanos() as f64 / window as f64);
-    }
-    best
 }
 
 fn bench_matmul(results: &mut Vec<BenchResult>) {

@@ -4,18 +4,26 @@
 //! reuse and the sparse gathers both engage).
 //!
 //! The run emits **`BENCH_serve.json`** at the workspace root with per-row
-//! `speedup_vs_materialized`; CI's serve guard asserts factorized scoring
-//! beats materialized scoring for both families.  Set `FML_BENCH_SMOKE=1`
-//! for a single-shot smoke run that still exercises every family × strategy
-//! pair and emits the JSON.
+//! `speedup_vs_materialized`, plus a `parallel_scaling` sweep: factorized
+//! scoring through the pool fan-out at 1/2/4 workers with
+//! `speedup_vs_1worker` rows/s ratios.  CI's serve guards assert factorized
+//! scoring beats materialized scoring for both families and that the
+//! 4-worker fan-out reaches ≥ 1.8× the single-worker throughput (in-run
+//! relative ratios — robust to absolute host speed).  Set
+//! `FML_BENCH_SMOKE=1` for a single-shot smoke run that still exercises
+//! every family × strategy × worker-count case and emits the JSON.
+//!
+//! Timing uses the shared min-of-windows estimator
+//! ([`fml_bench::timing::measure_ms`]) — the same noise model as the kernel
+//! benches, replacing this harness's old ad-hoc mean-of-3 loop.
 
+use fml_bench::timing::{measure_ms, smoke};
 use fml_core::prelude::*;
 use fml_core::Session;
 use fml_data::EmulatedDataset;
 use fml_serve::prelude::*;
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
 
 struct BenchRow {
     family: &'static str,
@@ -25,27 +33,23 @@ struct BenchRow {
     rows_per_s: f64,
 }
 
-fn smoke() -> bool {
-    std::env::var("FML_BENCH_SMOKE")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+/// One point of the worker sweep: factorized scoring with the fan-out forced
+/// on at an explicit worker count.
+struct ScalingRow {
+    family: &'static str,
+    workers: usize,
+    rows: usize,
+    mean_ms: f64,
+    rows_per_s: f64,
 }
 
-/// Mean milliseconds per scoring call (one warm-up, then `reps` timed runs;
-/// a single cold call in smoke mode).
-fn measure_ms(mut f: impl FnMut()) -> f64 {
-    if smoke() {
-        let t = Instant::now();
-        f();
-        return t.elapsed().as_secs_f64() * 1e3;
+fn speedup_vs_1worker(rows: &[ScalingRow], r: &ScalingRow) -> Option<f64> {
+    if r.workers == 1 {
+        return None;
     }
-    f(); // warm-up
-    let reps = 3;
-    let t = Instant::now();
-    for _ in 0..reps {
-        f();
-    }
-    t.elapsed().as_secs_f64() * 1e3 / reps as f64
+    rows.iter()
+        .find(|o| o.family == r.family && o.workers == 1)
+        .map(|o| r.rows_per_s / o.rows_per_s)
 }
 
 fn speedup_vs_materialized(rows: &[BenchRow], r: &BenchRow) -> Option<f64> {
@@ -57,7 +61,12 @@ fn speedup_vs_materialized(rows: &[BenchRow], r: &BenchRow) -> Option<f64> {
         .map(|o| o.mean_ms / r.mean_ms)
 }
 
-fn emit_json(workload: &str, n_rows: u64, rows: &[BenchRow]) -> std::io::Result<PathBuf> {
+fn emit_json(
+    workload: &str,
+    n_rows: u64,
+    rows: &[BenchRow],
+    scaling: &[ScalingRow],
+) -> std::io::Result<PathBuf> {
     // Emit at the workspace root regardless of the bench's working
     // directory (same idiom as the other BENCH_*.json emitters).
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -79,6 +88,18 @@ fn emit_json(workload: &str, n_rows: u64, rows: &[BenchRow]) -> std::io::Result<
             out,
             "    {{\"family\": \"{}\", \"strategy\": \"{}\", \"rows\": {}, \"mean_ms\": {:.3}, \"rows_per_s\": {:.1}, \"speedup_vs_materialized\": {}}}{}",
             r.family, r.strategy, r.rows, r.mean_ms, r.rows_per_s, speedup, sep
+        );
+    }
+    out.push_str("  ],\n  \"parallel_scaling\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        let sep = if i + 1 == scaling.len() { "" } else { "," };
+        let speedup = speedup_vs_1worker(scaling, r)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            out,
+            "    {{\"family\": \"{}\", \"workers\": {}, \"rows\": {}, \"mean_ms\": {:.3}, \"rows_per_s\": {:.1}, \"speedup_vs_1worker\": {}}}{}",
+            r.family, r.workers, r.rows, r.mean_ms, r.rows_per_s, speedup, sep
         );
     }
     out.push_str("  ]\n}\n");
@@ -142,6 +163,53 @@ fn main() {
         });
     }
 
+    // Multi-worker sweep: factorized scoring with the pool fan-out forced on
+    // at explicit worker counts.  `.threads(w)` resolves into the chunk
+    // fan-out (and, via the kernel thread scope, any parallel kernels);
+    // 1 worker runs the sequential factorized driver — the baseline the
+    // in-run `speedup_vs_1worker` ratios (and CI's ≥ 1.8× guard at 4
+    // workers) compare against.  Results are bit-identical at every point
+    // (pinned by the scoring_equivalence suite), so this sweep is purely a
+    // throughput trajectory.
+    let mut scaling: Vec<ScalingRow> = Vec::new();
+    let par_opts = Scoring::new().parallel(true);
+    for workers in [1usize, 2, 4] {
+        let session_w = Session::new(&workload.db)
+            .join(&workload.spec)
+            .exec(ExecPolicy::new().threads(workers));
+        // Report the worker count the run actually resolved to — the same
+        // settings the scorers read.
+        let resolved = session_w.exec_settings().threads;
+        let mut scored = 0usize;
+        let mean_ms = measure_ms(|| {
+            scored = session_w
+                .score_with(&gmm, &par_opts)
+                .expect("score gmm parallel")
+                .len();
+        });
+        scaling.push(ScalingRow {
+            family: "gmm",
+            workers: resolved,
+            rows: scored,
+            mean_ms,
+            rows_per_s: scored as f64 / (mean_ms / 1e3),
+        });
+        let mut scored = 0usize;
+        let mean_ms = measure_ms(|| {
+            scored = session_w
+                .score_with(&nn, &par_opts)
+                .expect("score nn parallel")
+                .len();
+        });
+        scaling.push(ScalingRow {
+            family: "nn",
+            workers: resolved,
+            rows: scored,
+            mean_ms,
+            rows_per_s: scored as f64 / (mean_ms / 1e3),
+        });
+    }
+
     println!(
         "\n{:<6} {:>13} {:>8} {:>11} {:>12} {:>16}",
         "family", "strategy", "rows", "mean", "rows/s", "vs materialized"
@@ -156,13 +224,28 @@ fn main() {
         );
     }
 
-    match emit_json(&workload.name, n_rows, &rows) {
+    println!(
+        "\n{:<6} {:>8} {:>8} {:>11} {:>12} {:>13}",
+        "family", "workers", "rows", "mean", "rows/s", "vs 1 worker"
+    );
+    for r in &scaling {
+        let speedup = speedup_vs_1worker(&scaling, r)
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_default();
+        println!(
+            "{:<6} {:>8} {:>8} {:>8.1} ms {:>12.0} {:>13}",
+            r.family, r.workers, r.rows, r.mean_ms, r.rows_per_s, speedup
+        );
+    }
+
+    match emit_json(&workload.name, n_rows, &rows, &scaling) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_serve.json: {e}"),
     }
 
-    // Acceptance-criterion ratio (enforced in CI): factorized beats the
-    // materialized-join scorer on the emulated sparse workload.
+    // Acceptance-criterion ratios (enforced in CI): factorized beats the
+    // materialized-join scorer, and the 4-worker fan-out beats the
+    // single-worker factorized baseline.  Locally informational only.
     for family in ["gmm", "nn"] {
         if let Some(r) = rows
             .iter()
@@ -170,6 +253,13 @@ fn main() {
         {
             let speedup = speedup_vs_materialized(&rows, r).unwrap_or(0.0);
             println!("{family} factorized speedup over materialized scoring: {speedup:.2}x");
+        }
+        if let Some(r) = scaling
+            .iter()
+            .find(|r| r.family == family && r.workers == 4)
+        {
+            let speedup = speedup_vs_1worker(&scaling, r).unwrap_or(0.0);
+            println!("{family} parallel factorized speedup at 4 workers vs 1: {speedup:.2}x");
         }
     }
 }

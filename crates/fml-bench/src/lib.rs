@@ -13,6 +13,8 @@
 
 #![allow(missing_docs)]
 
+pub mod timing;
+
 use fml_core::prelude::*;
 use fml_data::multiway::{DimSpec, MultiwayConfig};
 use fml_data::{EmulatedDataset, SyntheticConfig, Workload};

@@ -354,6 +354,14 @@ impl<'a> Session<'a> {
         &self.exec
     }
 
+    /// The fully resolved execution settings (builder > environment >
+    /// default) this session's fits and scores will run under — what a
+    /// caller reports or branches on (e.g. the serving benches label runs
+    /// with the resolved worker count) without re-deriving the precedence.
+    pub fn exec_settings(&self) -> fml_linalg::ExecSettings {
+        self.exec.resolve()
+    }
+
     /// The database this session is bound to.
     pub fn db(&self) -> &'a Database {
         self.db

@@ -40,7 +40,13 @@
 //!   `4×8` micro-kernel; 4-way unrolled reductions elsewhere.  ~3× faster than
 //!   `Naive` on a 512³ product on one AVX2 core (see `BENCH_kernels.json`).
 //! * `BlockedParallel` — the blocked kernels with `MR`-aligned output bands
-//!   fanned out over scoped threads.
+//!   fanned out over the persistent worker pool ([`pool`]): long-lived
+//!   workers (spawned lazily, capped at [`policy::num_threads`]) with
+//!   borrowed-closure dispatch, so a parallel region costs a queue push per
+//!   chunk instead of a thread spawn.  Help-first draining makes nested
+//!   fan-outs deadlock-free, and dispatch replicates the caller's scoped
+//!   [`policy::override_threads`] into the workers so builder-set thread
+//!   counts stay exact under nesting.
 //!
 //! **Determinism guarantees.**  For a fixed policy (and, for
 //! `BlockedParallel`, a fixed thread count) every kernel is a pure function of
@@ -69,11 +75,13 @@
 //! fused-multiply-add fast mode that is tolerance-equal (≤ a few ULPs) to
 //! the oracle instead of bit-equal.
 //!
-//! `unsafe` is denied crate-wide and allowed only inside [`simd`]'s
-//! intrinsics module, where every `std::arch` call sits behind a safe
-//! wrapper that re-verifies CPU support; everything else reaches vector ISA
-//! throughput through fixed-size array tiles that the compiler fully
-//! unrolls.
+//! `unsafe` is denied crate-wide and allowed in exactly two leaf modules:
+//! [`simd`]'s intrinsics module, where every `std::arch` call sits behind a
+//! safe wrapper that re-verifies CPU support, and [`pool`]'s task-erasure
+//! module, where the borrowed-closure dispatch is made sound by the
+//! drain-before-return protocol documented there.  Everything else reaches
+//! vector ISA throughput through fixed-size array tiles that the compiler
+//! fully unrolls.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -85,6 +93,7 @@ pub mod exec;
 pub mod gemm;
 pub mod matrix;
 pub mod policy;
+pub mod pool;
 pub mod repcache;
 pub mod simd;
 pub mod sparse;

@@ -12,7 +12,8 @@
 //!   multiplication set), so results agree with `Naive` to within
 //!   [`crate::TEST_EPS`]-style tolerances but are not bit-identical.
 //! * [`KernelPolicy::BlockedParallel`] — the blocked kernels with the outer loop
-//!   split over a scoped thread pool.  Work is partitioned into chunks whose
+//!   split over the persistent worker pool ([`crate::pool`]).  Work is
+//!   partitioned into chunks whose
 //!   boundaries depend only on the problem shape and the thread count, and
 //!   per-chunk results are merged **in chunk-index order** (a fixed-shape
 //!   reduction tree), so a given machine configuration always produces the same
@@ -109,19 +110,28 @@ impl FromStr for KernelPolicy {
 }
 
 /// Below this many scalar flops the parallel policy is not worth a fan-out:
-/// thread spawn latency dominates.  Kernels pass their flop estimate
+/// dispatch bookkeeping dominates.  Kernels pass their flop estimate
 /// (`2·m·n·k` for GEMM-shaped work) through [`effective_policy`] so
 /// `BlockedParallel` degrades to the bit-identical `Blocked` kernel instead of
-/// paying per-call fan-out bookkeeping (partial-result buffers, scope setup)
-/// for work that fits comfortably on one core.
-pub const PAR_MIN_FLOPS: usize = 1 << 20;
+/// paying per-call fan-out bookkeeping (partial-result buffers, queue pushes,
+/// condvar wakeups) for work that fits comfortably on one core.
+///
+/// Historically `1 << 20`: each parallel region paid a fresh
+/// `std::thread::scope` spawn per chunk (~tens of µs).  The persistent pool
+/// ([`crate::pool`]) cut the per-region cost to single-digit µs, so the
+/// cutoff dropped 4× — mid-size kernels that used to run sequentially now
+/// amortize a pool dispatch.
+pub const PAR_MIN_FLOPS: usize = 1 << 18;
 
 /// The fan-out cutoff for rank-1 (GER) updates, far higher than
 /// [`PAR_MIN_FLOPS`]: GER reads **and writes** its whole output matrix while
 /// doing only 2 flops per element, so it is memory-bandwidth-bound and extra
-/// threads mostly contend for the same bus.  Only outer products beyond this
-/// size (≥ 2048×4096-ish) can amortize a spawn.
-pub const GER_PAR_MIN_FLOPS: usize = 1 << 24;
+/// threads mostly contend for the same bus.  Dropped from `1 << 24` with the
+/// persistent pool (dispatch is cheaper than a spawn, so slightly smaller
+/// outer products can win), but only to `3 << 22`: below ~2048×3072 the
+/// bandwidth wall — not dispatch cost — still makes extra threads useless,
+/// so a 2048² update stays on the sequential blocked kernel.
+pub const GER_PAR_MIN_FLOPS: usize = 3 << 22;
 
 /// Degrades `BlockedParallel` to `Blocked` when `flops` is below `min_flops`.
 ///
@@ -294,9 +304,15 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 /// override installed by [`override_threads`] when present, otherwise the
 /// process-wide [`num_threads`].
 pub fn current_threads() -> usize {
-    THREAD_OVERRIDE
-        .with(|c| c.get())
-        .unwrap_or_else(num_threads)
+    current_override().unwrap_or_else(num_threads)
+}
+
+/// The raw scoped override, if any — `None` when the thread runs under the
+/// global default.  Pool dispatch ([`crate::pool::run`]) captures this and
+/// installs it in each worker for the duration of the task, so builder-set
+/// `ExecPolicy::threads` stays exact inside nested fan-outs.
+pub(crate) fn current_override() -> Option<usize> {
+    THREAD_OVERRIDE.with(|c| c.get())
 }
 
 /// Number of worker threads the `BlockedParallel` policy fans out to:
@@ -346,11 +362,11 @@ pub fn chunk_ranges(n: usize, max_chunks: usize, align: usize) -> Vec<Range<usiz
     out
 }
 
-/// Runs `f` over deterministic chunks of `0..n` — in parallel on scoped threads
-/// when `parallel` is true and the work splits — and returns the per-chunk
-/// results **in chunk-index order**.  Callers merge the returned values
-/// front-to-back, which fixes the reduction order regardless of which thread
-/// finished first.
+/// Runs `f` over deterministic chunks of `0..n` — on the persistent worker
+/// pool ([`crate::pool`]) when `parallel` is true and the work splits — and
+/// returns the per-chunk results **in chunk-index order**.  Callers merge the
+/// returned values front-to-back, which fixes the reduction order regardless
+/// of which thread finished first.
 ///
 /// The worker count is [`current_threads`]: a scoped [`override_threads`]
 /// installed by the caller (the trainers and scorers install their resolved
@@ -372,29 +388,28 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let mut ranges = chunk_ranges(n, threads, align);
+    let ranges = chunk_ranges(n, threads, align);
     if ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
     }
-    // The calling thread takes the last chunk itself instead of parking,
-    // saving one spawn per parallel region.
-    let last_range = ranges.pop().expect("len > 1");
+    // Each chunk writes its own slot, so the merge below is in chunk-index
+    // order no matter which pool worker (or the caller, via help-first
+    // draining) ran it.
     let mut slots: Vec<Option<T>> = Vec::with_capacity(ranges.len());
     slots.resize_with(ranges.len(), || None);
-    let mut last = None;
-    std::thread::scope(|scope| {
-        for (slot, range) in slots.iter_mut().zip(ranges) {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(range));
-            });
-        }
-        last = Some(f(last_range));
-    });
+    crate::pool::run(
+        slots
+            .iter_mut()
+            .zip(ranges)
+            .map(|(slot, range)| {
+                let f = &f;
+                move || *slot = Some(f(range))
+            })
+            .collect(),
+    );
     slots
         .into_iter()
-        .map(|s| s.expect("worker thread completed"))
-        .chain(last)
+        .map(|s| s.expect("pool task completed"))
         .collect()
 }
 
@@ -435,28 +450,25 @@ pub fn par_row_bands_with_threads<F>(
         "par_row_bands: ragged data"
     );
     let rows = data.len() / row_len;
-    let mut ranges = chunk_ranges(rows, threads, align_rows);
+    let ranges = chunk_ranges(rows, threads, align_rows);
     if ranges.len() <= 1 {
         f(0, data);
         return;
     }
-    // As in `par_chunks_with_threads`, the caller runs the last band itself.
-    let last_range = ranges.pop().expect("len > 1");
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut consumed = 0;
-        for range in ranges {
-            let band_len = (range.end - range.start) * row_len;
-            let (band, tail) = rest.split_at_mut(band_len);
-            rest = tail;
-            let f = &f;
-            let first_row = consumed;
-            scope.spawn(move || f(first_row, band));
-            consumed += range.end - range.start;
-        }
-        debug_assert_eq!(rest.len(), (last_range.end - last_range.start) * row_len);
-        f(consumed, rest);
-    });
+    // Bands are disjoint `split_at_mut` slices, so the pool tasks never
+    // alias; determinism comes from the band boundaries alone.
+    let mut rest = data;
+    let mut tasks = Vec::with_capacity(ranges.len());
+    for range in ranges {
+        let band_len = (range.end - range.start) * row_len;
+        let (band, tail) = rest.split_at_mut(band_len);
+        rest = tail;
+        let f = &f;
+        let first_row = range.start;
+        tasks.push(move || f(first_row, band));
+    }
+    debug_assert!(rest.is_empty());
+    crate::pool::run(tasks);
 }
 
 #[cfg(test)]
@@ -707,8 +719,10 @@ mod tests {
     #[test]
     fn override_is_thread_local() {
         let _guard = override_threads(2);
-        // A freshly spawned thread (e.g. a scoped worker) does not inherit
-        // the override — it reads the global pool size.
+        // A bare `std::thread::spawn` does not inherit the override — it
+        // reads the global pool size.  Pool workers are the exception: a
+        // dispatch through `pool::run` explicitly captures and installs the
+        // caller's override (see `pool::tests`).
         let seen = std::thread::spawn(current_threads).join().unwrap();
         assert_eq!(seen, num_threads());
     }

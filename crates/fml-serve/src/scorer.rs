@@ -28,6 +28,22 @@
 //! materialized-join oracle **bit for bit** under every [`KernelPolicy`] ×
 //! [`SparseMode`] combination (the `scoring_equivalence` test suite pins
 //! this with `f64::to_bits` comparisons).
+//!
+//! ## Parallel fan-out
+//!
+//! Under a parallel kernel policy (or an explicit [`Scoring::parallel`]),
+//! the factorized strategies fan the batch out over the persistent worker
+//! pool ([`fml_linalg::pool`]) the way the trainers do: binary joins chunk
+//! the *join groups*, star joins chunk the *fact rows* with per-worker
+//! FK-keyed term arenas.  Chunk boundaries depend only on batch shape and
+//! worker count, every row's arithmetic is independent of which chunk ran
+//! it (per-chunk scratch, pure `RowCore::dim_terms`), and per-chunk
+//! results merge in chunk-index order — so the exactness contract above
+//! extends to **every thread count**: the parallel fan-out is bit-identical
+//! to the sequential drivers, hence to the materialized oracle.  Kernels
+//! inside workers run the sequential policy (the pool is entered at the
+//! coarse per-chunk level, not per kernel), and observers are notified only
+//! from the scoring thread, never from workers.
 
 use crate::observe::{ScoreNotifier, ScoreObserver};
 use fml_core::{Algorithm, Session, Trained};
@@ -35,6 +51,7 @@ use fml_gmm::model::argmax;
 use fml_gmm::{GmmFit, Precomputed, SparseFormPre};
 use fml_linalg::block::{BlockPartition, BlockQuadraticForm};
 use fml_linalg::exec::{ExecPolicy, ExecSettings};
+use fml_linalg::policy::par_chunks_with_threads;
 use fml_linalg::sparse::{SparseMode, SparseRep};
 use fml_linalg::{gemm, vector, KernelPolicy, Matrix};
 use fml_nn::{Mlp, NnFit};
@@ -52,6 +69,7 @@ use std::time::{Duration, Instant};
 pub struct Scoring {
     strategy: Algorithm,
     observer: Option<Arc<dyn ScoreObserver>>,
+    parallel: Option<bool>,
 }
 
 impl std::fmt::Debug for Scoring {
@@ -59,6 +77,7 @@ impl std::fmt::Debug for Scoring {
         f.debug_struct("Scoring")
             .field("strategy", &self.strategy)
             .field("observer", &self.observer.as_ref().map(|_| "<dyn>"))
+            .field("parallel", &self.parallel)
             .finish()
     }
 }
@@ -85,6 +104,28 @@ impl Scoring {
     /// The configured strategy.
     pub fn strategy(&self) -> Algorithm {
         self.strategy
+    }
+
+    /// Forces the factorized fan-out over the worker pool on (`true`) or off
+    /// (`false`), independent of the kernel policy.
+    ///
+    /// Unset (the default), the fan-out engages exactly when the resolved
+    /// kernel policy is parallel — mirroring the trainers' coarse-grained
+    /// chunking.  The worker count is the resolved `ExecPolicy::threads`
+    /// either way, and results are bit-identical at every setting (see the
+    /// module docs); this knob only trades dispatch overhead against
+    /// parallel throughput.  Streaming and materialized scoring are always
+    /// sequential — they are the oracles the fan-out is tested against.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Whether the factorized fan-out engages under the resolved settings:
+    /// the explicit [`Scoring::parallel`] choice, else policy-driven.
+    fn fan_out(&self, ex: &ExecSettings) -> bool {
+        self.parallel
+            .unwrap_or_else(|| ex.kernel_policy.is_parallel())
     }
 
     fn observer(&self) -> Option<&dyn ScoreObserver> {
@@ -549,18 +590,33 @@ impl RowCore for NnCore<'_> {
 
 /// Scores the join with the options' strategy, fanning each row through the
 /// shared [`RowCore`].
-fn run_scoring<C: RowCore>(
+///
+/// The factorized strategy routes to the pool fan-out when [`Scoring::fan_out`]
+/// engages with more than one worker; streaming and materialized scoring are
+/// always sequential (they are the oracles).
+fn run_scoring<C>(
     core: &C,
     db: &Database,
     spec: &JoinSpec,
     partition: &BlockPartition,
     ex: &ExecSettings,
     opts: &Scoring,
-) -> StoreResult<(Vec<u64>, Vec<C::Row>)> {
+) -> StoreResult<(Vec<u64>, Vec<C::Row>)>
+where
+    C: RowCore + Sync,
+    C::Row: Send,
+{
     match opts.strategy() {
         Algorithm::Factorized => {
+            let workers = ex.workers(opts.fan_out(ex));
             if spec.num_dimensions() > 1 {
-                score_factorized_star(core, db, spec, ex, opts)
+                if workers > 1 {
+                    score_factorized_star_parallel(core, db, spec, ex, opts, workers)
+                } else {
+                    score_factorized_star(core, db, spec, ex, opts)
+                }
+            } else if workers > 1 {
+                score_factorized_binary_parallel(core, db, spec, ex, opts, workers)
             } else {
                 score_factorized_binary(core, db, spec, ex, opts)
             }
@@ -612,6 +668,68 @@ fn score_factorized_binary<C: RowCore>(
             }
         }
         notifier.notify(batch_rows);
+    }
+    Ok((keys, rows))
+}
+
+/// The pool fan-out for binary joins: the group scan is collected on the
+/// scoring thread (storage I/O is sequential either way), then the *join
+/// groups* are chunked over the persistent pool — each chunk builds its own
+/// [`RowCore::dim_terms`] per group and scores that group's facts with
+/// per-chunk scratch.
+///
+/// Bit-identity with [`score_factorized_binary`]: groups keep their global
+/// scan order, chunk boundaries are group-aligned (a group's terms are built
+/// exactly once, in whichever chunk owns it), every row's arithmetic reads
+/// only its own group's terms and fully-overwritten scratch, and the
+/// per-chunk `(keys, rows)` merge in chunk-index order — concatenation
+/// reproduces the sequential output exactly, at every worker count.
+fn score_factorized_binary_parallel<C>(
+    core: &C,
+    db: &Database,
+    spec: &JoinSpec,
+    ex: &ExecSettings,
+    opts: &Scoring,
+    workers: usize,
+) -> StoreResult<(Vec<u64>, Vec<C::Row>)>
+where
+    C: RowCore + Sync,
+    C::Row: Send,
+{
+    let probe = db.stats().io_probe();
+    let mut notifier = ScoreNotifier::new(opts.observer(), Some(&probe));
+    let mut groups = Vec::new();
+    for block in GroupScan::from_spec(db, spec, ex.block_pages)? {
+        groups.extend(block?);
+    }
+    let chunks = par_chunks_with_threads(workers, groups.len(), 1, |range| {
+        let mut scratch = core.make_scratch();
+        let mut keys = Vec::new();
+        let mut rows = Vec::new();
+        for group in &groups[range] {
+            let r_rep = ex.sparse.detect(&group.r_tuple.features);
+            let terms = core.dim_terms(1, &group.r_tuple.features, r_rep.as_ref());
+            for s_tuple in &group.s_tuples {
+                let s_rep = ex.sparse.detect(&s_tuple.features);
+                rows.push(core.score_row(
+                    &s_tuple.features,
+                    s_rep.as_ref(),
+                    &[&terms],
+                    &mut scratch,
+                ));
+                keys.push(s_tuple.key);
+            }
+        }
+        (keys, rows)
+    });
+    let mut keys = Vec::new();
+    let mut rows = Vec::new();
+    for (chunk_keys, chunk_rows) in chunks {
+        // Observers fire from the scoring thread during the ordered merge,
+        // one batch per chunk — never from inside workers.
+        notifier.notify(chunk_keys.len() as u64);
+        keys.extend(chunk_keys);
+        rows.extend(chunk_rows);
     }
     Ok((keys, rows))
 }
@@ -669,6 +787,104 @@ fn score_factorized_star<C: RowCore>(
             batch_rows += 1;
         }
         notifier.notify(batch_rows);
+    }
+    Ok((keys, rows))
+}
+
+/// The pool fan-out for star joins: facts are collected on the scoring
+/// thread, then chunked over the pool with **per-worker** FK-keyed term
+/// arenas — each chunk rebuilds the terms of the dimension tuples its facts
+/// reference, reading the shared (immutable) [`StarScan`] dimension cache.
+///
+/// A dimension tuple referenced from several chunks has its terms computed
+/// once *per chunk* rather than once per batch — duplicated work, identical
+/// bits, because [`RowCore::dim_terms`] is a pure function of the tuple.
+/// Facts keep their global scan order and per-chunk results merge in
+/// chunk-index order, so output (and the position of any dangling-FK error:
+/// the earliest chunk's, facts in order within it) matches the sequential
+/// driver at every worker count.
+fn score_factorized_star_parallel<C>(
+    core: &C,
+    db: &Database,
+    spec: &JoinSpec,
+    ex: &ExecSettings,
+    opts: &Scoring,
+    workers: usize,
+) -> StoreResult<(Vec<u64>, Vec<C::Row>)>
+where
+    C: RowCore + Sync,
+    C::Row: Send,
+{
+    let probe = db.stats().io_probe();
+    let mut notifier = ScoreNotifier::new(opts.observer(), Some(&probe));
+    let q = spec.num_dimensions();
+    let scan = StarScan::new(db, spec, ex.block_pages)?;
+    let mut facts = Vec::new();
+    for block in scan.blocks() {
+        facts.extend(block?);
+    }
+    let scan = &scan;
+    let chunks = par_chunks_with_threads(
+        workers,
+        facts.len(),
+        1,
+        |range| -> StoreResult<(Vec<u64>, Vec<C::Row>)> {
+            score_star_chunk(core, scan, spec, ex, q, &facts[range])
+        },
+    );
+    let mut keys = Vec::new();
+    let mut rows = Vec::new();
+    for chunk in chunks {
+        let (chunk_keys, chunk_rows): (Vec<u64>, Vec<C::Row>) = chunk?;
+        // Observers fire from the scoring thread during the ordered merge.
+        notifier.notify(chunk_keys.len() as u64);
+        keys.extend(chunk_keys);
+        rows.extend(chunk_rows);
+    }
+    Ok((keys, rows))
+}
+
+/// One chunk of the star fan-out: scores `facts` with a chunk-local FK-keyed
+/// term arena and scratch, reading dimension tuples from the scan's shared
+/// immutable cache.  Runs on a pool worker (or inline on the scoring thread
+/// for the last chunk) — identical arithmetic either way.
+fn score_star_chunk<C: RowCore>(
+    core: &C,
+    scan: &StarScan,
+    spec: &JoinSpec,
+    ex: &ExecSettings,
+    q: usize,
+    facts: &[fml_store::Tuple],
+) -> StoreResult<(Vec<u64>, Vec<C::Row>)> {
+    let mut term_idx: Vec<HashMap<u64, usize>> = (0..q).map(|_| HashMap::new()).collect();
+    let mut terms_arena: Vec<C::Dim> = Vec::new();
+    let mut scratch = core.make_scratch();
+    let mut dim_ids: Vec<usize> = Vec::with_capacity(q);
+    let mut keys = Vec::new();
+    let mut rows = Vec::new();
+    for fact in facts {
+        dim_ids.clear();
+        for (i, fk) in fact.fks.iter().enumerate() {
+            let id = match term_idx[i].entry(*fk) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let dim_tuple = scan.cache().get(i, *fk).ok_or_else(|| {
+                        fml_store::StoreError::DanglingForeignKey {
+                            relation: spec.dimensions[i].clone(),
+                            key: *fk,
+                        }
+                    })?;
+                    let rep = ex.sparse.detect(&dim_tuple.features);
+                    terms_arena.push(core.dim_terms(i + 1, &dim_tuple.features, rep.as_ref()));
+                    *e.insert(terms_arena.len() - 1)
+                }
+            };
+            dim_ids.push(id);
+        }
+        let s_rep = ex.sparse.detect(&fact.features);
+        let dims: Vec<&C::Dim> = dim_ids.iter().map(|&id| &terms_arena[id]).collect();
+        rows.push(core.score_row(&fact.features, s_rep.as_ref(), &dims, &mut scratch));
+        keys.push(fact.key);
     }
     Ok((keys, rows))
 }

@@ -375,6 +375,163 @@ fn scoring_is_stable_across_thread_counts() {
     assert_eq!(gmm_bits(&one), gmm_bits(&four));
 }
 
+/// The pool fan-out is bit-identical to the sequential factorized driver —
+/// including scan order, not just sorted content — for both families, both
+/// join shapes, both sparse modes, at every tested worker count.  Together
+/// with the suites above (sequential factorized == materialized oracle) this
+/// closes the chain: parallel factorized == the oracle, bit for bit, at any
+/// thread count.
+#[test]
+fn parallel_fanout_is_bit_identical_at_every_worker_count() {
+    for sparse in [SparseMode::Auto, SparseMode::Dense] {
+        // Binary join (group-chunked fan-out), GMM.
+        let w = dense_workload(true);
+        let base = Session::new(&w.db).join(&w.spec);
+        let gmm = base.fit(Gmm::with_k(2).iterations(2)).unwrap();
+        let nn = base.fit(Nn::with_hidden(6).epochs(2)).unwrap();
+        let star = mixed_star_workload(true);
+        let star_base = Session::new(&star.db).join(&star.spec);
+        let star_gmm = star_base.fit(Gmm::with_k(2).iterations(2)).unwrap();
+        let star_nn = star_base.fit(Nn::with_hidden(6).epochs(2)).unwrap();
+        for (name, session, g, n) in [
+            ("binary", &base, &gmm, &nn),
+            ("star", &star_base, &star_gmm, &star_nn),
+        ] {
+            let exec_seq = ExecPolicy::new().sparse_mode(sparse);
+            let seq_g = session
+                .clone()
+                .exec(exec_seq.clone())
+                .score_with(g, &Scoring::new().parallel(false))
+                .unwrap();
+            let seq_n = session
+                .clone()
+                .exec(exec_seq)
+                .score_with(n, &Scoring::new().parallel(false))
+                .unwrap();
+            for threads in [1usize, 2, 4] {
+                let exec_par = ExecPolicy::new().sparse_mode(sparse).threads(threads);
+                let par_g = session
+                    .clone()
+                    .exec(exec_par.clone())
+                    .score_with(g, &Scoring::new().parallel(true))
+                    .unwrap();
+                let par_n = session
+                    .clone()
+                    .exec(exec_par)
+                    .score_with(n, &Scoring::new().parallel(true))
+                    .unwrap();
+                assert_eq!(
+                    par_g.keys, seq_g.keys,
+                    "{name}/{sparse:?}/{threads}t: GMM scan order must survive the chunk merge"
+                );
+                let seq_bits: Vec<(usize, u64)> = seq_g
+                    .rows
+                    .iter()
+                    .map(|r| (r.cluster, r.log_likelihood.to_bits()))
+                    .collect();
+                let par_bits: Vec<(usize, u64)> = par_g
+                    .rows
+                    .iter()
+                    .map(|r| (r.cluster, r.log_likelihood.to_bits()))
+                    .collect();
+                assert_eq!(
+                    par_bits, seq_bits,
+                    "{name}/{sparse:?}/{threads}t: GMM fan-out must be bit-identical"
+                );
+                assert_eq!(
+                    par_n.keys, seq_n.keys,
+                    "{name}/{sparse:?}/{threads}t: NN order"
+                );
+                let seq_bits: Vec<u64> = seq_n.rows.iter().map(|o| o.to_bits()).collect();
+                let par_bits: Vec<u64> = par_n.rows.iter().map(|o| o.to_bits()).collect();
+                assert_eq!(
+                    par_bits, seq_bits,
+                    "{name}/{sparse:?}/{threads}t: NN fan-out must be bit-identical"
+                );
+            }
+        }
+    }
+}
+
+/// Counting probe through the serve surface: with the fan-out forced on and
+/// `.threads(4)`, the observer sees exactly one batch per chunk — four for
+/// the binary join's 12 groups, four for the star join's 200 facts
+/// (`chunk_ranges(n, 4, 1)`) — and the batches cover every row.  Pins that
+/// the fan-out actually engages (rather than silently collapsing to the
+/// sequential path) and that observers keep firing from the scoring thread.
+#[test]
+fn parallel_fanout_notifies_one_batch_per_chunk() {
+    let binary = dense_workload(false);
+    let star = mixed_star_workload(false);
+    for (name, w) in [("binary", &binary), ("star", &star)] {
+        let session = Session::new(&w.db)
+            .join(&w.spec)
+            .exec(ExecPolicy::new().threads(4));
+        let trained = session.fit(Gmm::with_k(2).iterations(1)).unwrap();
+        let trace = ScoreTrace::new();
+        let scores = session
+            .score_with(
+                &trained,
+                &Scoring::new().parallel(true).observe(trace.clone()),
+            )
+            .unwrap();
+        let events = trace.events();
+        assert_eq!(events.len(), 4, "{name}: one observer batch per chunk");
+        assert_eq!(trace.total_rows(), scores.len() as u64, "{name}");
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.batch, i, "{name}: batch indexes are consecutive");
+        }
+        // With the fan-out forced off, the same run stays sequential and
+        // notifies per scan block instead (a single block at this size).
+        let trace = ScoreTrace::new();
+        session
+            .score_with(
+                &trained,
+                &Scoring::new().parallel(false).observe(trace.clone()),
+            )
+            .unwrap();
+        assert_eq!(
+            trace.total_rows(),
+            scores.len() as u64,
+            "{name}: sequential path covers the same rows"
+        );
+    }
+}
+
+/// Scoring runs dispatched *as tasks of an outer pool region* — each itself
+/// fanning out over the pool with parallel kernels requested — complete and
+/// stay bit-identical.  This is the nested shape help-first draining exists
+/// for: a concurrent server scoring many requests over one shared pool.
+#[test]
+fn scoring_inside_a_pool_region_does_not_deadlock() {
+    let w = dense_workload(false);
+    let base = Session::new(&w.db).join(&w.spec);
+    let trained = base.fit(Gmm::with_k(2).iterations(1)).unwrap();
+    let seq_bits = gmm_bits(
+        &base
+            .score_with(&trained, &Scoring::new().parallel(false))
+            .unwrap(),
+    );
+    let results = fml_linalg::policy::par_chunks_with_threads(2, 2, 1, |_| {
+        base.clone()
+            .exec(
+                ExecPolicy::new()
+                    .kernel_policy(KernelPolicy::BlockedParallel)
+                    .threads(4),
+            )
+            .score_with(&trained, &Scoring::new().parallel(true))
+            .unwrap()
+    });
+    assert_eq!(results.len(), 2);
+    for scores in &results {
+        assert_eq!(
+            gmm_bits(scores),
+            seq_bits,
+            "nested scoring must match the sequential bits"
+        );
+    }
+}
+
 /// A degenerate model (singular covariance — e.g. a collapsed component or a
 /// hand-edited persisted file) is repaired with the trainers' default ridge
 /// at scoring time instead of panicking in the public API.
