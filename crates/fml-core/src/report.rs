@@ -72,7 +72,7 @@ pub fn secs(d: std::time::Duration) -> String {
 
 /// Formats a speed-up factor (`baseline / candidate`).
 pub fn speedup(baseline: std::time::Duration, candidate: std::time::Duration) -> String {
-    if candidate.as_secs_f64() == 0.0 {
+    if candidate.is_zero() {
         "inf".to_string()
     } else {
         format!("{:.2}x", baseline.as_secs_f64() / candidate.as_secs_f64())

@@ -83,6 +83,14 @@ mod raw {
         /// Erases `cell` (which must stay alive and untouched by the caller
         /// until the task has run) into a sendable task.
         pub(super) fn new<F: FnOnce()>(cell: &mut Option<F>) -> Self {
+            /// Takes and calls the closure behind the erased pointer.
+            ///
+            /// # Safety
+            /// `data` must point to the live `Option<F>` this shim was
+            /// monomorphized for, with no concurrent access — guaranteed by
+            /// the dispatch protocol: each task is popped from the queue
+            /// exactly once, and the dispatcher keeps the pointee alive
+            /// until the region drains.
             unsafe fn shim<F: FnOnce()>(data: *mut ()) {
                 // SAFETY: `data` is the `Option<F>` this shim was erased
                 // from; the dispatch protocol guarantees it is still alive
@@ -107,6 +115,8 @@ mod raw {
         /// tasks are popped from the queue exactly once, and the dispatcher
         /// does not return (even on panic) until the region has drained.
         pub(super) unsafe fn invoke(self) {
+            // SAFETY: forwarding the caller's own contract — the pointee is
+            // alive and this is the task's single invocation.
             unsafe { (self.call)(self.data) }
         }
     }
@@ -171,7 +181,7 @@ impl Message {
     /// Runs the task (catching panics into the region) and marks it done.
     fn execute(self) {
         let _guard = self.inherit.map(policy::override_threads);
-        // SAFETY (for the `invoke` contract): this message was popped from
+        // SAFETY: `invoke`'s contract holds — this message was popped from
         // the queue exactly once, and its dispatcher is blocked in
         // `wait_drained`/help until `finish_one` below runs.
         #[allow(unsafe_code)]

@@ -1,0 +1,136 @@
+//! The checked-in plain-text allowlist of justified exceptions.
+//!
+//! Format (`lint-allowlist.txt` at the workspace root), parsed with no
+//! serde — one entry per line:
+//!
+//! ```text
+//! # comment
+//! <rule-name> <workspace-relative-path> <reason…>
+//! ```
+//!
+//! An entry suppresses every violation of `rule-name` in `path` — file
+//! granularity keeps entries stable across unrelated edits, and the reason
+//! string forces each exception to be argued in review.  An entry that
+//! matches **no** violation is itself an error (stale): allowlists only
+//! ever grow unless something makes them shrink, so stale entries fail the
+//! lint until removed.
+
+use crate::rules::Violation;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+    /// 1-based line in the allowlist file (for stale-entry diagnostics).
+    pub line: usize,
+}
+
+/// Parses allowlist text.  Fails on entries missing any of the three
+/// fields — an exception without a reason is not an exception.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.splitn(3, char::is_whitespace);
+        let rule = parts.next().unwrap_or("").to_string();
+        let path = parts.next().unwrap_or("").to_string();
+        let reason = parts.next().unwrap_or("").trim().to_string();
+        if rule.is_empty() || path.is_empty() || reason.is_empty() {
+            return Err(format!(
+                "allowlist line {line}: expected `<rule> <path> <reason…>`, got {trimmed:?} \
+                 (every exception must carry a reason)"
+            ));
+        }
+        entries.push(Entry {
+            rule,
+            path,
+            reason,
+            line,
+        });
+    }
+    Ok(entries)
+}
+
+/// Applies `entries` to `violations`: returns the violations that survive,
+/// plus the entries that matched nothing (stale).
+pub fn apply(entries: &[Entry], violations: Vec<Violation>) -> (Vec<Violation>, Vec<Entry>) {
+    let mut used = vec![false; entries.len()];
+    let kept: Vec<Violation> = violations
+        .into_iter()
+        .filter(|v| {
+            let hit = entries
+                .iter()
+                .position(|e| e.rule == v.rule && e.path == v.path);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    false
+                }
+                None => true,
+            }
+        })
+        .collect();
+    let stale: Vec<Entry> = entries
+        .iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, path: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 3,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let entries = parse("# header\n\nfloat-eq crates/a/src/x.rs exact zero check\n").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "float-eq");
+        assert_eq!(entries[0].path, "crates/a/src/x.rs");
+        assert_eq!(entries[0].reason, "exact zero check");
+        assert_eq!(entries[0].line, 3);
+    }
+
+    #[test]
+    fn parse_rejects_entries_without_a_reason() {
+        let err = parse("float-eq crates/a/src/x.rs\n").unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn apply_suppresses_matching_and_reports_stale() {
+        let entries = parse(
+            "float-eq crates/a/src/x.rs why\n\
+             no-stray-io crates/b/src/y.rs never matched\n",
+        )
+        .unwrap();
+        let (kept, stale) = apply(
+            &entries,
+            vec![
+                violation("float-eq", "crates/a/src/x.rs"),
+                violation("float-eq", "crates/other.rs"),
+            ],
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].path, "crates/other.rs");
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "crates/b/src/y.rs");
+    }
+}

@@ -1,0 +1,105 @@
+//! `fml-lint`: the workspace static-analysis pass enforcing the invariants
+//! `rustc` cannot check for us.
+//!
+//! The system's headline claims — factorized results bit-identical to the
+//! materialized oracle, `FML_*` precedence resolved in exactly one place,
+//! thread fan-out only through the worker pool, `unsafe` sound by the
+//! drain-before-return protocol — all live in prose and tests.  This crate
+//! makes them machine-checked: a minimal hand-rolled Rust lexer
+//! ([`lexer`] — no `syn`/`dylint`, the registry is offline) feeds a
+//! token/line-level rule engine ([`rules`]) that walks every workspace
+//! source file and reports `file:line` diagnostics for:
+//!
+//! * **`unsafe-audit`** — `unsafe` only in the audited leaf modules
+//!   (`fml-linalg/src/simd.rs`, `fml-linalg/src/pool.rs`, the shims), every
+//!   block/impl preceded by a `// SAFETY:` comment, every `unsafe fn`
+//!   documented with a `# Safety` section.
+//! * **`no-raw-spawn`** — `std::thread::spawn` only in `pool.rs` and test
+//!   code: a bare spawn inherits neither the scoped `FML_THREADS` override
+//!   nor the SIMD level, silently changing kernel behavior on the new
+//!   thread.
+//! * **`env-centralization`** — `env::var("FML_…")` only at the designated
+//!   resolve sites (`policy.rs`, `simd.rs`, `exec.rs`, `fml-bench`).
+//! * **`float-eq`** — no floating-point `==`/`!=`/`assert_eq!` in
+//!   production code; bit contracts go through `f64::to_bits`, tolerances
+//!   through the approx helpers.  Test code is exempt by design: the test
+//!   corpus *is* the designated equivalence suite and its exact comparisons
+//!   are deliberate bit-contract pins.
+//! * **`no-stray-io`** — no `println!`/`eprintln!`/`dbg!` in library code.
+//!
+//! Justified exceptions live in `lint-allowlist.txt` at the workspace root
+//! ([`allowlist`]) — plain text, one `rule path reason` entry per line, and
+//! entries that no longer match anything are themselves errors.
+//!
+//! The pass ships three ways: the `fml-lint` binary (CI and humans), the
+//! workspace self-clean test in `tests/workspace_clean.rs` (so tier-1
+//! `cargo test -q` enforces it forever), and the CI step wiring.  What the
+//! lint cannot see statically — real interleavings through the pool's
+//! lifetime-erased `RawTask`s — is covered dynamically by the nightly Miri
+//! and ThreadSanitizer jobs (see `.github/workflows/nightly.yml`).
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use rules::{check_file, Violation};
+
+/// Name of the allowlist file expected at the workspace root.
+pub const ALLOWLIST_FILE: &str = "lint-allowlist.txt";
+
+/// The outcome of a workspace run: surviving violations (empty means clean)
+/// and how many files were scanned.
+#[derive(Debug)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs every rule over every workspace source file under `root`, applies
+/// the allowlist, and turns stale allowlist entries into violations.
+pub fn run_workspace(root: &Path) -> Result<Report, String> {
+    let files = walk::rust_files(root)?;
+    let mut violations = Vec::new();
+    for (rel, abs) in &files {
+        let source =
+            std::fs::read_to_string(abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        violations.extend(rules::check_file(rel, &source));
+    }
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let entries = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+        allowlist::parse(&text)?
+    } else {
+        Vec::new()
+    };
+    let (mut kept, stale) = allowlist::apply(&entries, violations);
+    for entry in stale {
+        kept.push(Violation {
+            rule: "stale-allowlist",
+            path: ALLOWLIST_FILE.to_string(),
+            line: entry.line,
+            message: format!(
+                "allowlist entry `{} {}` matched no violation — the exception \
+                 is no longer needed; remove it",
+                entry.rule, entry.path
+            ),
+        });
+    }
+    kept.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(Report {
+        violations: kept,
+        files_scanned: files.len(),
+    })
+}

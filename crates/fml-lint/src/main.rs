@@ -1,0 +1,47 @@
+//! The `fml-lint` binary: run from the workspace root (CI does
+//! `cargo run -p fml-lint`), or pass the root as the first argument.
+//! Prints one `file:line: [rule] message` diagnostic per violation and
+//! exits non-zero when any survive the allowlist.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "fml-lint: {} does not look like the workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    match fml_lint::run_workspace(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if report.is_clean() {
+                println!(
+                    "fml-lint: clean ({} files, rules: unsafe-audit no-raw-spawn \
+                     env-centralization float-eq no-stray-io)",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "fml-lint: {} violation(s) across {} files",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("fml-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Workspace file discovery: every `.rs` file under `crates/` and
+//! `examples/`, skipping build output.  Paths come back workspace-relative
+//! with forward slashes, sorted, so diagnostics are deterministic across
+//! machines and the allowlist matches verbatim.
+
+use std::path::{Path, PathBuf};
+
+/// Collects every Rust source file the lint walks, as
+/// `(relative_path, absolute_path)` pairs sorted by relative path.
+pub fn rust_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = Vec::new();
+    for top in ["crates", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Build output and VCS internals are not source.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix {}: {e}", path.display()))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,247 @@
+//! Fixture-based negative tests: one deliberately-violating snippet per
+//! rule, asserting the exact `file:line` diagnostic the binary would print,
+//! plus positive fixtures proving the sanctioned forms pass.
+//!
+//! The snippets live in string literals, so the lint's own walk over this
+//! file sees only masked string contents — the fixtures cannot trip the
+//! workspace self-clean test.
+
+use fml_lint::check_file;
+
+fn diags(path: &str, src: &str) -> Vec<String> {
+    check_file(path, src)
+        .into_iter()
+        .map(|v| v.to_string())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-audit
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsafe_outside_leaf_modules_is_flagged_with_exact_diagnostic() {
+    let src = "pub fn f(p: *mut u8) {\n    unsafe { *p = 0; }\n}\n";
+    assert_eq!(
+        diags("crates/fml-gmm/src/em.rs", src),
+        vec![
+            "crates/fml-gmm/src/em.rs:2: [unsafe-audit] `unsafe` code is \
+             restricted to the audited leaf modules (fml-linalg/src/simd.rs, \
+             fml-linalg/src/pool.rs, crates/shims)"
+                .to_string()
+        ]
+    );
+}
+
+#[test]
+fn unsafe_block_without_safety_comment_is_flagged_in_allowed_module() {
+    let src = "fn f(p: *mut u8) {\n    unsafe { *p = 0; }\n}\n";
+    assert_eq!(
+        diags("crates/fml-linalg/src/simd.rs", src),
+        vec!["crates/fml-linalg/src/simd.rs:2: [unsafe-audit] `unsafe` \
+             block/impl lacks a preceding `// SAFETY:` comment stating the \
+             invariant"
+            .to_string()]
+    );
+}
+
+#[test]
+fn safety_comment_within_window_satisfies_the_audit() {
+    let src =
+        "fn f(p: *mut u8) {\n    // SAFETY: p is valid by contract.\n    unsafe { *p = 0; }\n}\n";
+    assert_eq!(
+        diags("crates/fml-linalg/src/simd.rs", src),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn unsafe_impl_requires_safety_comment() {
+    let bad = "struct T(*mut ());\nunsafe impl Send for T {}\n";
+    let v = check_file("crates/fml-linalg/src/pool.rs", bad);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].line, 2);
+    assert!(v[0].message.contains("SAFETY:"), "{}", v[0].message);
+    let good = "struct T(*mut ());\n// SAFETY: T is a plain counter.\nunsafe impl Send for T {}\n";
+    assert!(check_file("crates/fml-linalg/src/pool.rs", good).is_empty());
+}
+
+#[test]
+fn unsafe_fn_requires_safety_doc_section() {
+    let bad = "/// Does things.\npub unsafe fn zap(p: *mut u8) { }\n";
+    let v = check_file("crates/fml-linalg/src/simd.rs", bad);
+    assert_eq!(v.len(), 1);
+    assert!(
+        v[0].message.contains("# Safety"),
+        "diagnostic must name the missing doc section: {}",
+        v[0].message
+    );
+    let good =
+        "/// Does things.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn zap(p: *mut u8) { }\n";
+    assert!(check_file("crates/fml-linalg/src/simd.rs", good).is_empty());
+}
+
+#[test]
+fn unsafe_fn_pointer_type_is_not_audited() {
+    // `unsafe fn(…)` in type position declares no executable code.
+    let src = "struct S { call: unsafe fn(*mut ()) }\n";
+    assert!(check_file("crates/fml-linalg/src/pool.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_in_doc_comment_or_string_is_invisible() {
+    let src = "/// Misusing this is unsafe in spirit.\npub fn f() { let _ = \"unsafe { }\"; }\n";
+    assert!(check_file("crates/fml-gmm/src/em.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-raw-spawn
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raw_spawn_outside_pool_is_flagged_with_exact_diagnostic() {
+    let src = "pub fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    assert_eq!(
+        diags("crates/fml-serve/src/scorer.rs", src),
+        vec!["crates/fml-serve/src/scorer.rs:2: [no-raw-spawn] \
+             `std::thread::spawn` outside the pool: a bare spawn inherits \
+             neither the scoped `FML_THREADS` override nor the SIMD level \
+             (both are thread-local), silently changing kernel behavior on \
+             the new thread; dispatch through `fml_linalg::pool::run`"
+            .to_string()]
+    );
+}
+
+#[test]
+fn spawn_is_allowed_in_cfg_test_and_test_files() {
+    let in_test_mod =
+        "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+    assert!(check_file("crates/fml-serve/src/scorer.rs", in_test_mod).is_empty());
+    let in_test_file = "fn t() { std::thread::spawn(|| {}); }\n";
+    assert!(check_file("crates/fml-linalg/tests/pool_stress.rs", in_test_file).is_empty());
+}
+
+#[test]
+fn spawn_in_pool_rs_is_allowed() {
+    let src = "fn grow() { std::thread::spawn(worker_loop); }\nfn worker_loop() {}\n";
+    assert!(check_file("crates/fml-linalg/src/pool.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// env-centralization
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fml_env_read_outside_resolve_sites_is_flagged_with_exact_diagnostic() {
+    let src = "pub fn threads() -> usize {\n    std::env::var(\"FML_THREADS\").ok().and_then(|s| s.parse().ok()).unwrap_or(1)\n}\n";
+    assert_eq!(
+        diags("crates/fml-nn/src/trainer.rs", src),
+        vec![
+            "crates/fml-nn/src/trainer.rs:2: [env-centralization] `FML_*` \
+             environment read outside the designated resolve sites \
+             (fml-linalg policy.rs/simd.rs/exec.rs, fml-bench): precedence \
+             is builder > env > default, decided in exactly one place — \
+             consume the resolved value via `ExecPolicy::resolve` or the \
+             `policy`/`simd` accessors instead"
+                .to_string()
+        ]
+    );
+}
+
+#[test]
+fn non_fml_env_reads_and_designated_sites_pass() {
+    let non_fml = "fn home() { let _ = std::env::var(\"HOME\"); }\n";
+    assert!(check_file("crates/fml-store/src/heap.rs", non_fml).is_empty());
+    let fml = "fn raw() { let _ = std::env::var(\"FML_THREADS\"); }\n";
+    assert!(check_file("crates/fml-linalg/src/policy.rs", fml).is_empty());
+    assert!(check_file("crates/fml-bench/src/timing.rs", fml).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// float-eq
+// ---------------------------------------------------------------------------
+
+#[test]
+fn float_equality_in_production_code_is_flagged_with_exact_diagnostic() {
+    let src = "pub fn f(x: f64) -> bool {\n    x == 1.0\n}\n";
+    assert_eq!(
+        diags("crates/fml-gmm/src/model.rs", src),
+        vec!["crates/fml-gmm/src/model.rs:2: [float-eq] floating-point \
+             equality in production code: rounding-sensitive values must \
+             compare via `f64::to_bits` (bit contracts) or `approx_eq` \
+             (tolerances)"
+            .to_string()]
+    );
+}
+
+#[test]
+fn float_assert_eq_is_flagged_and_to_bits_escapes() {
+    let bad = "pub fn f(x: f64) {\n    assert_eq!(x, 0.5);\n}\n";
+    let v = check_file("crates/fml-nn/src/loss.rs", bad);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].line, 2);
+    let bits = "pub fn f(x: f64) {\n    assert_eq!(x.to_bits(), 0.5f64.to_bits());\n}\n";
+    assert!(check_file("crates/fml-nn/src/loss.rs", bits).is_empty());
+    let cmp_bits = "pub fn f(x: f64) -> bool {\n    x.to_bits() == 0.5f64.to_bits()\n}\n";
+    assert!(check_file("crates/fml-nn/src/loss.rs", cmp_bits).is_empty());
+}
+
+#[test]
+fn float_equality_in_test_code_is_the_equivalence_suite_and_passes() {
+    let in_test_mod =
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(super::f(), 1.5); }\n}\n";
+    assert!(check_file("crates/fml-nn/src/loss.rs", in_test_mod).is_empty());
+    let in_test_file = "fn t(a: f64) { assert!(a == 1.5); }\n";
+    assert!(check_file("crates/fml-gmm/tests/equivalence.rs", in_test_file).is_empty());
+    let in_testutil = "pub fn close(a: f64) -> bool { a == 0.5 }\n";
+    assert!(check_file("crates/fml-linalg/src/testutil.rs", in_testutil).is_empty());
+}
+
+#[test]
+fn integer_equality_and_float_inequalities_pass() {
+    let src = "pub fn f(x: usize, y: f64) -> bool {\n    x == 3 && y <= 0.5\n}\n";
+    assert!(check_file("crates/fml-core/src/cost.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-stray-io
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stray_println_in_library_code_is_flagged_with_exact_diagnostic() {
+    let src = "pub fn f() {\n    println!(\"done\");\n}\n";
+    assert_eq!(
+        diags("crates/fml-store/src/page.rs", src),
+        vec![
+            "crates/fml-store/src/page.rs:2: [no-stray-io] stray `println!` \
+             in library code: console I/O belongs to bins, tests and the \
+             warn-once resolve sites; return the condition to the caller \
+             instead"
+                .to_string()
+        ]
+    );
+}
+
+#[test]
+fn dbg_and_eprintln_are_flagged_too() {
+    let src = "pub fn f(x: u32) -> u32 {\n    eprintln!(\"warn\");\n    dbg!(x)\n}\n";
+    let rules: Vec<&str> = check_file("crates/fml-store/src/page.rs", src)
+        .iter()
+        .map(|v| v.rule)
+        .collect();
+    assert_eq!(rules, vec!["no-stray-io", "no-stray-io"]);
+}
+
+#[test]
+fn io_is_allowed_in_bins_tests_and_benches() {
+    let src = "fn main() { println!(\"hello\"); }\n";
+    for path in [
+        "crates/fml-bench/src/bin/reproduce.rs",
+        "crates/fml-lint/src/main.rs",
+        "examples/src/bin/quickstart.rs",
+        "crates/fml-gmm/tests/equivalence.rs",
+        "crates/fml-bench/benches/linalg_kernels.rs",
+    ] {
+        assert!(check_file(path, src).is_empty(), "{path} must allow I/O");
+    }
+}

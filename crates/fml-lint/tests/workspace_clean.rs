@@ -1,0 +1,78 @@
+//! The workspace self-clean gate: `cargo test -q` runs the full lint over
+//! the live tree, so a violation introduced anywhere in the workspace fails
+//! tier-1 — not just the dedicated CI step.
+
+use std::path::Path;
+
+use fml_lint::{run_workspace, Report, ALLOWLIST_FILE};
+
+fn workspace_root() -> &'static Path {
+    // crates/fml-lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("fml-lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "resolved workspace root has no Cargo.toml: {}",
+        root.display()
+    );
+    let report: Report = run_workspace(root).expect("walk workspace sources");
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "fml-lint found {} violation(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+    // Sanity: the walk actually visited the tree (8 crates + examples).
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn unsafe_audit_has_zero_allowlist_entries() {
+    // The acceptance bar for the unsafe audit: every `unsafe` in the tree
+    // carries its SAFETY justification in-source, with no exceptions filed.
+    let allowlist = workspace_root().join(ALLOWLIST_FILE);
+    let text = std::fs::read_to_string(&allowlist).expect("read allowlist");
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(
+            !line.starts_with("unsafe-audit"),
+            "the unsafe audit must hold without allowlist exceptions, found: {line}"
+        );
+    }
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_lint() {
+    // Simulate an allowlist whose entry matches nothing: parse it and apply
+    // it to an empty violation set — the entry must come back as stale, the
+    // condition `run_workspace` converts into a `stale-allowlist` violation.
+    let entries = fml_lint::allowlist::parse(
+        "# header\nfloat-eq crates/fml-gmm/src/model.rs long-since fixed\n",
+    )
+    .expect("parse");
+    assert_eq!(entries.len(), 1);
+    let (kept, stale) = fml_lint::allowlist::apply(&entries, Vec::new());
+    assert!(kept.is_empty());
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].rule, "float-eq");
+    assert_eq!(stale[0].path, "crates/fml-gmm/src/model.rs");
+    assert_eq!(
+        stale[0].line, 2,
+        "stale diagnostic points at the entry line"
+    );
+}

@@ -48,8 +48,12 @@ fn main() {
     nn.save(&nn_path).expect("save NN");
     let gmm_loaded = TrainedGmm::load(&gmm_path).expect("load GMM");
     let nn_loaded = TrainedNn::load(&nn_path).expect("load NN");
-    assert_eq!(gmm.fit.model.max_param_diff(&gmm_loaded.fit.model), 0.0);
-    assert_eq!(nn.fit.model.max_param_diff(&nn_loaded.fit.model), 0.0);
+    // Bit-exact round-trip: compare through to_bits, the sanctioned form
+    // for exact float contracts (see fml-lint's float-eq rule).
+    let gmm_diff = gmm.fit.model.max_param_diff(&gmm_loaded.fit.model);
+    let nn_diff = nn.fit.model.max_param_diff(&nn_loaded.fit.model);
+    assert_eq!(gmm_diff.to_bits(), 0.0f64.to_bits());
+    assert_eq!(nn_diff.to_bits(), 0.0f64.to_bits());
     println!(
         "persisted + reloaded both models exactly ({} / {})",
         gmm_path.display(),
