@@ -274,7 +274,13 @@ impl FactorizedMultiwayGmm {
             }
             for (i, dim_gammas) in gamma_by_dim.iter().enumerate() {
                 let range = partition.range(i + 1);
-                for (key, sums) in dim_gammas {
+                // Sorted keys: the FK arena is a HashMap, whose iteration
+                // order is randomized per process — the mean sums must merge
+                // in a deterministic order or the result drifts run to run.
+                let mut sorted_keys: Vec<u64> = dim_gammas.keys().copied().collect();
+                sorted_keys.sort_unstable();
+                for key in &sorted_keys {
+                    let sums = &dim_gammas[key];
                     match dim_reps[i].get(*key) {
                         Some(rep) => {
                             for c in 0..k {
@@ -372,7 +378,12 @@ impl FactorizedMultiwayGmm {
                 let d_i = partition.size(i + 1);
                 let mut acc: Vec<SparseScatterAcc> =
                     (0..k).map(|_| SparseScatterAcc::new(d_s, d_i)).collect();
-                for (key, agg) in &aggs[i] {
+                // Sorted keys: scatter merges must be hash-order-free (see
+                // the gamma pass above).
+                let mut sorted_keys: Vec<u64> = aggs[i].keys().copied().collect();
+                sorted_keys.sort_unstable();
+                for key in &sorted_keys {
+                    let agg = &aggs[i][key];
                     if let Some(rep) = dim_reps[i].get(*key) {
                         for c in 0..k {
                             acc[c].record(

@@ -785,6 +785,7 @@ mod x86 {
 
     // ---- safe wrappers -----------------------------------------------------
 
+    /// `a·b` via the AVX2 lane kernel, falling back to scalar off-AVX2.
     pub fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
         if has_avx2() {
             // SAFETY: AVX2 support verified at runtime.
@@ -794,6 +795,7 @@ mod x86 {
         }
     }
 
+    /// `a·b` via the FMA kernel, falling back to scalar off-FMA.
     pub fn dot_fma(a: &[f64], b: &[f64]) -> f64 {
         if has_fma() {
             // SAFETY: AVX2+FMA support verified at runtime.
@@ -803,6 +805,7 @@ mod x86 {
         }
     }
 
+    /// `y += alpha·x` via the AVX2 lane kernel, scalar off-AVX2.
     pub fn axpy_lanes(alpha: f64, x: &[f64], y: &mut [f64]) {
         if has_avx2() {
             // SAFETY: AVX2 support verified at runtime.
@@ -812,6 +815,7 @@ mod x86 {
         }
     }
 
+    /// `y += alpha·x` via the FMA kernel, scalar off-FMA.
     pub fn axpy_fma(alpha: f64, x: &[f64], y: &mut [f64]) {
         if has_fma() {
             // SAFETY: AVX2+FMA support verified at runtime.
@@ -821,6 +825,7 @@ mod x86 {
         }
     }
 
+    /// `dst += src` via the AVX2 lane kernel, scalar off-AVX2.
     pub fn add_assign(dst: &mut [f64], src: &[f64]) {
         if has_avx2() {
             // SAFETY: AVX2 support verified at runtime.
@@ -830,6 +835,7 @@ mod x86 {
         }
     }
 
+    /// `x *= alpha` via the AVX2 lane kernel, scalar off-AVX2.
     pub fn scale(alpha: f64, x: &mut [f64]) {
         if has_avx2() {
             // SAFETY: AVX2 support verified at runtime.
@@ -839,6 +845,7 @@ mod x86 {
         }
     }
 
+    /// The 4×4 GEMM microkernel via AVX2 lanes, scalar off-AVX2.
     pub fn microkernel_lanes(
         pa: &[f64],
         pb: &[f64],
@@ -856,6 +863,7 @@ mod x86 {
         }
     }
 
+    /// The 4×4 GEMM microkernel via FMA, scalar off-FMA.
     pub fn microkernel_fma(
         pa: &[f64],
         pb: &[f64],
@@ -873,6 +881,7 @@ mod x86 {
         }
     }
 
+    /// Sparse gather-dot `Σ vals[t]·v[idx[t]]` via FMA, scalar off-FMA.
     pub fn gather_dot_fma(v: &[f64], idx: &[u32], vals: &[f64]) -> f64 {
         if has_fma() {
             // SAFETY: AVX2+FMA support verified at runtime.

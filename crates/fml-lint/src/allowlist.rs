@@ -5,26 +5,56 @@
 //!
 //! ```text
 //! # comment
-//! <rule-name> <workspace-relative-path> <reason…>
+//! <rule-name> <workspace-relative-glob> <reason…>
+//! warn <rule-name> <workspace-relative-glob> <reason…>
 //! ```
 //!
-//! An entry suppresses every violation of `rule-name` in `path` — file
-//! granularity keeps entries stable across unrelated edits, and the reason
-//! string forces each exception to be argued in review.  An entry that
-//! matches **no** violation is itself an error (stale): allowlists only
-//! ever grow unless something makes them shrink, so stale entries fail the
-//! lint until removed.
+//! A plain entry **suppresses** every violation of `rule-name` in files
+//! matching the glob; a `warn` entry **downgrades** them to warnings —
+//! printed, reported, but non-fatal — for hazards that are understood and
+//! tracked rather than proven impossible.  File granularity keeps entries
+//! stable across unrelated edits, and the reason string forces each
+//! exception to be argued in review.
+//!
+//! Globs support `*` (any run of non-`/` characters), `**` (any run
+//! including `/`), and `?` (one non-`/` character); everything else matches
+//! literally, so a plain path is a valid glob.  An entry that matches
+//! **no** violation is itself an error (stale): allowlists only ever grow
+//! unless something makes them shrink, so stale entries fail the lint until
+//! removed.
 
 use crate::rules::Violation;
+use std::collections::BTreeMap;
 
 /// One parsed allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
+    /// Rule the entry applies to.
     pub rule: String,
+    /// Workspace-relative path glob (`*`/`**`/`?`; a literal path matches
+    /// itself).
     pub path: String,
+    /// Why the exception is justified — mandatory.
     pub reason: String,
     /// 1-based line in the allowlist file (for stale-entry diagnostics).
     pub line: usize,
+    /// `warn` entries downgrade matches to warnings instead of suppressing
+    /// them.
+    pub warn: bool,
+}
+
+/// The outcome of applying the allowlist to a violation set.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Violations no entry matched: fatal.
+    pub deny: Vec<Violation>,
+    /// Violations matched by a `warn` entry: reported, non-fatal.
+    pub warnings: Vec<Violation>,
+    /// Entries that matched nothing (stale).
+    pub stale: Vec<Entry>,
+    /// Per-rule counts of violations suppressed by plain entries — kept so
+    /// reports can show how much the allowlist is hiding.
+    pub suppressed: BTreeMap<String, usize>,
 }
 
 /// Parses allowlist text.  Fails on entries missing any of the three
@@ -37,14 +67,18 @@ pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.splitn(3, char::is_whitespace);
+        let (warn, rest) = match trimmed.strip_prefix("warn ") {
+            Some(rest) => (true, rest.trim_start()),
+            None => (false, trimmed),
+        };
+        let mut parts = rest.splitn(3, char::is_whitespace);
         let rule = parts.next().unwrap_or("").to_string();
         let path = parts.next().unwrap_or("").to_string();
         let reason = parts.next().unwrap_or("").trim().to_string();
         if rule.is_empty() || path.is_empty() || reason.is_empty() {
             return Err(format!(
-                "allowlist line {line}: expected `<rule> <path> <reason…>`, got {trimmed:?} \
-                 (every exception must carry a reason)"
+                "allowlist line {line}: expected `[warn] <rule> <path-glob> <reason…>`, \
+                 got {trimmed:?} (every exception must carry a reason)"
             ));
         }
         entries.push(Entry {
@@ -52,37 +86,76 @@ pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
             path,
             reason,
             line,
+            warn,
         });
     }
     Ok(entries)
 }
 
-/// Applies `entries` to `violations`: returns the violations that survive,
-/// plus the entries that matched nothing (stale).
-pub fn apply(entries: &[Entry], violations: Vec<Violation>) -> (Vec<Violation>, Vec<Entry>) {
-    let mut used = vec![false; entries.len()];
-    let kept: Vec<Violation> = violations
-        .into_iter()
-        .filter(|v| {
-            let hit = entries
-                .iter()
-                .position(|e| e.rule == v.rule && e.path == v.path);
-            match hit {
-                Some(i) => {
-                    used[i] = true;
-                    false
+/// Matches `path` against a glob `pat`: `*` = any run of non-`/` chars,
+/// `**` = any run including `/`, `?` = one non-`/` char, everything else
+/// literal.  A plain path is a glob that matches only itself.
+pub fn glob_match(pat: &str, path: &str) -> bool {
+    glob_rec(pat.as_bytes(), path.as_bytes())
+}
+
+fn glob_rec(pat: &[u8], path: &[u8]) -> bool {
+    if pat.is_empty() {
+        return path.is_empty();
+    }
+    match pat[0] {
+        b'*' => {
+            let (deep, rest) = if pat.len() > 1 && pat[1] == b'*' {
+                (true, &pat[2..])
+            } else {
+                (false, &pat[1..])
+            };
+            // Try every split point the star could cover, longest-first is
+            // unnecessary — paths are short, plain backtracking is fine.
+            for i in 0..=path.len() {
+                if glob_rec(rest, &path[i..]) {
+                    return true;
                 }
-                None => true,
+                if i < path.len() && !deep && path[i] == b'/' {
+                    return false; // `*` stops at a separator
+                }
             }
-        })
-        .collect();
-    let stale: Vec<Entry> = entries
+            false
+        }
+        b'?' => !path.is_empty() && path[0] != b'/' && glob_rec(&pat[1..], &path[1..]),
+        c => !path.is_empty() && path[0] == c && glob_rec(&pat[1..], &path[1..]),
+    }
+}
+
+/// Applies `entries` to `violations`.  The first matching entry (file
+/// order) decides a violation's fate: `warn` downgrades, plain suppresses;
+/// no match means deny.
+pub fn apply(entries: &[Entry], violations: Vec<Violation>) -> Applied {
+    let mut used = vec![false; entries.len()];
+    let mut out = Applied::default();
+    for v in violations {
+        let hit = entries
+            .iter()
+            .position(|e| e.rule == v.rule && glob_match(&e.path, &v.path));
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                if entries[i].warn {
+                    out.warnings.push(v);
+                } else {
+                    *out.suppressed.entry(v.rule.to_string()).or_insert(0) += 1;
+                }
+            }
+            None => out.deny.push(v),
+        }
+    }
+    out.stale = entries
         .iter()
         .zip(used)
         .filter(|(_, u)| !u)
         .map(|(e, _)| e.clone())
         .collect();
-    (kept, stale)
+    out
 }
 
 #[cfg(test)]
@@ -106,31 +179,88 @@ mod tests {
         assert_eq!(entries[0].path, "crates/a/src/x.rs");
         assert_eq!(entries[0].reason, "exact zero check");
         assert_eq!(entries[0].line, 3);
+        assert!(!entries[0].warn);
+    }
+
+    #[test]
+    fn parse_reads_warn_prefix() {
+        let entries = parse("warn alloc-in-hot-loop crates/a/src/x.rs tracked hazard\n").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].warn);
+        assert_eq!(entries[0].rule, "alloc-in-hot-loop");
+        assert_eq!(entries[0].reason, "tracked hazard");
     }
 
     #[test]
     fn parse_rejects_entries_without_a_reason() {
         let err = parse("float-eq crates/a/src/x.rs\n").unwrap_err();
         assert!(err.contains("reason"), "{err}");
+        let err = parse("warn float-eq crates/a/src/x.rs\n").unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn glob_star_stops_at_separators() {
+        assert!(glob_match(
+            "crates/fml-gmm/src/*.rs",
+            "crates/fml-gmm/src/multiway.rs"
+        ));
+        assert!(!glob_match(
+            "crates/fml-gmm/src/*.rs",
+            "crates/fml-gmm/src/sub/deep.rs"
+        ));
+        assert!(glob_match(
+            "crates/*/src/lib.rs",
+            "crates/fml-nn/src/lib.rs"
+        ));
+    }
+
+    #[test]
+    fn glob_double_star_crosses_separators() {
+        assert!(glob_match(
+            "crates/shims/**",
+            "crates/shims/criterion/src/lib.rs"
+        ));
+        assert!(glob_match("**/*.rs", "crates/a/b.rs"));
+        assert!(!glob_match("crates/shims/**", "crates/other/x.rs"));
+    }
+
+    #[test]
+    fn glob_question_mark_and_literals() {
+        assert!(glob_match("a?c.rs", "abc.rs"));
+        assert!(!glob_match("a?c.rs", "a/c.rs"));
+        assert!(glob_match("exact/path.rs", "exact/path.rs"));
+        assert!(!glob_match("exact/path.rs", "exact/path.rss"));
     }
 
     #[test]
     fn apply_suppresses_matching_and_reports_stale() {
         let entries = parse(
-            "float-eq crates/a/src/x.rs why\n\
+            "float-eq crates/a/src/*.rs why\n\
              no-stray-io crates/b/src/y.rs never matched\n",
         )
         .unwrap();
-        let (kept, stale) = apply(
+        let applied = apply(
             &entries,
             vec![
                 violation("float-eq", "crates/a/src/x.rs"),
                 violation("float-eq", "crates/other.rs"),
             ],
         );
-        assert_eq!(kept.len(), 1);
-        assert_eq!(kept[0].path, "crates/other.rs");
-        assert_eq!(stale.len(), 1);
-        assert_eq!(stale[0].path, "crates/b/src/y.rs");
+        assert_eq!(applied.deny.len(), 1);
+        assert_eq!(applied.deny[0].path, "crates/other.rs");
+        assert_eq!(applied.stale.len(), 1);
+        assert_eq!(applied.stale[0].path, "crates/b/src/y.rs");
+        assert_eq!(applied.suppressed.get("float-eq"), Some(&1));
+    }
+
+    #[test]
+    fn apply_downgrades_warn_entries() {
+        let entries = parse("warn float-eq crates/a/src/x.rs tracked\n").unwrap();
+        let applied = apply(&entries, vec![violation("float-eq", "crates/a/src/x.rs")]);
+        assert!(applied.deny.is_empty());
+        assert_eq!(applied.warnings.len(), 1);
+        assert!(applied.stale.is_empty());
+        assert!(applied.suppressed.is_empty());
     }
 }

@@ -244,8 +244,10 @@ pub fn lex(src: &str) -> Lexed {
 
 /// Handles `r`/`b`-prefixed literals at the cursor.  Returns `false` (cursor
 /// untouched) when the prefix is actually a plain identifier (`radius`,
-/// `b`, `r#raw_ident`… — raw identifiers are lexed as `#` + ident, which no
-/// rule cares about).
+/// `b`).  Raw identifiers (`r#type`) are lexed here as a *single* `Ident`
+/// token whose text keeps the `r#` prefix: `r#unsafe` names an identifier,
+/// never the keyword, so keyword-matching rules must not see it as `unsafe`
+/// — and the parser must not see a stray `#` inside a struct body.
 fn raw_or_byte_string(cur: &mut Cursor, out: &mut Lexed) -> bool {
     let c = cur.peek(0).unwrap();
     // b'…' byte char
@@ -260,6 +262,22 @@ fn raw_or_byte_string(cur: &mut Cursor, out: &mut Lexed) -> bool {
         lex_quoted(cur, out, b'"');
         return true;
     }
+    // r#ident — raw identifier (exactly one `#`, then an ident start).
+    if c == b'r' && cur.peek(1) == Some(b'#') && cur.peek(2).map(is_ident_start).unwrap_or(false) {
+        let line = cur.line;
+        let start = cur.pos;
+        cur.bump(); // r
+        cur.bump(); // #
+        while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Ident,
+            text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+            line,
+        });
+        return true;
+    }
     // r"…" / r#"…"# / br"…" / br#"…"#
     let mut ahead = 1;
     if c == b'b' && cur.peek(1) == Some(b'r') {
@@ -272,7 +290,7 @@ fn raw_or_byte_string(cur: &mut Cursor, out: &mut Lexed) -> bool {
         hashes += 1;
     }
     if cur.peek(ahead + hashes) != Some(b'"') {
-        return false; // r#ident (raw identifier) or a plain ident starting with r/b
+        return false; // a plain ident starting with r/b
     }
     let line = cur.line;
     for _ in 0..ahead + hashes + 1 {
@@ -640,6 +658,26 @@ mod tests {
             "`unsafe_code` must not split into `unsafe` + `_code`: {l:?}"
         );
         assert!(!l.iter().any(|(_, t)| t == "unsafe"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents_and_never_keywords() {
+        let l = kinds("struct S { r#type: u32, r#unsafe: bool }\nlet r#fn = 1;");
+        assert!(
+            l.iter()
+                .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"),
+            "r#type must be one Ident token: {l:?}"
+        );
+        assert!(
+            !l.iter().any(|(_, t)| t == "unsafe" || t == "#"),
+            "r#unsafe must not leak a bare `unsafe` keyword or `#`: {l:?}"
+        );
+        // `r#"…"#` raw strings still lex as strings after the change.
+        let l = lex(r###"let s = r#"still a string"#;"###);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! thread fan-out only through the worker pool, `unsafe` sound by the
 //! drain-before-return protocol — all live in prose and tests.  This crate
 //! makes them machine-checked: a minimal hand-rolled Rust lexer
-//! ([`lexer`] — no `syn`/`dylint`, the registry is offline) feeds a
-//! token/line-level rule engine ([`rules`]) that walks every workspace
-//! source file and reports `file:line` diagnostics for:
+//! ([`lexer`] — no `syn`/`dylint`, the registry is offline) feeds two rule
+//! layers that walk every workspace source file and report `file:line`
+//! diagnostics.
+//!
+//! **Token/line rules** ([`rules`]):
 //!
 //! * **`unsafe-audit`** — `unsafe` only in the audited leaf modules
 //!   (`fml-linalg/src/simd.rs`, `fml-linalg/src/pool.rs`, the shims), every
@@ -27,11 +29,45 @@
 //!   are deliberate bit-contract pins.
 //! * **`no-stray-io`** — no `println!`/`eprintln!`/`dbg!` in library code.
 //!
-//! Justified exceptions live in `lint-allowlist.txt` at the workspace root
-//! ([`allowlist`]) — plain text, one `rule path reason` entry per line, and
-//! entries that no longer match anything are themselves errors.
+//! **Syntax-aware rules** ([`semantic`]), built on a dependency-free
+//! recursive-descent parser ([`parse`]) that recovers items, function
+//! signatures and return types, brace-matched blocks, loop nesting, and
+//! `let`-binding scopes from the token stream:
 //!
-//! The pass ships three ways: the `fml-lint` binary (CI and humans), the
+//! * **`panic-policy`** — no `unwrap`/`expect`/`panic!`-family calls inside
+//!   `Result`-returning production functions of `fml-store`/`fml-serve`;
+//!   fallible paths propagate typed errors.
+//! * **`guard-across-dispatch`** — no `Mutex`/`RwLock` guard bound by `let`
+//!   and still live at a worker-pool dispatch (`pool::run*`,
+//!   `par_chunks*`, `par_row_bands*`) in the same scope: the closure fans
+//!   out to worker threads while the caller holds the lock.
+//! * **`nondet-iteration`** — no iteration over `HashMap`/`HashSet` state
+//!   that feeds floating-point accumulation: hash order is randomized per
+//!   process, so such loops break the bit-identity contract.  Sorted-key
+//!   staging (`sorted_keys`/`sort_unstable`) is the sanctioned escape.
+//! * **`alloc-in-hot-loop`** — no `Vec::new`/`vec![…]`/`.to_vec()`/
+//!   `.collect()`/`.clone()` inside loops of the kernel files (`gemm.rs`,
+//!   `simd.rs`, `sparse.rs`, `csr.rs`) or the serving scorer; buffers are
+//!   hoisted and reused.
+//! * **`pub-doc`** — every externally-`pub` library item carries a doc
+//!   comment, and every library file opens with a `//!` header.
+//!
+//! The parser is deliberately not a Rust front-end: it tracks the shapes
+//! the rules need (items, signatures, blocks, loops, `let` scopes) and
+//! nothing else — no expressions, no types beyond token runs, no name
+//! resolution, no macro expansion.  Rules built on it are heuristic and
+//! tuned to this workspace's idioms; the escape hatch for false positives
+//! is a *reasoned* allowlist entry, never a weaker rule.
+//!
+//! Justified exceptions live in `lint-allowlist.txt` at the workspace root
+//! ([`allowlist`]) — plain text, one `[warn] rule path-glob reason` entry
+//! per line.  Paths are globs (`*`, `**`, `?`); a `warn` prefix downgrades
+//! matches to non-fatal warnings for hazards that are tracked rather than
+//! proven impossible; entries that no longer match anything are themselves
+//! errors.
+//!
+//! The pass ships three ways: the `fml-lint` binary (CI and humans, with
+//! `--json`/`--github`/`--summary` outputs — see [`report`]), the
 //! workspace self-clean test in `tests/workspace_clean.rs` (so tier-1
 //! `cargo test -q` enforces it forever), and the CI step wiring.  What the
 //! lint cannot see statically — real interleavings through the pool's
@@ -42,9 +78,13 @@
 
 pub mod allowlist;
 pub mod lexer;
+pub mod parse;
+pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::path::Path;
 
 pub use rules::{check_file, Violation};
@@ -52,15 +92,24 @@ pub use rules::{check_file, Violation};
 /// Name of the allowlist file expected at the workspace root.
 pub const ALLOWLIST_FILE: &str = "lint-allowlist.txt";
 
-/// The outcome of a workspace run: surviving violations (empty means clean)
-/// and how many files were scanned.
+/// The outcome of a workspace run after the allowlist is applied.
 #[derive(Debug)]
 pub struct Report {
+    /// Deny-severity violations that survived the allowlist (empty means
+    /// clean); includes `stale-allowlist` diagnostics for dead entries.
     pub violations: Vec<Violation>,
+    /// Violations downgraded by `warn` allowlist entries: reported but
+    /// non-fatal.
+    pub warnings: Vec<Violation>,
+    /// Per-rule counts of violations suppressed by plain allowlist entries.
+    pub suppressed: BTreeMap<String, usize>,
+    /// How many source files were scanned.
     pub files_scanned: usize,
 }
 
 impl Report {
+    /// Whether the run found nothing fatal: no surviving deny violations.
+    /// Warnings and suppressed counts do not affect cleanliness.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
@@ -84,8 +133,9 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
     } else {
         Vec::new()
     };
-    let (mut kept, stale) = allowlist::apply(&entries, violations);
-    for entry in stale {
+    let mut applied = allowlist::apply(&entries, violations);
+    let mut kept = applied.deny;
+    for entry in applied.stale {
         kept.push(Violation {
             rule: "stale-allowlist",
             path: ALLOWLIST_FILE.to_string(),
@@ -97,9 +147,13 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
             ),
         });
     }
-    kept.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    let by_location = |a: &Violation, b: &Violation| (&a.path, a.line).cmp(&(&b.path, b.line));
+    kept.sort_by(by_location);
+    applied.warnings.sort_by(by_location);
     Ok(Report {
         violations: kept,
+        warnings: applied.warnings,
+        suppressed: applied.suppressed,
         files_scanned: files.len(),
     })
 }

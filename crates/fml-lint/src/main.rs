@@ -1,47 +1,122 @@
 //! The `fml-lint` binary: run from the workspace root (CI does
-//! `cargo run -p fml-lint`), or pass the root as the first argument.
-//! Prints one `file:line: [rule] message` diagnostic per violation and
-//! exits non-zero when any survive the allowlist.
+//! `cargo run -p fml-lint`), or pass the root as the first positional
+//! argument.  Prints one `file:line: [rule] message` diagnostic per
+//! violation and exits non-zero when any deny-severity violation survives
+//! the allowlist (warnings are printed but never fail the run).
+//!
+//! Flags:
+//!
+//! * `--json <path>` — write the machine-readable report to `path`
+//!   (uploaded as a CI artifact).
+//! * `--github` — additionally emit GitHub Actions `::error`/`::warning`
+//!   workflow annotations, which the runner renders inline on the PR diff.
+//! * `--summary` — print the per-rule deny/warn/suppressed table (the
+//!   nightly job uses this to make allowlist drift visible).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    github: bool,
+    summary: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: None,
+        github: false,
+        summary: false,
+    };
+    let mut saw_root = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = args.next().ok_or("--json requires a path argument")?;
+                opts.json = Some(PathBuf::from(path));
+            }
+            "--github" => opts.github = true,
+            "--summary" => opts.summary = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag {flag}; known: --json <path>, --github, --summary"
+                ));
+            }
+            positional => {
+                if saw_root {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+                saw_root = true;
+                opts.root = PathBuf::from(positional);
+            }
+        }
+    }
+    Ok(opts)
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    if !root.join("Cargo.toml").is_file() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("fml-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !opts.root.join("Cargo.toml").is_file() {
         eprintln!(
             "fml-lint: {} does not look like the workspace root (no Cargo.toml)",
-            root.display()
+            opts.root.display()
         );
         return ExitCode::FAILURE;
     }
-    match fml_lint::run_workspace(&root) {
-        Ok(report) => {
-            for v in &report.violations {
-                println!("{v}");
-            }
-            if report.is_clean() {
-                println!(
-                    "fml-lint: clean ({} files, rules: unsafe-audit no-raw-spawn \
-                     env-centralization float-eq no-stray-io)",
-                    report.files_scanned
-                );
-                ExitCode::SUCCESS
-            } else {
-                println!(
-                    "fml-lint: {} violation(s) across {} files",
-                    report.violations.len(),
-                    report.files_scanned
-                );
-                ExitCode::FAILURE
-            }
-        }
+    let report = match fml_lint::run_workspace(&opts.root) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("fml-lint: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    for v in &report.violations {
+        println!("{v}");
+        if opts.github {
+            println!("{}", fml_lint::report::github_annotation(v, false));
+        }
+    }
+    for v in &report.warnings {
+        println!("warning: {v}");
+        if opts.github {
+            println!("{}", fml_lint::report::github_annotation(v, true));
+        }
+    }
+    if let Some(path) = &opts.json {
+        let json = fml_lint::report::to_json(&report);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("fml-lint: write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.summary {
+        print!("{}", fml_lint::report::summary(&report));
+    }
+    if report.is_clean() {
+        let suppressed: usize = report.suppressed.values().sum();
+        println!(
+            "fml-lint: clean ({} files, {} rule(s), {} warning(s), {} suppressed)",
+            report.files_scanned,
+            fml_lint::report::RULES.len(),
+            report.warnings.len(),
+            suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "fml-lint: {} violation(s) across {} files",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
     }
 }

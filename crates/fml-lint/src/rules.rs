@@ -47,10 +47,15 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// `unsafe-audit` rule name.
 pub const RULE_UNSAFE: &str = "unsafe-audit";
+/// `no-raw-spawn` rule name.
 pub const RULE_SPAWN: &str = "no-raw-spawn";
+/// `env-centralization` rule name.
 pub const RULE_ENV: &str = "env-centralization";
+/// `float-eq` rule name.
 pub const RULE_FLOAT_EQ: &str = "float-eq";
+/// `no-stray-io` rule name.
 pub const RULE_STRAY_IO: &str = "no-stray-io";
 
 /// Files allowed to contain `unsafe` at all.  The leaf modules whose safety
@@ -85,27 +90,37 @@ const SAFETY_DOC_WINDOW: usize = 40;
 pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
     let lexed = lex(source);
     let ctx = Context::new(rel_path, &lexed.tokens);
+    // Outer docs only: a `//!`/`/*!` inner doc documents the enclosing
+    // module, not the item that happens to follow it.
+    let doc_lines: Vec<usize> = lexed
+        .comments
+        .iter()
+        .filter(|c| c.doc && !c.text.starts_with("//!") && !c.text.starts_with("/*!"))
+        .map(|c| c.line)
+        .collect();
+    let tree = crate::parse::parse(&lexed.tokens, &doc_lines);
     let mut out = Vec::new();
     rule_unsafe_audit(&ctx, &lexed.tokens, &lexed.comments, &mut out);
     rule_no_raw_spawn(&ctx, &lexed.tokens, &mut out);
     rule_env_centralization(&ctx, &lexed.tokens, &mut out);
     rule_float_eq(&ctx, &lexed.tokens, &mut out);
     rule_no_stray_io(&ctx, &lexed.tokens, &mut out);
+    crate::semantic::check(&ctx, &lexed.tokens, &lexed.comments, &tree, &mut out);
     out
 }
 
-struct Context<'a> {
-    rel_path: &'a str,
+pub(crate) struct Context<'a> {
+    pub(crate) rel_path: &'a str,
     /// Whole file is test code (`tests/`, `benches/`).
-    test_file: bool,
+    pub(crate) test_file: bool,
     /// Whole file is bin code (`src/main.rs`, `src/bin/**`, `examples/**`).
-    bin_file: bool,
+    pub(crate) bin_file: bool,
     /// Line spans of `#[cfg(test)]` items inside a `src` file.
     test_regions: Vec<(usize, usize)>,
 }
 
 impl<'a> Context<'a> {
-    fn new(rel_path: &'a str, tokens: &[Token]) -> Self {
+    pub(crate) fn new(rel_path: &'a str, tokens: &[Token]) -> Self {
         let test_file = rel_path.contains("/tests/") || rel_path.contains("/benches/");
         let bin_file = rel_path.ends_with("/src/main.rs")
             || rel_path.contains("/src/bin/")
@@ -118,7 +133,7 @@ impl<'a> Context<'a> {
         }
     }
 
-    fn in_test(&self, line: usize) -> bool {
+    pub(crate) fn in_test(&self, line: usize) -> bool {
         self.test_file
             || self
                 .test_regions
@@ -126,7 +141,7 @@ impl<'a> Context<'a> {
                 .any(|&(lo, hi)| (lo..=hi).contains(&line))
     }
 
-    fn violation(&self, rule: &'static str, line: usize, message: String) -> Violation {
+    pub(crate) fn violation(&self, rule: &'static str, line: usize, message: String) -> Violation {
         Violation {
             rule,
             path: self.rel_path.to_string(),
@@ -483,7 +498,7 @@ mod tests {
     fn operand_window_does_not_cross_statements() {
         // the float literal belongs to the previous statement; `x == y` is
         // an integer comparison and must not be flagged
-        let src = "fn f(x: usize, y: usize) { let a = 1.0; if x == y {} }\n";
+        let src = "//! m\nfn f(x: usize, y: usize) { let a = 1.0; if x == y {} }\n";
         let v = check_file("crates/fml-core/src/cost.rs", src);
         assert!(v.is_empty(), "{v:?}");
     }

@@ -140,7 +140,13 @@ impl FactorizedMultiwayNn {
             // (a column scatter-add for one-hot tuples) per distinct
             // dimension tuple.
             for i in 0..q {
-                for (key, delta_sum) in &delta_sums[i] {
+                // Sorted keys: the per-dimension delta arena is a HashMap;
+                // merging its outer products in hash order would make the
+                // first-layer gradient nondeterministic across runs.
+                let mut sorted_keys: Vec<u64> = delta_sums[i].keys().copied().collect();
+                sorted_keys.sort_unstable();
+                for key in &sorted_keys {
+                    let delta_sum = &delta_sums[i][key];
                     match dim_reps[i].get(*key) {
                         Some(rep) => rep.ger_cols(kp, 1.0, delta_sum, &mut grad_w_dims[i]),
                         None => {

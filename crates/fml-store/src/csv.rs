@@ -74,14 +74,15 @@ fn parse_line(schema: &Schema, line: &str, line_no: usize) -> StoreResult<Tuple>
         s.parse()
             .map_err(|_| StoreError::Csv(format!("line {line_no}: invalid number '{s}'")))
     };
+    let missing = |what: &str| StoreError::Csv(format!("line {line_no}: missing {what} column"));
     let mut it = cols.into_iter();
-    let key = parse_u64(it.next().unwrap())?;
+    let key = parse_u64(it.next().ok_or_else(|| missing("key"))?)?;
     let mut fks = Vec::with_capacity(schema.num_foreign_keys);
     for _ in 0..schema.num_foreign_keys {
-        fks.push(parse_u64(it.next().unwrap())?);
+        fks.push(parse_u64(it.next().ok_or_else(|| missing("foreign-key"))?)?);
     }
     let target = if schema.has_target {
-        Some(parse_f64(it.next().unwrap())?)
+        Some(parse_f64(it.next().ok_or_else(|| missing("target"))?)?)
     } else {
         None
     };
