@@ -6,10 +6,13 @@
 //! The run emits **`BENCH_serve.json`** at the workspace root with per-row
 //! `speedup_vs_materialized`, plus a `parallel_scaling` sweep: factorized
 //! scoring through the pool fan-out at 1/2/4 workers with
-//! `speedup_vs_1worker` rows/s ratios.  CI's serve guards assert factorized
-//! scoring beats materialized scoring for both families and that the
-//! 4-worker fan-out reaches ≥ 1.8× the single-worker throughput (in-run
-//! relative ratios — robust to absolute host speed).  Set
+//! `speedup_vs_1worker` rows/s ratios, plus an `obs_overhead` pair timing
+//! factorized GMM scoring with the `fml-obs` registry off vs recording
+//! (`ratio_vs_off`).  CI's serve guards assert factorized scoring beats
+//! materialized scoring for both families, that the 4-worker fan-out
+//! reaches ≥ 1.8× the single-worker throughput, and that metrics-on
+//! scoring stays within 3% of metrics-off (in-run relative ratios —
+//! robust to absolute host speed).  Set
 //! `FML_BENCH_SMOKE=1` for a single-shot smoke run that still exercises
 //! every family × strategy × worker-count case and emits the JSON.
 //!
@@ -21,6 +24,7 @@ use fml_bench::timing::{measure_ms, smoke};
 use fml_core::prelude::*;
 use fml_core::Session;
 use fml_data::EmulatedDataset;
+use fml_obs::ObsMode;
 use fml_serve::prelude::*;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -41,6 +45,24 @@ struct ScalingRow {
     rows: usize,
     mean_ms: f64,
     rows_per_s: f64,
+}
+
+/// One point of the observability-overhead pair: factorized GMM scoring with
+/// the `fml-obs` registry off vs recording.
+struct ObsRow {
+    mode: &'static str,
+    rows: usize,
+    mean_ms: f64,
+    rows_per_s: f64,
+}
+
+fn ratio_vs_off(rows: &[ObsRow], r: &ObsRow) -> Option<f64> {
+    if r.mode == "off" {
+        return None;
+    }
+    rows.iter()
+        .find(|o| o.mode == "off")
+        .map(|o| r.mean_ms / o.mean_ms)
 }
 
 fn speedup_vs_1worker(rows: &[ScalingRow], r: &ScalingRow) -> Option<f64> {
@@ -66,6 +88,7 @@ fn emit_json(
     n_rows: u64,
     rows: &[BenchRow],
     scaling: &[ScalingRow],
+    obs: &[ObsRow],
 ) -> std::io::Result<PathBuf> {
     // Emit at the workspace root regardless of the bench's working
     // directory (same idiom as the other BENCH_*.json emitters).
@@ -100,6 +123,18 @@ fn emit_json(
             out,
             "    {{\"family\": \"{}\", \"workers\": {}, \"rows\": {}, \"mean_ms\": {:.3}, \"rows_per_s\": {:.1}, \"speedup_vs_1worker\": {}}}{}",
             r.family, r.workers, r.rows, r.mean_ms, r.rows_per_s, speedup, sep
+        );
+    }
+    out.push_str("  ],\n  \"obs_overhead\": [\n");
+    for (i, r) in obs.iter().enumerate() {
+        let sep = if i + 1 == obs.len() { "" } else { "," };
+        let ratio = ratio_vs_off(obs, r)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"rows\": {}, \"mean_ms\": {:.3}, \"rows_per_s\": {:.1}, \"ratio_vs_off\": {}}}{}",
+            r.mode, r.rows, r.mean_ms, r.rows_per_s, ratio, sep
         );
     }
     out.push_str("  ]\n}\n");
@@ -210,6 +245,31 @@ fn main() {
         });
     }
 
+    // Observability-overhead pair: factorized GMM scoring with the fml-obs
+    // registry off vs recording (counters + histograms, no spans).  CI's
+    // guard asserts the metrics run stays within 3% of the off run — the
+    // in-run ratio is robust to absolute host speed.
+    let mut obs_rows: Vec<ObsRow> = Vec::new();
+    for (label, obs) in [("off", ObsMode::Off), ("metrics", ObsMode::Metrics)] {
+        let session_o = Session::new(&workload.db)
+            .join(&workload.spec)
+            .exec(ExecPolicy::new().obs(obs));
+        let opts = Scoring::new().algorithm(Algorithm::Factorized);
+        let mut scored = 0usize;
+        let mean_ms = measure_ms(|| {
+            scored = session_o
+                .score_with(&gmm, &opts)
+                .expect("score gmm under obs mode")
+                .len();
+        });
+        obs_rows.push(ObsRow {
+            mode: label,
+            rows: scored,
+            mean_ms,
+            rows_per_s: scored as f64 / (mean_ms / 1e3),
+        });
+    }
+
     println!(
         "\n{:<6} {:>13} {:>8} {:>11} {:>12} {:>16}",
         "family", "strategy", "rows", "mean", "rows/s", "vs materialized"
@@ -238,7 +298,21 @@ fn main() {
         );
     }
 
-    match emit_json(&workload.name, n_rows, &rows, &scaling) {
+    println!(
+        "\n{:<8} {:>8} {:>11} {:>12} {:>10}",
+        "obs", "rows", "mean", "rows/s", "vs off"
+    );
+    for r in &obs_rows {
+        let ratio = ratio_vs_off(&obs_rows, r)
+            .map(|s| format!("{s:.3}x"))
+            .unwrap_or_default();
+        println!(
+            "{:<8} {:>8} {:>8.1} ms {:>12.0} {:>10}",
+            r.mode, r.rows, r.mean_ms, r.rows_per_s, ratio
+        );
+    }
+
+    match emit_json(&workload.name, n_rows, &rows, &scaling, &obs_rows) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_serve.json: {e}"),
     }

@@ -376,6 +376,11 @@ impl<'a> Session<'a> {
 
     /// Fits an estimator over the session's join.
     ///
+    /// When observability is on, the whole call is wrapped in a `fit` span
+    /// (the per-iteration `fit_iteration` spans nest inside it).  The
+    /// session's [`ExecPolicy`] obs setting is applied here so the span
+    /// honors the same builder > env > default precedence the trainers use.
+    ///
     /// # Panics
     /// Panics when [`Session::join`] was never called — a session without a
     /// join has nothing to train over.
@@ -384,6 +389,8 @@ impl<'a> Session<'a> {
             .spec
             .as_ref()
             .expect("Session::fit requires a join: call Session::join(spec) first");
+        let _obs = self.exec.resolve().obs_scope();
+        let _span = fml_obs::span!("fit");
         estimator.fit(self.db, spec, &self.exec)
     }
 }

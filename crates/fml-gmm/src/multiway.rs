@@ -126,6 +126,9 @@ impl FactorizedMultiwayGmm {
         // Kernels invoked under a parallel policy on this thread fan out to
         // exactly the resolved thread count while training runs.
         let _kernel_threads = ex.kernel_thread_scope();
+        // The resolved observability mode governs instrumentation on every
+        // thread this run touches (pool workers, storage scans).
+        let _obs = ex.obs_scope();
         spec.validate(db)?;
         let sizes = spec.feature_partition(db)?;
         let partition = BlockPartition::new(&sizes);

@@ -36,15 +36,17 @@ use crate::matrix::Matrix;
 use crate::policy::{self, KernelPolicy};
 use crate::simd;
 use crate::vector;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Total number of CSR kernel invocations in this process (monotonic) — the
-/// weighted-sparse counterpart of [`crate::sparse::onehot_kernel_calls`].
-static CSR_KERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
+/// weighted-sparse counterpart of [`crate::sparse::onehot_kernel_calls`],
+/// held as the `fml_sparse_csr_kernel_calls_total` registry counter and
+/// recorded unconditionally in every `FML_OBS` mode.
+static CSR_KERNEL_CALLS: fml_obs::LazyCounter =
+    fml_obs::LazyCounter::new("fml_sparse_csr_kernel_calls_total");
 
 #[inline]
 fn count_call() {
-    CSR_KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    CSR_KERNEL_CALLS.get().inc();
 }
 
 /// Records one CSR kernel invocation performed outside this module (the
@@ -56,7 +58,7 @@ pub fn record_csr_call() {
 
 /// Reads the process-global CSR kernel invocation counter.
 pub fn csr_kernel_calls() -> u64 {
-    CSR_KERNEL_CALLS.load(Ordering::Relaxed)
+    CSR_KERNEL_CALLS.get().get()
 }
 
 /// Maximum occupancy (`nnz / width`) at which [`csr_indices`] still reports a

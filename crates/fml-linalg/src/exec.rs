@@ -18,6 +18,7 @@
 //! | `sparse_mode` | [`ExecPolicy::sparse_mode`] | — | [`SparseMode::Auto`] |
 //! | `block_pages` | [`ExecPolicy::block_pages`] | — | [`DEFAULT_BLOCK_PAGES`] |
 //! | `seed` | [`ExecPolicy::seed`] | — | [`DEFAULT_SEED`] |
+//! | `obs` | [`ExecPolicy::obs`] | `FML_OBS` | [`ObsMode::Off`] |
 //!
 //! Invalid environment values are rejected with a one-time warning naming the
 //! value and the fallback (see [`crate::policy`]); they never silently change
@@ -36,9 +37,17 @@
 //! / field I/O performed during that iteration — so benches, figures and
 //! serving paths consume one telemetry stream instead of poking at fit
 //! internals.  [`TraceObserver`] is a ready-made collecting observer.
+//!
+//! The same [`FitNotifier`] that drives observers also emits into the
+//! `fml-obs` registry (`fml_fit_iterations_total`, the `fml_fit_iteration_ns`
+//! histogram, and a `fit_iteration` span per iteration), so callback-based
+//! and registry-based telemetry share one delta-arithmetic substrate.  The
+//! resolved [`ExecSettings::obs`] mode is installed process-wide for the
+//! duration of a run via [`ExecSettings::obs_scope`].
 
 use crate::policy::{self, KernelPolicy};
 use crate::sparse::SparseMode;
+use fml_obs::ObsMode;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -119,6 +128,9 @@ pub struct ExecSettings {
     pub threads: usize,
     /// Seed for the data-independent model initialization.
     pub seed: u64,
+    /// Observability mode for the run (see [`fml_obs::ObsMode`]): installed
+    /// process-wide by [`ExecSettings::obs_scope`] at trainer/scorer entry.
+    pub obs: ObsMode,
 }
 
 impl ExecSettings {
@@ -142,6 +154,17 @@ impl ExecSettings {
     /// kernel regions, not just in the trainers' explicit chunk fan-outs.
     pub fn kernel_thread_scope(&self) -> policy::ThreadCountGuard {
         policy::override_threads(self.threads)
+    }
+
+    /// Installs the resolved observability mode process-wide until the
+    /// returned guard drops (see [`fml_obs::apply_mode`]).  Every trainer and
+    /// scorer installs this at entry, next to [`ExecSettings::kernel_thread_scope`],
+    /// which is what extends the builder > `FML_OBS` > default precedence to
+    /// the instrumentation on pool workers and storage scans.  The mode is
+    /// process-global, so overlapping runs requesting *different* modes race
+    /// benignly (last writer wins until its guard drops).
+    pub fn obs_scope(&self) -> fml_obs::ModeGuard {
+        fml_obs::apply_mode(self.obs)
     }
 }
 
@@ -167,6 +190,7 @@ pub struct ExecPolicy {
     block_pages: Option<usize>,
     threads: Option<usize>,
     seed: Option<u64>,
+    obs: Option<ObsMode>,
     observer: Option<Arc<dyn FitObserver>>,
 }
 
@@ -178,6 +202,7 @@ impl std::fmt::Debug for ExecPolicy {
             .field("block_pages", &self.block_pages)
             .field("threads", &self.threads)
             .field("seed", &self.seed)
+            .field("obs", &self.obs)
             .field("observer", &self.observer.as_ref().map(|_| "<dyn>"))
             .finish()
     }
@@ -222,6 +247,12 @@ impl ExecPolicy {
         self
     }
 
+    /// Pins the observability mode (beats `FML_OBS`).
+    pub fn obs(mut self, obs: ObsMode) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Attaches a per-iteration telemetry observer.
     pub fn observe(mut self, observer: Arc<dyn FitObserver>) -> Self {
         self.observer = Some(observer);
@@ -241,8 +272,10 @@ impl ExecPolicy {
     /// `FML_KERNEL_POLICY`, else [`crate::policy::set_default_policy`]'s
     /// value, else `blocked`); unset `threads` falls back to
     /// [`crate::policy::num_threads`] (`FML_THREADS`, else available
-    /// parallelism).  Invalid environment values warn once and use the
-    /// default.  The remaining fields have no environment override.
+    /// parallelism); unset `obs` falls back to the process-wide mode
+    /// ([`fml_obs::mode()`]: `FML_OBS`, else off).  Invalid environment values
+    /// warn once and use the default.  The remaining fields have no
+    /// environment override.
     pub fn resolve(&self) -> ExecSettings {
         ExecSettings {
             kernel_policy: self.kernel_policy.unwrap_or_else(policy::default_policy),
@@ -250,6 +283,7 @@ impl ExecPolicy {
             block_pages: self.block_pages.unwrap_or(DEFAULT_BLOCK_PAGES),
             threads: self.threads.unwrap_or_else(policy::num_threads).max(1),
             seed: self.seed.unwrap_or(DEFAULT_SEED),
+            obs: self.obs.unwrap_or_else(fml_obs::mode),
         }
     }
 
@@ -262,6 +296,7 @@ impl ExecPolicy {
         &self,
         env_policy: Option<&str>,
         env_threads: Option<&str>,
+        env_obs: Option<&str>,
         available: usize,
     ) -> (ExecSettings, Vec<String>) {
         let mut warnings = Vec::new();
@@ -281,6 +316,14 @@ impl ExecPolicy {
                 t
             }
         };
+        let obs = match self.obs {
+            Some(m) => m,
+            None => {
+                let (m, w) = fml_obs::resolve_env(env_obs);
+                warnings.extend(w);
+                m
+            }
+        };
         (
             ExecSettings {
                 kernel_policy,
@@ -288,6 +331,7 @@ impl ExecPolicy {
                 block_pages: self.block_pages.unwrap_or(DEFAULT_BLOCK_PAGES),
                 threads: threads.max(1),
                 seed: self.seed.unwrap_or(DEFAULT_SEED),
+                obs,
             },
             warnings,
         )
@@ -310,6 +354,9 @@ pub struct FitNotifier<'a> {
     observer: Option<&'a dyn FitObserver>,
     io: IoProbe<'a>,
     start: Instant,
+    /// Start of the current iteration, for the per-iteration histogram/span
+    /// (`start` stays the cumulative-elapsed origin the events report).
+    iter_mark: Instant,
     last_io: (u64, u64),
     iteration: usize,
 }
@@ -324,17 +371,30 @@ impl<'a> FitNotifier<'a> {
             (true, Some(probe)) => probe(),
             _ => (0, 0),
         };
+        let start = Instant::now();
         Self {
             observer,
             io,
-            start: Instant::now(),
+            start,
+            iter_mark: start,
             last_io,
             iteration: 0,
         }
     }
 
-    /// Emits the event for the iteration that just completed.
+    /// Emits the event for the iteration that just completed — to the
+    /// attached [`FitObserver`] (if any), and, when observability is on, to
+    /// the `fml-obs` registry (`fml_fit_iterations_total`, the
+    /// `fml_fit_iteration_ns` latency histogram, a `fit_iteration` span).
     pub fn notify(&mut self, objective: f64) {
+        if fml_obs::metrics_enabled() {
+            let now = Instant::now();
+            fml_obs::counter!("fml_fit_iterations_total").inc();
+            fml_obs::histogram!("fml_fit_iteration_ns")
+                .record_duration(now.saturating_duration_since(self.iter_mark));
+            fml_obs::record_span("fit_iteration", self.iter_mark, now);
+            self.iter_mark = now;
+        }
         if let Some(observer) = self.observer {
             let now = self.io.map(|probe| probe()).unwrap_or((0, 0));
             observer.on_iteration(&FitEvent {
@@ -356,20 +416,23 @@ mod tests {
 
     #[test]
     fn defaults_resolve_without_builders() {
-        let (s, warnings) = ExecPolicy::new().resolve_raw(None, None, 8);
+        let (s, warnings) = ExecPolicy::new().resolve_raw(None, None, None, 8);
         assert_eq!(s.kernel_policy, KernelPolicy::Blocked);
         assert_eq!(s.sparse, SparseMode::Auto);
         assert_eq!(s.block_pages, DEFAULT_BLOCK_PAGES);
         assert_eq!(s.threads, 8);
         assert_eq!(s.seed, DEFAULT_SEED);
+        assert_eq!(s.obs, ObsMode::Off);
         assert!(warnings.is_empty());
     }
 
     #[test]
     fn env_beats_defaults() {
-        let (s, warnings) = ExecPolicy::new().resolve_raw(Some("naive"), Some("3"), 8);
+        let (s, warnings) =
+            ExecPolicy::new().resolve_raw(Some("naive"), Some("3"), Some("metrics"), 8);
         assert_eq!(s.kernel_policy, KernelPolicy::Naive);
         assert_eq!(s.threads, 3);
+        assert_eq!(s.obs, ObsMode::Metrics);
         assert!(warnings.is_empty());
     }
 
@@ -380,13 +443,15 @@ mod tests {
             .threads(2)
             .seed(99)
             .block_pages(16)
-            .sparse_mode(SparseMode::Dense);
-        let (s, warnings) = exec.resolve_raw(Some("naive"), Some("12"), 8);
+            .sparse_mode(SparseMode::Dense)
+            .obs(ObsMode::Trace);
+        let (s, warnings) = exec.resolve_raw(Some("naive"), Some("12"), Some("off"), 8);
         assert_eq!(s.kernel_policy, KernelPolicy::BlockedParallel);
         assert_eq!(s.threads, 2);
         assert_eq!(s.seed, 99);
         assert_eq!(s.block_pages, 16);
         assert_eq!(s.sparse, SparseMode::Dense);
+        assert_eq!(s.obs, ObsMode::Trace);
         // builder-set knobs never consult the environment, so an invalid env
         // value does not even produce a warning
         assert!(warnings.is_empty());
@@ -395,17 +460,21 @@ mod tests {
     #[test]
     fn invalid_env_warns_and_falls_back_unless_builder_set() {
         // unset builder: the typo is reported and the default used
-        let (s, warnings) = ExecPolicy::new().resolve_raw(Some("blokced"), Some("zero"), 4);
+        let (s, warnings) =
+            ExecPolicy::new().resolve_raw(Some("blokced"), Some("zero"), Some("traec"), 4);
         assert_eq!(s.kernel_policy, KernelPolicy::Blocked);
         assert_eq!(s.threads, 4);
-        assert_eq!(warnings.len(), 2, "one warning per invalid variable");
+        assert_eq!(s.obs, ObsMode::Off);
+        assert_eq!(warnings.len(), 3, "one warning per invalid variable");
         assert!(warnings[0].contains("blokced"));
         assert!(warnings[1].contains("zero"));
+        assert!(warnings[2].contains("traec"));
         // builder-set: same raw environment, no warning at all
         let exec = ExecPolicy::new()
             .kernel_policy(KernelPolicy::Naive)
-            .threads(1);
-        let (s, warnings) = exec.resolve_raw(Some("blokced"), Some("zero"), 4);
+            .threads(1)
+            .obs(ObsMode::Off);
+        let (s, warnings) = exec.resolve_raw(Some("blokced"), Some("zero"), Some("traec"), 4);
         assert_eq!(s.kernel_policy, KernelPolicy::Naive);
         assert_eq!(s.threads, 1);
         assert!(warnings.is_empty());
@@ -455,8 +524,20 @@ mod tests {
             .sparse_mode(SparseMode::Dense)
             .block_pages(8)
             .threads(2)
-            .seed(5);
-        assert_eq!(exec.resolve(), exec.resolve_raw(None, None, 1).0);
+            .seed(5)
+            .obs(ObsMode::Metrics);
+        assert_eq!(exec.resolve(), exec.resolve_raw(None, None, None, 1).0);
+    }
+
+    #[test]
+    fn obs_scope_installs_and_restores_the_resolved_mode() {
+        let s = ExecPolicy::new().obs(ObsMode::Metrics).resolve();
+        let before = fml_obs::mode();
+        {
+            let _guard = s.obs_scope();
+            assert_eq!(fml_obs::mode(), ObsMode::Metrics);
+        }
+        assert_eq!(fml_obs::mode(), before);
     }
 
     #[test]

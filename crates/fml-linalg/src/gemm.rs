@@ -68,6 +68,27 @@ pub const NC: usize = 512;
 use policy::{GER_PAR_MIN_FLOPS, PAR_MIN_FLOPS};
 
 // ---------------------------------------------------------------------------
+// Kernel invocation accounting (fml-obs)
+// ---------------------------------------------------------------------------
+
+static GEMM_CALLS: fml_obs::LazyCounter = fml_obs::LazyCounter::new("fml_gemm_calls_total");
+static GEMV_CALLS: fml_obs::LazyCounter = fml_obs::LazyCounter::new("fml_gemv_calls_total");
+static GER_CALLS: fml_obs::LazyCounter = fml_obs::LazyCounter::new("fml_ger_calls_total");
+static KERNEL_FLOPS: fml_obs::LazyCounter = fml_obs::LazyCounter::new("fml_kernel_flops_total");
+
+/// Records one kernel invocation and its nominal FLOP count (`2·m·n·k`-style,
+/// counting multiply+add) into the registry.  Gated on the single relaxed
+/// `metrics_enabled` load, so `FML_OBS=off` pays a few nanoseconds per kernel
+/// *entry* (never per element) and records nothing.
+#[inline]
+fn record_kernel(calls: &'static fml_obs::LazyCounter, flops: usize) {
+    if fml_obs::metrics_enabled() {
+        calls.get().inc();
+        KERNEL_FLOPS.get().add(flops as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // GEMM
 // ---------------------------------------------------------------------------
 
@@ -110,6 +131,7 @@ pub fn matmul_acc_with(policy: KernelPolicy, a: &Matrix, b: &Matrix, c: &mut Mat
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    record_kernel(&GEMM_CALLS, 2 * m * n * k);
     match policy::effective_policy(policy, 2 * m * n * k, PAR_MIN_FLOPS) {
         KernelPolicy::Naive => naive_matmul_acc(a, b, c),
         KernelPolicy::Blocked => {
@@ -185,6 +207,7 @@ pub fn matmul_acc_sparse_with(policy: KernelPolicy, a: &Matrix, b: &Matrix, c: &
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    record_kernel(&GEMM_CALLS, 2 * m * n * k);
     // The flop estimate assumes dense inputs; genuinely sparse inputs do less
     // work per row, which only makes staying inline more attractive.
     let parallel = policy.is_parallel() && 2 * m * n * k >= PAR_MIN_FLOPS;
@@ -345,6 +368,7 @@ pub fn matvec_into(a: &Matrix, x: &[f64], y: &mut [f64]) {
 pub fn matvec_into_with(policy: KernelPolicy, a: &Matrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(a.cols(), x.len(), "matvec_into: dimension mismatch");
     assert_eq!(a.rows(), y.len(), "matvec_into: output dimension mismatch");
+    record_kernel(&GEMV_CALLS, 2 * a.rows() * a.cols());
     match policy::effective_policy(policy, 2 * a.rows() * a.cols(), PAR_MIN_FLOPS) {
         KernelPolicy::Naive => {
             for (i, yi) in y.iter_mut().enumerate() {
@@ -377,6 +401,7 @@ pub fn matvec_acc(a: &Matrix, x: &[f64], y: &mut [f64]) {
 pub fn matvec_acc_with(policy: KernelPolicy, a: &Matrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(a.cols(), x.len(), "matvec_acc: dimension mismatch");
     assert_eq!(a.rows(), y.len(), "matvec_acc: output dimension mismatch");
+    record_kernel(&GEMV_CALLS, 2 * a.rows() * a.cols());
     match policy {
         KernelPolicy::Naive => {
             for (i, yi) in y.iter_mut().enumerate() {
@@ -406,6 +431,7 @@ pub fn matvec_transposed(a: &Matrix, x: &[f64]) -> Vec<f64> {
 pub fn matvec_transposed_with(policy: KernelPolicy, a: &Matrix, x: &[f64]) -> Vec<f64> {
     assert_eq!(a.rows(), x.len(), "matvec_transposed: dimension mismatch");
     let cols = a.cols();
+    record_kernel(&GEMV_CALLS, 2 * a.rows() * cols);
     match policy::effective_policy(policy, 2 * a.rows() * cols, PAR_MIN_FLOPS) {
         KernelPolicy::Naive => {
             let mut y = vec![0.0; cols];
@@ -463,6 +489,7 @@ pub fn ger_with(policy: KernelPolicy, alpha: f64, x: &[f64], y: &[f64], a: &mut 
     assert_eq!(a.rows(), x.len(), "ger: row dimension mismatch");
     assert_eq!(a.cols(), y.len(), "ger: col dimension mismatch");
     let cols = a.cols();
+    record_kernel(&GER_CALLS, 2 * x.len() * cols);
     match policy::effective_policy(policy, 2 * x.len() * cols, GER_PAR_MIN_FLOPS) {
         KernelPolicy::Naive => {
             // The reference path is branch-free: one AXPY per row.
@@ -505,6 +532,7 @@ pub fn ger_sparse_with(policy: KernelPolicy, alpha: f64, x: &[f64], y: &[f64], a
     if x.is_empty() || cols == 0 {
         return;
     }
+    record_kernel(&GER_CALLS, 2 * x.len() * cols);
     let parallel = policy.is_parallel() && 2 * x.len() * cols >= PAR_MIN_FLOPS;
     policy::par_row_bands(parallel, a.as_mut_slice(), cols, 1, |first_row, band| {
         for (i, row) in band.chunks_exact_mut(cols).enumerate() {

@@ -218,11 +218,11 @@ pub(crate) fn resolve_threads_env(raw: Option<&str>, available: usize) -> (usize
     }
 }
 
-/// Prints an environment-override warning exactly once per guard flag.
+/// Prints an environment-override warning exactly once per guard flag, and
+/// counts every occurrence (first or suppressed) in the `fml-obs`
+/// `fml_env_warnings_total` counter — the workspace's single warn-once sink.
 fn warn_once(guard: &std::sync::atomic::AtomicBool, msg: &str) {
-    if !guard.swap(true, Ordering::Relaxed) {
-        eprintln!("warning: {msg}");
-    }
+    fml_obs::warn_once(guard, msg);
 }
 
 /// The process-wide default policy used by the non-`_with` kernel entry points.

@@ -47,8 +47,8 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 use crate::policy;
 
@@ -169,12 +169,14 @@ impl Region {
     }
 }
 
-/// One queued unit of work: the erased task, its region, and the
-/// dispatcher's thread-count override to install in the worker.
+/// One queued unit of work: the erased task, its region, the dispatcher's
+/// thread-count override to install in the worker, and (when metrics are on)
+/// the enqueue time for the dispatch-latency histogram.
 struct Message {
     task: RawTask,
     region: Arc<Region>,
     inherit: Option<usize>,
+    submitted: Option<Instant>,
 }
 
 impl Message {
@@ -208,8 +210,11 @@ struct Pool {
 
 static POOL: OnceLock<Pool> = OnceLock::new();
 /// Total tasks ever executed by pool workers (observability; see
-/// [`worker_tasks_executed`]).
-static WORKER_TASKS: AtomicUsize = AtomicUsize::new(0);
+/// [`worker_tasks_executed`]) — the `fml_pool_worker_tasks_total` registry
+/// counter, recorded unconditionally because tests assert on its deltas in
+/// every `FML_OBS` mode.
+static WORKER_TASKS: fml_obs::LazyCounter =
+    fml_obs::LazyCounter::new("fml_pool_worker_tasks_total");
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| Pool {
@@ -230,6 +235,9 @@ impl Pool {
         for m in messages {
             state.queue.push_back(m);
         }
+        if fml_obs::metrics_enabled() {
+            fml_obs::gauge!("fml_pool_queue_depth").set(state.queue.len() as i64);
+        }
         let cap = policy::num_threads();
         while state.workers < cap && state.idle < state.queue.len() {
             match std::thread::Builder::new()
@@ -246,6 +254,10 @@ impl Pool {
                 // every region even with zero workers.
                 Err(_) => break,
             }
+        }
+        if fml_obs::metrics_enabled() {
+            fml_obs::gauge!("fml_pool_workers").set(state.workers as i64);
+            fml_obs::gauge!("fml_pool_idle_workers").set(state.idle as i64);
         }
         drop(state);
         self.work.notify_all();
@@ -278,7 +290,13 @@ fn worker_loop() {
                 state.idle -= 1;
             }
         };
-        WORKER_TASKS.fetch_add(1, Ordering::Relaxed);
+        WORKER_TASKS.get().inc();
+        if let Some(submitted) = msg.submitted {
+            // Dispatch latency: enqueue to worker pickup.  `submitted` is only
+            // stamped when metrics were on at dispatch, so this records at
+            // most what the run's resolved mode asked for.
+            fml_obs::histogram!("fml_pool_dispatch_ns").record_duration(submitted.elapsed());
+        }
         msg.execute();
     }
 }
@@ -324,6 +342,8 @@ where
     }
     let region = Region::new(tasks.len());
     let inherit = policy::current_override();
+    let metrics = fml_obs::metrics_enabled();
+    let submitted = if metrics { Some(Instant::now()) } else { None };
     let mut cells: Vec<Option<F>> = tasks.into_iter().map(Some).collect();
     let messages: Vec<Message> = cells
         .iter_mut()
@@ -331,6 +351,7 @@ where
             task: RawTask::new(cell),
             region: Arc::clone(&region),
             inherit,
+            submitted,
         })
         .collect();
     pool().submit(messages);
@@ -343,6 +364,9 @@ where
         // Help-first: run our own still-queued tasks inline, then block
         // until the ones running on workers finish.
         while let Some(msg) = pool().steal_own(&region) {
+            if metrics {
+                fml_obs::counter!("fml_pool_inline_steals_total").inc();
+            }
             msg.execute();
         }
         region.wait_drained();
@@ -367,7 +391,7 @@ pub fn worker_count() -> usize {
 /// counted).  Monotonic; used by tests and benches to verify the pool is
 /// actually engaged rather than everything collapsing to inline execution.
 pub fn worker_tasks_executed() -> usize {
-    WORKER_TASKS.load(Ordering::Relaxed)
+    WORKER_TASKS.get().get() as usize
 }
 
 #[cfg(test)]

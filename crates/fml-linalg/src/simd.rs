@@ -243,19 +243,21 @@ pub fn default_level() -> SimdLevel {
     let (avx2, fma) = detect_features();
     let (level, level_warning) = level_for(mode, avx2, fma);
     if let Some(msg) = mode_warning.or(level_warning) {
-        if !SIMD_WARNED.swap(true, Ordering::Relaxed) {
-            eprintln!("warning: {msg}");
-        }
+        fml_obs::warn_once(&SIMD_WARNED, &msg);
     }
     // Racing initializations agree (env and CPUID are stable), so a relaxed
     // store is fine.
     DEFAULT_LEVEL.store(level_to_u8(level), Ordering::Relaxed);
+    // Unconditional gauge: the resolved level is a one-time scalar the
+    // registry should always report, not per-record telemetry.
+    fml_obs::gauge!("fml_simd_level").set(level_to_u8(level) as i64);
     level
 }
 
 /// Overrides the process-wide SIMD level.
 pub fn set_default_level(level: SimdLevel) {
     DEFAULT_LEVEL.store(level_to_u8(level), Ordering::Relaxed);
+    fml_obs::gauge!("fml_simd_level").set(level_to_u8(level) as i64);
 }
 
 std::thread_local! {

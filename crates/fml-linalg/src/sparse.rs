@@ -38,7 +38,6 @@ use crate::policy::{self, KernelPolicy};
 use crate::simd;
 use crate::vector;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How a trainer decides between the dense and sparse kernel paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -59,11 +58,14 @@ pub enum SparseMode {
 /// The trainers cache detection per tuple; the regression tests use the delta
 /// of this counter to prove that an EM iteration / epoch does **not** rescan
 /// immutable data (detection runs at most once per tuple, not once per pass).
-static DETECT_CALLS: AtomicU64 = AtomicU64::new(0);
+static DETECT_CALLS: fml_obs::LazyCounter =
+    fml_obs::LazyCounter::new("fml_sparse_detect_calls_total");
 
-/// Reads the process-global detection-invocation counter.
+/// Reads the process-global detection-invocation counter (an `fml-obs`
+/// registry counter, `fml_sparse_detect_calls_total` — recorded
+/// unconditionally so the counter-delta tests hold in every `FML_OBS` mode).
 pub fn detect_calls() -> u64 {
-    DETECT_CALLS.load(Ordering::Relaxed)
+    DETECT_CALLS.get().get()
 }
 
 /// An owned sparse representation of one feature row, as produced by
@@ -178,7 +180,7 @@ impl SparseMode {
     pub fn detect(self, features: &[f64]) -> Option<SparseRep> {
         match self {
             SparseMode::Auto => {
-                DETECT_CALLS.fetch_add(1, Ordering::Relaxed);
+                DETECT_CALLS.get().inc();
                 if let Some(idx) = onehot_indices(features) {
                     return Some(SparseRep::OneHot(idx));
                 }
@@ -196,11 +198,12 @@ impl SparseMode {
 /// [`SparseMode::Dense`]).  Monotonic and process-global, so concurrent tests
 /// can only *increase* deltas — assertions should use `>=` / `== 0` patterns
 /// inside single-test binaries.
-static ONEHOT_KERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
+static ONEHOT_KERNEL_CALLS: fml_obs::LazyCounter =
+    fml_obs::LazyCounter::new("fml_sparse_onehot_kernel_calls_total");
 
 #[inline]
 fn count_call() {
-    ONEHOT_KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    ONEHOT_KERNEL_CALLS.get().inc();
 }
 
 /// Records one one-hot kernel invocation performed outside this module (the
@@ -210,9 +213,11 @@ pub fn record_onehot_call() {
     count_call();
 }
 
-/// Reads the process-global one-hot kernel invocation counter.
+/// Reads the process-global one-hot kernel invocation counter (the
+/// `fml_sparse_onehot_kernel_calls_total` registry counter, recorded
+/// unconditionally in every `FML_OBS` mode).
 pub fn onehot_kernel_calls() -> u64 {
-    ONEHOT_KERNEL_CALLS.load(Ordering::Relaxed)
+    ONEHOT_KERNEL_CALLS.get().get()
 }
 
 /// Maximum occupancy (`nnz / width`) at which [`onehot_indices`] still reports

@@ -77,6 +77,9 @@ const ENV_ALLOWED: [&str; 3] = [
     "crates/fml-linalg/src/exec.rs",
 ];
 const ENV_ALLOWED_PREFIX: &str = "crates/fml-bench/";
+/// fml-obs files may read `FML_OBS` (the mode resolve site lives there) but
+/// no other `FML_*` variable.
+const ENV_OBS_ALLOWED_PREFIX: &str = "crates/fml-obs/";
 
 /// How many lines above an `unsafe` block/impl a `// SAFETY:` comment may
 /// sit (attributes and the statement's own wrapped lines eat a few).
@@ -314,6 +317,9 @@ fn rule_env_centralization(ctx: &Context, tokens: &[Token], out: &mut Vec<Violat
     if ENV_ALLOWED.contains(&ctx.rel_path) || ctx.rel_path.starts_with(ENV_ALLOWED_PREFIX) {
         return;
     }
+    // fml-obs owns the `FML_OBS` resolve site, but nothing else: its files
+    // may read `FML_OBS` and no other `FML_*` variable.
+    let in_obs = ctx.rel_path.starts_with(ENV_OBS_ALLOWED_PREFIX);
     for i in 0..tokens.len().saturating_sub(2) {
         let is_read = tokens[i].text == "env"
             && tokens[i + 1].text == "::"
@@ -322,13 +328,34 @@ fn rule_env_centralization(ctx: &Context, tokens: &[Token], out: &mut Vec<Violat
             continue;
         }
         // The variable name is the first string literal after the call.
-        let reads_fml = tokens[i + 3..]
+        let Some(var) = tokens[i + 3..]
             .iter()
             .take(4)
             .find(|t| t.kind == TokenKind::Str)
-            .map(|t| t.text.starts_with("FML_"))
-            .unwrap_or(false);
-        if reads_fml {
+            .map(|t| t.text.as_str())
+        else {
+            continue;
+        };
+        if !var.starts_with("FML_") {
+            continue;
+        }
+        if var == "FML_OBS" {
+            if in_obs {
+                continue;
+            }
+            out.push(
+                ctx.violation(
+                    RULE_ENV,
+                    tokens[i].line,
+                    "`FML_OBS` environment read outside its designated resolve \
+                 sites (fml-obs, fml-linalg exec.rs, fml-bench): the \
+                 observability mode follows builder > env > default, decided \
+                 once — consume `fml_obs::mode()` or `ExecSettings::obs` \
+                 instead"
+                        .to_string(),
+                ),
+            );
+        } else {
             out.push(
                 ctx.violation(
                     RULE_ENV,

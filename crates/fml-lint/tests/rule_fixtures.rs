@@ -183,6 +183,45 @@ fn non_fml_env_reads_and_designated_sites_pass() {
     ));
 }
 
+#[test]
+fn fml_obs_read_outside_its_resolve_sites_is_flagged_with_exact_diagnostic() {
+    let src = "pub fn mode() -> u8 {\n    std::env::var(\"FML_OBS\").map(|_| 1).unwrap_or(0)\n}\n";
+    assert_eq!(
+        diags("env-centralization", "crates/fml-gmm/src/em.rs", src),
+        vec![
+            "crates/fml-gmm/src/em.rs:2: [env-centralization] `FML_OBS` \
+             environment read outside its designated resolve sites (fml-obs, \
+             fml-linalg exec.rs, fml-bench): the observability mode follows \
+             builder > env > default, decided once — consume \
+             `fml_obs::mode()` or `ExecSettings::obs` instead"
+                .to_string()
+        ]
+    );
+}
+
+#[test]
+fn fml_obs_resolve_sites_pass_but_other_fml_reads_in_fml_obs_are_flagged() {
+    let obs = "fn raw() { let _ = std::env::var(\"FML_OBS\"); }\n";
+    // The designated resolve sites may read FML_OBS.
+    assert!(clean(
+        "env-centralization",
+        "crates/fml-obs/src/mode.rs",
+        obs
+    ));
+    assert!(clean(
+        "env-centralization",
+        "crates/fml-linalg/src/exec.rs",
+        obs
+    ));
+    // fml-obs owns only FML_OBS: other FML_* reads there are still flagged.
+    let other = "fn raw() { let _ = std::env::var(\"FML_THREADS\"); }\n";
+    assert!(!clean(
+        "env-centralization",
+        "crates/fml-obs/src/registry.rs",
+        other
+    ));
+}
+
 // ---------------------------------------------------------------------------
 // float-eq
 // ---------------------------------------------------------------------------

@@ -64,6 +64,9 @@ impl FactorizedNn {
         // Kernels invoked under a parallel policy on this thread fan out to
         // exactly the resolved thread count while training runs.
         let _kernel_threads = ex.kernel_thread_scope();
+        // The resolved observability mode governs instrumentation on every
+        // thread this run touches (pool workers, storage scans).
+        let _obs = ex.obs_scope();
         let sizes = spec.feature_partition(db)?;
         let (d_s, d_r) = (sizes[0], sizes[1]);
         let d = d_s + d_r;

@@ -121,6 +121,9 @@ pub fn train_supervised_from(
     // Kernels invoked under a parallel policy on this thread fan out to
     // exactly the resolved thread count while training runs.
     let _kernel_threads = ex.kernel_thread_scope();
+    // The resolved observability mode governs instrumentation on every
+    // thread this run touches (pool workers, storage scans).
+    let _obs = ex.obs_scope();
     let mut notifier = FitNotifier::new(exec, io);
     let n = source.num_tuples();
     assert!(n > 0, "cannot train on an empty source");

@@ -8,6 +8,11 @@
 //! batch, the cumulative wall-time, and the page / field I/O the batch
 //! performed — the same delta arithmetic [`fml_linalg::FitNotifier`] uses, so
 //! dashboards consume one shape for both directions of the pipeline.
+//!
+//! Like its training twin, [`ScoreNotifier`] also emits into the `fml-obs`
+//! registry when observability is on: `fml_score_batches_total`,
+//! `fml_score_rows_total`, the `fml_score_batch_ns` latency histogram, and a
+//! `score_batch` span per batch.
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -79,6 +84,9 @@ pub struct ScoreNotifier<'a> {
     observer: Option<&'a dyn ScoreObserver>,
     io: Option<&'a dyn Fn() -> (u64, u64)>,
     start: Instant,
+    /// Start of the current batch, for the per-batch histogram/span (`start`
+    /// stays the cumulative-elapsed origin the events report).
+    batch_mark: Instant,
     last_io: (u64, u64),
     batch: usize,
 }
@@ -95,17 +103,30 @@ impl<'a> ScoreNotifier<'a> {
             (true, Some(probe)) => probe(),
             _ => (0, 0),
         };
+        let start = Instant::now();
         Self {
             observer,
             io,
-            start: Instant::now(),
+            start,
+            batch_mark: start,
             last_io,
             batch: 0,
         }
     }
 
-    /// Emits the event for the batch that just completed.
+    /// Emits the event for the batch that just completed — to the attached
+    /// [`ScoreObserver`] (if any), and, when observability is on, to the
+    /// `fml-obs` registry.
     pub fn notify(&mut self, rows: u64) {
+        if fml_obs::metrics_enabled() {
+            let now = Instant::now();
+            fml_obs::counter!("fml_score_batches_total").inc();
+            fml_obs::counter!("fml_score_rows_total").add(rows);
+            fml_obs::histogram!("fml_score_batch_ns")
+                .record_duration(now.saturating_duration_since(self.batch_mark));
+            fml_obs::record_span("score_batch", self.batch_mark, now);
+            self.batch_mark = now;
+        }
         if let Some(observer) = self.observer {
             let now = self.io.map(|probe| probe()).unwrap_or((0, 0));
             observer.on_batch(&ScoreEvent {

@@ -1040,6 +1040,10 @@ impl Scorer for GmmFit {
         // Kernels invoked under a parallel policy fan out to exactly the
         // resolved thread count while scoring runs.
         let _kernel_threads = ex.kernel_thread_scope();
+        // The resolved observability mode governs instrumentation on every
+        // thread this run touches (pool workers, storage scans).
+        let _obs = ex.obs_scope();
+        let _span = fml_obs::span!("score");
         score_measured(db, opts.strategy(), || {
             // Inside the measured closure: the per-batch precomputation
             // (Cholesky inversions, block forms, sparse constants) is part
@@ -1073,6 +1077,10 @@ impl Scorer for NnFit {
         // Kernels invoked under a parallel policy fan out to exactly the
         // resolved thread count while scoring runs.
         let _kernel_threads = ex.kernel_thread_scope();
+        // The resolved observability mode governs instrumentation on every
+        // thread this run touches (pool workers, storage scans).
+        let _obs = ex.obs_scope();
+        let _span = fml_obs::span!("score");
         score_measured(db, opts.strategy(), || {
             // Inside the measured closure: the first-layer column split is
             // part of the scoring call's documented elapsed accounting.

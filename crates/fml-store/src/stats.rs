@@ -6,6 +6,12 @@
 //! (`n_S·d_S + n_R·d_R` versus `N·d`).  [`IoStats`] is a cheap shareable counter
 //! bundle that every heap file and scan updates, so experiments can report
 //! *measured* I/O next to the analytic model.
+//!
+//! When observability is on (`FML_OBS=metrics|trace`), every `add_*` call
+//! additionally mirrors its increment into the process-wide `fml-obs`
+//! registry (`fml_store_pages_read_total` etc.), so exported metrics carry
+//! the same page/field accounting the per-database [`IoStats`] handles do —
+//! gated on one relaxed load so the off path is unchanged.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,31 +81,49 @@ impl IoStats {
     /// Records `n` page reads.
     pub fn add_pages_read(&self, n: u64) {
         self.inner.pages_read.fetch_add(n, Ordering::Relaxed);
+        if fml_obs::metrics_enabled() {
+            fml_obs::counter!("fml_store_pages_read_total").add(n);
+        }
     }
 
     /// Records `n` page writes.
     pub fn add_pages_written(&self, n: u64) {
         self.inner.pages_written.fetch_add(n, Ordering::Relaxed);
+        if fml_obs::metrics_enabled() {
+            fml_obs::counter!("fml_store_pages_written_total").add(n);
+        }
     }
 
     /// Records `n` tuples decoded.
     pub fn add_tuples_read(&self, n: u64) {
         self.inner.tuples_read.fetch_add(n, Ordering::Relaxed);
+        if fml_obs::metrics_enabled() {
+            fml_obs::counter!("fml_store_tuples_read_total").add(n);
+        }
     }
 
     /// Records `n` tuples appended.
     pub fn add_tuples_written(&self, n: u64) {
         self.inner.tuples_written.fetch_add(n, Ordering::Relaxed);
+        if fml_obs::metrics_enabled() {
+            fml_obs::counter!("fml_store_tuples_written_total").add(n);
+        }
     }
 
     /// Records `n` 8-byte fields handed to the learner.
     pub fn add_fields_read(&self, n: u64) {
         self.inner.fields_read.fetch_add(n, Ordering::Relaxed);
+        if fml_obs::metrics_enabled() {
+            fml_obs::counter!("fml_store_fields_read_total").add(n);
+        }
     }
 
     /// Records `n` index probes.
     pub fn add_index_probes(&self, n: u64) {
         self.inner.index_probes.fetch_add(n, Ordering::Relaxed);
+        if fml_obs::metrics_enabled() {
+            fml_obs::counter!("fml_store_index_probes_total").add(n);
+        }
     }
 
     /// Takes a snapshot of the current counter values.

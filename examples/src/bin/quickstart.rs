@@ -5,6 +5,11 @@
 //! Run with: `cargo run --release -p examples --bin quickstart [algorithm]`
 //! where `algorithm` is `M`, `S`, `F` or a full name (`factorized`, …);
 //! the default is the paper's factorized strategy.
+//!
+//! With `FML_OBS=metrics` the run additionally writes the process metrics
+//! registry to `obs-metrics.prom` (Prometheus text exposition); with
+//! `FML_OBS=trace` it also writes `obs-trace.json` (Chrome `trace_event`
+//! JSON — open it in Perfetto / `chrome://tracing`).
 
 use fml_core::prelude::*;
 use fml_core::report::{secs, speedup};
@@ -118,4 +123,24 @@ fn main() {
         "  model agreement (max parameter difference): {:.2e}",
         m.fit.model.max_param_diff(&f.fit.model)
     );
+
+    // 5. Observability export: when FML_OBS enables the registry, dump what
+    //    the four fits above recorded.  The mode was resolved (and applied)
+    //    by the session's fits; read it back rather than re-parsing the env.
+    match fml_obs::mode() {
+        fml_obs::ObsMode::Off => {}
+        mode => {
+            std::fs::write("obs-metrics.prom", fml_obs::prometheus_text())
+                .expect("write obs-metrics.prom");
+            println!("\nobservability: wrote obs-metrics.prom ({mode} mode)");
+            if mode == fml_obs::ObsMode::Trace {
+                std::fs::write("obs-trace.json", fml_obs::chrome_trace_json())
+                    .expect("write obs-trace.json");
+                println!(
+                    "observability: wrote obs-trace.json ({} spans)",
+                    fml_obs::snapshot_spans().len()
+                );
+            }
+        }
+    }
 }
